@@ -1,0 +1,151 @@
+// Command pipebench regenerates the paper's evaluation: figures 19-22 (PPS
+// speedup and live-set transmission overhead versus pipelining degree for
+// the NPF IPv4 forwarding and IP forwarding benchmarks), the headline >4x
+// claim, and the ablations catalogued in DESIGN.md.
+//
+// Usage:
+//
+//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "which experiment to run")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig19", func() error {
+		s, err := experiments.Fig19SpeedupIPv4(0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.SpeedupTable(
+			"Figure 19: speedup of the IPv4 forwarding PPSes vs pipelining degree", s))
+		return nil
+	})
+	run("fig20", func() error {
+		s, err := experiments.Fig20SpeedupIP(0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.SpeedupTable(
+			"Figure 20: speedup of the IP forwarding PPSes vs pipelining degree", s))
+		return nil
+	})
+	run("fig21", func() error {
+		s, err := experiments.Fig21OverheadIPv4(0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.OverheadTable(
+			"Figure 21: live-set transmission overhead, IPv4 forwarding PPSes", s))
+		return nil
+	})
+	run("fig22", func() error {
+		s, err := experiments.Fig22OverheadIP(0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.OverheadTable(
+			"Figure 22: live-set transmission overhead, IP forwarding PPSes", s))
+		return nil
+	})
+	run("headline", func() error {
+		h, err := experiments.HeadlineClaim()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Headline claim (abstract): speedup at 9 pipeline stages")
+		for _, k := range experiments.SortedKeys(h) {
+			fmt.Printf("  %-8s %.2fx\n", k, h[k])
+		}
+		fmt.Println()
+		return nil
+	})
+	run("ablations", func() error {
+		fmt.Println("Ablation: transmission strategy (IP PPS, 4 stages)")
+		tx, err := experiments.AblationTransmission("IP(v4)", 4)
+		if err != nil {
+			return err
+		}
+		for _, a := range tx {
+			fmt.Printf("  %-20s objects %3d  slots %3d  overhead %.3f\n",
+				a.Mode, a.Objects, a.Slots, a.Overhead)
+		}
+		fmt.Println()
+
+		fmt.Println("Ablation: balance variance ε (IPv4 PPS, 6 stages)")
+		eps, err := experiments.AblationEpsilon("IPv4", 6,
+			[]float64{1.0 / 64, 1.0 / 16, 1.0 / 4, 0.5})
+		if err != nil {
+			return err
+		}
+		for _, p := range eps {
+			fmt.Printf("  eps %-7.4f speedup %.2fx  cut cost %4d  imbalance %.3f\n",
+				p.Epsilon, p.Speedup, p.CutCost, p.Imbalance)
+		}
+		fmt.Println()
+
+		fmt.Println("Ablation: balance weight function (IPv4 PPS, 6 stages; paper §6 future work)")
+		wm, err := experiments.AblationWeightMode("IPv4", 6)
+		if err != nil {
+			return err
+		}
+		for _, p := range wm {
+			fmt.Printf("  %-8s max stage latency %5d  mean %7.1f  skew %.2f  instr speedup %.2fx\n",
+				p.Mode, p.MaxStageLat, p.MeanStageLat, p.LatencySkew, p.InstrSpeedup)
+		}
+		fmt.Println()
+
+		fmt.Println("Ablation: inter-stage ring kind (IPv4 PPS, 6 stages)")
+		ch, err := experiments.AblationChannel("IPv4", 6)
+		if err != nil {
+			return err
+		}
+		for _, p := range ch {
+			fmt.Printf("  %-8s speedup %.2fx  overhead %.3f\n", p.Channel, p.Speedup, p.Overhead)
+		}
+		fmt.Println()
+		return nil
+	})
+	run("sim", func() error {
+		fmt.Println("Simulator throughput (IPv4 PPS, saturated arrivals)")
+		pts, err := experiments.SimThroughput("IPv4", []int{1, 2, 4, 6, 8, 10}, 300)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			fmt.Printf("  %2d stages: %8.1f cycles/packet  (dynamic speedup %.2fx)\n",
+				p.Degree, p.CyclesPerPacket, p.SpeedupDynamic)
+		}
+		fmt.Println()
+
+		fmt.Println("Thread-level simulator: latency hiding (IPv4 PPS, 4 stages)")
+		tp, err := experiments.ThreadLatencyHiding("IPv4", 4, 200)
+		if err != nil {
+			return err
+		}
+		for _, p := range tp {
+			fmt.Printf("  %d thread(s)/PE: %8.1f cycles/packet  (issue busy %.0f%%)\n",
+				p.Threads, p.CyclesPerPacket, p.IssueBusy*100)
+		}
+		fmt.Println()
+		return nil
+	})
+}

@@ -1,0 +1,141 @@
+// Command ppcc is the auto-pipelining PPC compiler: it reads a PPC source
+// file, partitions the PPS into D pipeline stages, and reports (or dumps)
+// the result.
+//
+// Usage:
+//
+//	ppcc [flags] file.ppc
+//
+//	-d N         pipelining degree (default 2)
+//	-eps F       balance variance ε (default 1/16)
+//	-tx MODE     packed | naive-unified | naive-interference
+//	-ring KIND   nn | scratch
+//	-budget N    explore: smallest degree meeting an N-instruction budget
+//	-ast         print the canonically formatted source and exit
+//	-dump        print the realized stage IR
+//	-verify N    run N iterations of zero-filled 48-byte packets through
+//	             both the sequential program and the pipeline and compare
+//	             traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/ppc"
+)
+
+func main() {
+	degree := flag.Int("d", 2, "pipelining degree")
+	eps := flag.Float64("eps", 1.0/16.0, "balance variance")
+	txMode := flag.String("tx", "packed", "transmission mode: packed|naive-unified|naive-interference")
+	ring := flag.String("ring", "nn", "inter-stage ring: nn|scratch")
+	budget := flag.Int64("budget", 0, "explore: pick the smallest degree meeting this per-packet instruction budget (overrides -d)")
+	dump := flag.Bool("dump", false, "dump realized stage IR")
+	ast := flag.Bool("ast", false, "print the canonically formatted source and exit")
+	verify := flag.Int("verify", 0, "verify behaviour over N iterations")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ppcc [flags] file.ppc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *ast {
+		unit, err := ppc.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(ppc.Format(unit))
+		return
+	}
+	prog, err := repro.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := repro.Options{Stages: *degree, Epsilon: *eps}
+	switch *txMode {
+	case "packed":
+		opts.Tx = repro.TxPacked
+	case "naive-unified":
+		opts.Tx = repro.TxNaiveUnified
+	case "naive-interference":
+		opts.Tx = repro.TxNaiveInterference
+	default:
+		fatal(fmt.Errorf("unknown -tx mode %q", *txMode))
+	}
+	switch *ring {
+	case "nn":
+		opts.Channel = repro.NNRing
+	case "scratch":
+		opts.Channel = repro.ScratchRing
+	default:
+		fatal(fmt.Errorf("unknown -ring kind %q", *ring))
+	}
+
+	var res *repro.Result
+	if *budget > 0 {
+		ex, err := repro.Explore(prog, repro.ExploreOptions{Budget: *budget, Base: opts})
+		if err != nil {
+			fatal(err)
+		}
+		res = ex.Result
+		*degree = ex.Degree
+		status := "meets"
+		if !ex.Met {
+			status = "cannot meet"
+		}
+		fmt.Printf("explore: %d PE(s) %s the %d-instruction budget\n", ex.Degree, status, *budget)
+		for _, c := range ex.Candidates {
+			fmt.Printf("  degree %2d: longest stage %4d\n", c.Degree, c.LongestStage)
+		}
+	} else {
+		var err error
+		res, err = repro.Partition(prog, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("pps %s: %d stages (tx=%s, ring=%s, eps=%.4f)\n",
+		prog.Name, *degree, *txMode, *ring, *eps)
+	fmt.Print(res.Report)
+
+	if *dump {
+		for _, s := range res.Stages {
+			fmt.Println()
+			fmt.Print(s.Func.String())
+		}
+	}
+	if *verify > 0 {
+		packets := make([][]byte, *verify)
+		for i := range packets {
+			packets[i] = make([]byte, 48)
+			packets[i][0] = byte(i)
+		}
+		seq, err := repro.RunSequential(prog, repro.NewWorld(packets), *verify)
+		if err != nil {
+			fatal(err)
+		}
+		pipe, err := repro.RunPipeline(res.Stages, repro.NewWorld(packets), *verify)
+		if err != nil {
+			fatal(err)
+		}
+		if diff := repro.TraceEqual(seq, pipe); diff != "" {
+			fatal(fmt.Errorf("verification FAILED: %s", diff))
+		}
+		fmt.Printf("verification passed: %d iterations, %d events\n", *verify, len(seq))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ppcc:", err)
+	os.Exit(1)
+}

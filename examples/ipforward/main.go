@@ -1,0 +1,64 @@
+// The NPF IP forwarding benchmark (paper figure 18b): the IP PPS carries
+// both an IPv4 and an IPv6 code path; this example pipelines it and shows
+// the per-traffic speedups the paper plots in figure 20.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+	"repro/internal/netbench"
+)
+
+func main() {
+	const packets = 60
+	ip, _ := netbench.ByName("IP(v4)")
+	prog, err := ip.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("NPF IP forwarding: the IP PPS under IPv4 and IPv6 traffic")
+	fmt.Println()
+	arch := costmodel.Default()
+	for _, traffic := range []struct {
+		name string
+		gen  func(int) [][]byte
+	}{
+		{"IPv4 traffic", netbench.IPv4Stream},
+		{"IPv6 traffic", netbench.IPv6Stream},
+	} {
+		seqD, err := experiments.MeasureDynamic(
+			[]*repro.Program{prog.Clone()},
+			netbench.NewWorld(traffic.gen(packets)), packets, arch, costmodel.NNRing)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d instructions per minimum-size packet sequentially\n",
+			traffic.name, seqD[0].MaxTotal)
+		for _, d := range []int{2, 5, 9} {
+			res, err := repro.Partition(prog, repro.Options{Stages: d})
+			if err != nil {
+				log.Fatal(err)
+			}
+			world := netbench.NewWorld(traffic.gen(packets))
+			demands, err := experiments.MeasureDynamic(res.Stages, world, packets, arch, costmodel.NNRing)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Verify against the sequential trace while we are at it.
+			seqWorld := netbench.NewWorld(traffic.gen(packets))
+			seq, _ := repro.RunSequential(prog.Clone(), seqWorld, packets)
+			if diff := repro.TraceEqual(seq, world.Trace); diff != "" {
+				log.Fatalf("D=%d: %s", d, diff)
+			}
+			speedup, overhead, longest := experiments.DynamicSpeedup(seqD[0], demands)
+			fmt.Printf("  %d stages: speedup %.2fx, longest stage %d, tx overhead %.3f\n",
+				d, speedup, longest+1, overhead)
+		}
+		fmt.Println()
+	}
+}

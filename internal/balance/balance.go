@@ -1,0 +1,245 @@
+// Package balance implements the iterative balanced minimum-cut heuristic
+// of the pipelining transformation (paper section 3.3, figure 7), adapted
+// from Yang–Wong's FBB algorithm: push-relabel min cuts are computed
+// repeatedly, collapsing nodes into the source (when the source side is too
+// light) or into the sink (too heavy) until the source-side weight W(X)
+// falls within [(1-ε)·target, (1+ε)·target]. Re-runs after collapsing are
+// incremental (warm-started preflow), per the paper.
+//
+// Infinite-capacity edges encode direction constraints (an edge a -> b with
+// capacity >= maxflow.Inf/2 means "a upstream implies b upstream"). When
+// the heuristic moves a node across the cut it moves the node's constraint
+// closure with it, so finite cuts remain reachable.
+package balance
+
+import "repro/internal/maxflow"
+
+// Result describes the cut the heuristic settled on.
+type Result struct {
+	// SourceSide[u] reports whether node u landed upstream of the cut.
+	SourceSide []bool
+	// Cost is the cut's total capacity.
+	Cost int64
+	// Weight is W(X), the summed node weight of the source side.
+	Weight int64
+	// Feasible indicates the balance constraint was met exactly; when
+	// false, the returned cut is the best (closest-to-target, then
+	// cheapest) finite cut encountered.
+	Feasible bool
+	// Iterations is the number of min-cut computations performed.
+	Iterations int
+}
+
+// debugLog, when set by tests, observes each iteration.
+var debugLog func(iter int, wx, cost, lo, hi int64)
+
+// MinCut finds a minimum-cost cut of nw whose source-side weight lies in
+// [lo, hi]. weight is indexed by node id (source/sink conventionally 0).
+// The network is consumed (contracted) by the search.
+//
+// minProgress is the weight already committed to the source side by earlier
+// cuts: best-effort results must exceed it whenever any finite cut does,
+// so an infeasible band never produces an empty pipeline stage.
+func MinCut(nw *maxflow.Network, weight []int64, lo, hi, minProgress int64) *Result {
+	n := nw.Len()
+	var best *Result
+
+	// Constraint adjacency from infinite edges: fwd[a] lists b with
+	// a-in-S => b-in-S; rev[b] lists a (b-in-T => a-in-T).
+	fwd := make([][]int, n)
+	rev := make([][]int, n)
+	nw.ForEachEdge(func(_, tail, head int, capacity int64) {
+		if capacity >= maxflow.Inf/2 {
+			fwd[tail] = append(fwd[tail], head)
+			rev[head] = append(rev[head], tail)
+		}
+	})
+
+	better := func(a, b *Result) bool {
+		if b == nil {
+			return true
+		}
+		// A cut that adds no weight beyond earlier stages produces an
+		// empty stage; any progressing finite cut beats it.
+		aProg, bProg := a.Weight > minProgress, b.Weight > minProgress
+		if aProg != bProg {
+			return aProg
+		}
+		da, db := distanceToBand(a.Weight, lo, hi), distanceToBand(b.Weight, lo, hi)
+		if da != db {
+			return da < db
+		}
+		// Equal distance: prefer the heavier side, then the cheaper cut.
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		return a.Cost < b.Cost
+	}
+
+	for iter := 1; iter <= 2*n+4; iter++ {
+		_ = nw.MaxFlow()
+		side := nw.SourceSide()
+		cost := nw.CutValue(side)
+		var wx int64
+		for u := 0; u < n; u++ {
+			if side[u] {
+				wx += weight[u]
+			}
+		}
+		cur := &Result{SourceSide: side, Cost: cost, Weight: wx, Iterations: iter}
+		finite := cost < maxflow.Inf/2
+		if debugLog != nil {
+			debugLog(iter, wx, cost, lo, hi)
+		}
+		if finite && better(cur, best) {
+			best = cur
+		}
+		switch {
+		case finite && wx >= lo && wx <= hi:
+			cur.Feasible = true
+			return cur
+
+		case wx < lo:
+			// Too light: absorb the current source side plus one frontier
+			// node (with its upstream-forcing closure) into the source.
+			group := closureForSource(nw, side, weight, fwd)
+			if group == nil {
+				return finish(best, cur)
+			}
+			for u := 0; u < n; u++ {
+				if side[u] {
+					group = append(group, u)
+				}
+			}
+			nw.CollapseIntoSource(group)
+
+		default:
+			// Too heavy: push one frontier node (with its downstream-
+			// forcing closure) across to the sink.
+			group := closureForSink(nw, side, weight, rev)
+			if group == nil {
+				return finish(best, cur)
+			}
+			nw.CollapseIntoSink(group)
+		}
+	}
+	return finish(best, &Result{SourceSide: make([]bool, n), Iterations: 2*n + 4})
+}
+
+// finish returns the best finite result recorded, falling back to last.
+func finish(best, last *Result) *Result {
+	if best != nil {
+		best.Iterations = last.Iterations
+		return best
+	}
+	return last
+}
+
+// distanceToBand measures how far w is from [lo, hi].
+func distanceToBand(w, lo, hi int64) int64 {
+	switch {
+	case w < lo:
+		return lo - w
+	case w > hi:
+		return w - hi
+	}
+	return 0
+}
+
+// frontierCandidates lists representative nodes adjacent to the current
+// cut, on the requested side, ordered by descending incident cut capacity
+// (the costliest edges are the ones we most want to stop cutting) then by
+// ascending weight.
+func frontierCandidates(nw *maxflow.Network, side []bool, weight []int64, fromSource bool) []int {
+	s := nw.Find(nw.Source)
+	t := nw.Find(nw.Sink)
+	gain := make(map[int]int64)
+	for _, e := range nw.CutEdges(side) {
+		tail, head := nw.EdgeEnds(e)
+		cand := head
+		if fromSource {
+			cand = tail
+		}
+		r := nw.Find(cand)
+		if r == s || r == t {
+			continue
+		}
+		gain[r] += nw.EdgeCap(e)
+	}
+	out := make([]int, 0, len(gain))
+	for v := range gain {
+		out = append(out, v)
+	}
+	// Insertion sort by (gain desc, weight asc, id asc) — candidate sets
+	// are small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if gain[b] > gain[a] || (gain[b] == gain[a] && (weight[b] < weight[a] || (weight[b] == weight[a] && b < a))) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// closureForSource returns a sink-side frontier candidate together with
+// every node its absorption into the source forces upstream (forward
+// constraint closure). Returns nil when no candidate works.
+func closureForSource(nw *maxflow.Network, side []bool, weight []int64, fwd [][]int) []int {
+	t := nw.Find(nw.Sink)
+	for _, v := range frontierCandidates(nw, side, weight, false) {
+		group, ok := closure(nw, v, fwd, t)
+		if ok {
+			return group
+		}
+	}
+	return nil
+}
+
+// closureForSink returns a source-side frontier candidate together with
+// every node its move to the sink forces downstream (reverse constraint
+// closure). Returns nil when no candidate works.
+func closureForSink(nw *maxflow.Network, side []bool, weight []int64, rev [][]int) []int {
+	s := nw.Find(nw.Source)
+	for _, v := range frontierCandidates(nw, side, weight, true) {
+		group, ok := closure(nw, v, rev, s)
+		if ok {
+			return group
+		}
+	}
+	return nil
+}
+
+// closure BFS-walks the constraint adjacency from v over representative
+// nodes, failing if the forbidden terminal is pulled in.
+func closure(nw *maxflow.Network, v int, adj [][]int, forbidden int) ([]int, bool) {
+	seen := map[int]bool{nw.Find(v): true}
+	queue := []int{nw.Find(v)}
+	var out []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == forbidden {
+			return nil, false
+		}
+		out = append(out, u)
+		// Constraint edges were recorded on original node ids; scan every
+		// original node represented by u.
+		for orig := 0; orig < nw.Len(); orig++ {
+			if nw.Find(orig) != u {
+				continue
+			}
+			for _, w := range adj[orig] {
+				rw := nw.Find(w)
+				if !seen[rw] {
+					seen[rw] = true
+					queue = append(queue, rw)
+				}
+			}
+		}
+	}
+	return out, true
+}

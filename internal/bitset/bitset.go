@@ -1,0 +1,112 @@
+// Package bitset provides a dense bit set used by the dataflow analyses.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The zero value is unusable; create sets
+// with New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a set with capacity for n bits, all clear.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) { s.words[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) { s.words[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether bit i is set.
+func (s *Set) Has(i int) bool { return s.words[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Copy returns an independent copy of s.
+func (s *Set) Copy() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// Union sets s = s ∪ o and reports whether s changed.
+func (s *Set) Union(o *Set) bool {
+	changed := false
+	for i, w := range o.words {
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Diff sets s = s \ o.
+func (s *Set) Diff(o *Set) {
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// Intersect sets s = s ∩ o.
+func (s *Set) Intersect(o *Set) {
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// Intersects reports whether s and o share any set bit.
+func (s *Set) Intersects(o *Set) bool {
+	for i, w := range o.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Equal reports whether s and o hold the same bits.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the set bits in ascending order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}

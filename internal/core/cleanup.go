@@ -1,0 +1,158 @@
+package core
+
+import "repro/internal/ir"
+
+// cleanupFunc simplifies a realized stage function to a fixed point:
+// unreachable-block removal, jump threading through empty blocks, trivial
+// branch elimination, straight-line block merging, and dead pure-code
+// elimination. It operates on mutable (phi-free) IR.
+func cleanupFunc(f *ir.Func) {
+	for changed := true; changed; {
+		changed = false
+		ir.RemoveUnreachable(f)
+		if threadJumps(f) {
+			changed = true
+		}
+		if collapseTrivialBranches(f) {
+			changed = true
+		}
+		if mergeStraightLine(f) {
+			changed = true
+		}
+		if removeDeadCode(f) {
+			changed = true
+		}
+	}
+	ir.RemoveUnreachable(f)
+}
+
+// threadJumps retargets edges that point at blocks containing only an
+// unconditional jump.
+func threadJumps(f *ir.Func) bool {
+	// forward[b] = ultimate destination of the empty-jump chain starting
+	// at b (with cycle protection).
+	forward := make([]int, len(f.Blocks))
+	for i := range forward {
+		forward[i] = i
+	}
+	isTrivial := func(b *ir.Block) (int, bool) {
+		if len(b.Instrs) == 1 && b.Instrs[0].Op == ir.OpJmp {
+			return b.Instrs[0].Targets[0], true
+		}
+		return 0, false
+	}
+	for _, b := range f.Blocks {
+		if t, ok := isTrivial(b); ok {
+			forward[b.ID] = t
+		}
+	}
+	resolve := func(b int) int {
+		seen := map[int]bool{}
+		for forward[b] != b && !seen[b] {
+			seen[b] = true
+			b = forward[b]
+		}
+		return b
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		for i, tgt := range t.Targets {
+			r := resolve(tgt)
+			// Never retarget to the block itself via threading the entry.
+			if r != tgt {
+				t.Targets[i] = r
+				changed = true
+			}
+		}
+	}
+	// The entry itself may be a trivial jump; keep it (RemoveUnreachable
+	// plus merging will fold it).
+	return changed
+}
+
+// collapseTrivialBranches turns conditional branches and switches whose
+// targets are all identical into unconditional jumps.
+func collapseTrivialBranches(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || (t.Op != ir.OpBr && t.Op != ir.OpSwitch) {
+			continue
+		}
+		same := true
+		for _, tgt := range t.Targets {
+			if tgt != t.Targets[0] {
+				same = false
+			}
+		}
+		if same {
+			t.Op = ir.OpJmp
+			t.Args = nil
+			t.Cases = nil
+			t.Targets = t.Targets[:1]
+			changed = true
+		}
+	}
+	return changed
+}
+
+// mergeStraightLine merges a block into its unique successor when that
+// successor has no other predecessors.
+func mergeStraightLine(f *ir.Func) bool {
+	changed := false
+	cfg := f.CFG()
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpJmp {
+			continue
+		}
+		succ := t.Targets[0]
+		if succ == b.ID || succ == f.Entry {
+			continue
+		}
+		if len(cfg.Preds(succ)) != 1 {
+			continue
+		}
+		sb := f.Blocks[succ]
+		if sb == b {
+			continue
+		}
+		// Absorb the successor.
+		b.Instrs = append(b.Instrs[:len(b.Instrs)-1], sb.Instrs...)
+		sb.Instrs = []*ir.Instr{{Op: ir.OpRet, Dst: ir.NoReg}} // unreachable stub
+		changed = true
+		// One merge per pass keeps the CFG snapshot valid.
+		break
+	}
+	return changed
+}
+
+// removeDeadCode drops pure instructions whose destination register is
+// never read anywhere in the function.
+func removeDeadCode(f *ir.Func) bool {
+	used := make([]bool, f.NumRegs)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses() {
+				used[u] = true
+			}
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op.IsPure() && in.Op != ir.OpPhi && in.Dst >= 0 && !used[in.Dst] && !in.Tx {
+				changed = true
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return changed
+}

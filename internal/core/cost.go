@@ -1,0 +1,112 @@
+package core
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// PathCost is the paper's performance metric for a (stage) function: the
+// worst-case instruction count for processing one packet, with the
+// transmission share broken out. Inner loops contribute their body cost
+// times the annotated worst-case trip count.
+type PathCost struct {
+	Total  int64 // instructions on the worst-case path
+	Tx     int64 // live-set transmission instructions on that path
+	Static int64 // flat static instruction count (code size)
+}
+
+// Proc returns the packet-processing share of the worst-case path.
+func (c PathCost) Proc() int64 { return c.Total - c.Tx }
+
+// instrCost returns (weight, txWeight) for one instruction under the given
+// channel kind.
+func instrCost(in *ir.Instr, arch *costmodel.Arch, ch costmodel.ChannelKind) (int64, int64) {
+	var w int64
+	switch in.Op {
+	case ir.OpSendLS:
+		w = int64(arch.TxWeight(ch, len(in.Args)))
+	case ir.OpRecvLS:
+		w = int64(arch.TxWeight(ch, len(in.Dsts)))
+	default:
+		w = int64(arch.InstrWeight(in))
+	}
+	if in.Tx {
+		return w, w
+	}
+	return w, 0
+}
+
+// FuncCost computes the worst-case path cost of a function: the longest
+// path through the summarized CFG (inner loop nodes weighted by bound times
+// their total body cost).
+func FuncCost(f *ir.Func, arch *costmodel.Arch, ch costmodel.ChannelKind) PathCost {
+	cfg := f.CFG()
+	scc := graph.SCC(cfg)
+	cond := graph.Condense(cfg, scc)
+
+	type nodeCost struct{ total, tx int64 }
+	costs := make([]nodeCost, cond.Len())
+	bounds := make([]int64, cond.Len())
+	isLoop := make([]bool, cond.Len())
+	var static int64
+	for _, b := range f.Blocks {
+		c := scc.Comp[b.ID]
+		if len(scc.Members[c]) > 1 {
+			isLoop[c] = true
+		}
+		for _, s := range b.Succs() {
+			if s == b.ID {
+				isLoop[c] = true
+			}
+		}
+		if int64(b.LoopBound) > bounds[c] {
+			bounds[c] = int64(b.LoopBound)
+		}
+		for _, in := range b.Instrs {
+			w, tx := instrCost(in, arch, ch)
+			costs[c].total += w
+			costs[c].tx += tx
+			static += w
+		}
+	}
+	for c := range costs {
+		if isLoop[c] {
+			bound := bounds[c]
+			if bound == 0 {
+				bound = int64(arch.DefaultLoopBound)
+			}
+			costs[c].total *= bound
+			costs[c].tx *= bound
+		}
+	}
+
+	// Longest path over the condensation DAG from the entry component.
+	order, _ := cond.Topo()
+	const minus = int64(-1) << 60
+	best := make([]nodeCost, cond.Len())
+	reached := make([]bool, cond.Len())
+	entry := scc.Comp[f.Entry]
+	for i := range best {
+		best[i] = nodeCost{total: minus}
+	}
+	best[entry] = costs[entry]
+	reached[entry] = true
+	var final nodeCost
+	for _, n := range order {
+		if !reached[n] {
+			continue
+		}
+		if best[n].total > final.total {
+			final = best[n]
+		}
+		for _, s := range cond.Succs(n) {
+			cand := nodeCost{total: best[n].total + costs[s].total, tx: best[n].tx + costs[s].tx}
+			if cand.total > best[s].total {
+				best[s] = cand
+				reached[s] = true
+			}
+		}
+	}
+	return PathCost{Total: final.total, Tx: final.tx, Static: static}
+}

@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"testing"
+
+	. "repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/ir"
+	"repro/internal/ppc"
+)
+
+func costOf(t *testing.T, src string) PathCost {
+	t.Helper()
+	prog, err := ppc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FuncCost(prog.Func, costmodel.Default(), costmodel.NNRing)
+}
+
+func TestFuncCostTakesWorstPath(t *testing.T) {
+	// The else arm is much heavier; the worst-case path must include it.
+	balanced := costOf(t, `pps P { loop {
+		var n = pkt_rx();
+		if (n > 0) { trace(1); } else { trace(2); }
+	} }`)
+	skewed := costOf(t, `pps P { loop {
+		var n = pkt_rx();
+		if (n > 0) { trace(1); } else {
+			var a = hash_crc(n);
+			var b = hash_crc(a);
+			var c = hash_crc(b);
+			trace(a + b + c);
+		}
+	} }`)
+	if skewed.Total <= balanced.Total {
+		t.Errorf("worst path ignored the heavy arm: %d <= %d", skewed.Total, balanced.Total)
+	}
+}
+
+func TestFuncCostScalesLoopsByBound(t *testing.T) {
+	small := costOf(t, `pps P { loop {
+		var s = 0;
+		for[4] (var i = 0; i < 4; i = i + 1) { s = s + i; }
+		trace(s);
+	} }`)
+	big := costOf(t, `pps P { loop {
+		var s = 0;
+		for[40] (var i = 0; i < 4; i = i + 1) { s = s + i; }
+		trace(s);
+	} }`)
+	if big.Total < small.Total*5 {
+		t.Errorf("loop bound barely affects cost: %d vs %d", small.Total, big.Total)
+	}
+}
+
+func TestFuncCostUnannotatedLoopUsesDefault(t *testing.T) {
+	arch := costmodel.Default()
+	prog, err := ppc.Compile(`pps P { loop {
+		var s = 0;
+		var i = 0;
+		while (i < 3) { i = i + 1; s = s + i; }
+		trace(s);
+	} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := FuncCost(prog.Func, arch, costmodel.NNRing)
+	arch2 := costmodel.Default()
+	arch2.DefaultLoopBound = arch.DefaultLoopBound * 4
+	bigger := FuncCost(prog.Func, arch2, costmodel.NNRing)
+	if bigger.Total <= base.Total {
+		t.Errorf("DefaultLoopBound has no effect: %d vs %d", base.Total, bigger.Total)
+	}
+}
+
+func TestFuncCostSeparatesTx(t *testing.T) {
+	f := ir.NewFunc("tx")
+	bl := ir.NewBuilder(f)
+	v := bl.Const(1)
+	slot := f.NewReg()
+	f.Blocks[0].Instrs = append(f.Blocks[0].Instrs,
+		&ir.Instr{Op: ir.OpCopy, Dst: slot, Args: []int{v}, Tx: true},
+		&ir.Instr{Op: ir.OpSendLS, Dst: ir.NoReg, Args: []int{slot}, Tx: true},
+	)
+	bl.SetBlock(f.Blocks[0])
+	bl.Ret()
+	c := FuncCost(f, costmodel.Default(), costmodel.NNRing)
+	if c.Tx <= 0 {
+		t.Fatal("transmission cost not accounted")
+	}
+	if c.Proc() != c.Total-c.Tx {
+		t.Error("Proc() inconsistent")
+	}
+	// Scratch rings must cost more.
+	cs := FuncCost(f, costmodel.Default(), costmodel.ScratchRing)
+	if cs.Tx <= c.Tx {
+		t.Errorf("scratch tx %d not above nn tx %d", cs.Tx, c.Tx)
+	}
+}
+
+func TestFuncCostStaticVsPath(t *testing.T) {
+	// Static counts both arms; the path only one. Static >= path total
+	// for branchy code.
+	c := costOf(t, `pps P { loop {
+		var n = pkt_rx();
+		if (n > 0) { trace(1); trace(2); trace(3); } else { trace(4); trace(5); trace(6); }
+	} }`)
+	if c.Static < c.Total {
+		t.Errorf("static (%d) below worst path (%d)", c.Static, c.Total)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ExploreOptions configures the degree exploration.
+type ExploreOptions struct {
+	// Budget is the worst-case per-packet instruction budget a stage may
+	// spend (the paper: network applications "have very stringent
+	// performance budgets (cycles per packet)" that must be statically
+	// guaranteed).
+	Budget int64
+	// MaxPEs bounds the processing engines available (default 10).
+	MaxPEs int
+	// Base carries the remaining partitioning options.
+	Base Options
+}
+
+// ExploreResult is the compilation result the exploration selected.
+type ExploreResult struct {
+	// Degree is the selected pipelining degree (number of PEs used).
+	Degree int
+	// Met reports whether the budget is statically guaranteed; when false,
+	// Result is the best (lowest worst-case stage cost) candidate found.
+	Met bool
+	// Result is the selected partition.
+	Result *Result
+	// Candidates records the longest-stage cost at every degree tried.
+	Candidates []CandidateCost
+}
+
+// CandidateCost is one explored configuration.
+type CandidateCost struct {
+	Degree       int
+	LongestStage int64
+	Feasible     bool // all cuts met the balance band
+}
+
+// Explore implements the compiler driver sketched in the paper's section
+// 2.2: it partitions the PPS at increasing pipelining degrees and selects
+// the smallest number of processing engines whose statically guaranteed
+// worst-case stage cost fits the budget. This mirrors the product
+// compiler's static evaluation ("selects one compilation result based on a
+// static evaluation of the performance and the performance requirements");
+// the full pipelining-versus-multiprocessing search of [7] remains out of
+// scope, as in the paper.
+func Explore(prog *ir.Program, opts ExploreOptions) (*ExploreResult, error) {
+	if opts.MaxPEs <= 0 {
+		opts.MaxPEs = 10
+	}
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("explore: a positive per-packet budget is required")
+	}
+	ex := &ExploreResult{}
+	var best *Result
+	var bestCost int64
+	var bestDegree int
+	for d := 1; d <= opts.MaxPEs; d++ {
+		o := opts.Base
+		o.Stages = d
+		res, err := Partition(prog, o)
+		if err != nil {
+			return nil, fmt.Errorf("explore degree %d: %w", d, err)
+		}
+		longest := res.Report.Stages[res.Report.LongestStage-1].Cost.Total
+		feasible := true
+		for _, c := range res.Report.Cuts {
+			if !c.Feasible {
+				feasible = false
+			}
+		}
+		ex.Candidates = append(ex.Candidates, CandidateCost{Degree: d, LongestStage: longest, Feasible: feasible})
+		if best == nil || longest < bestCost {
+			best, bestCost, bestDegree = res, longest, d
+		}
+		if longest <= opts.Budget {
+			ex.Degree = d
+			ex.Met = true
+			ex.Result = res
+			return ex, nil
+		}
+	}
+	ex.Degree = bestDegree
+	ex.Result = best
+	return ex, nil
+}

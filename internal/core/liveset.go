@@ -1,0 +1,433 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// object identifies one member of a cut's live set: either an SSA value or
+// the control object of a branch/loop unit.
+type object struct {
+	isCtrl bool
+	reg    int // SSA register (values)
+	branch int // branch unit ID (control objects)
+}
+
+// cutInfo describes one cut: its live set, interference, and slot packing.
+type cutInfo struct {
+	index    int // 1-based: cut index j separates stages <= j from > j
+	objects  []object
+	slotOf   map[object]int
+	numSlots int
+	// interferences counts interfering pairs (reported for the ablation).
+	interferences int
+}
+
+// pos is an instruction position: block ID and index within the block.
+// Index len(instrs) denotes the point after the last instruction.
+type pos struct {
+	block int
+	idx   int
+}
+
+// positions precomputes what the interference test needs: block-level
+// reachability (via at least one edge) and instruction positions.
+type positions struct {
+	f      *ir.Func
+	reach1 [][]bool // reach1[b][c]: nonempty path b -> c
+	of     map[*ir.Instr]pos
+}
+
+func newPositions(f *ir.Func) *positions {
+	cfg := f.CFG()
+	n := len(f.Blocks)
+	p := &positions{f: f, reach1: make([][]bool, n), of: make(map[*ir.Instr]pos)}
+	for b := 0; b < n; b++ {
+		r := make([]bool, n)
+		// BFS from the successors of b (nonempty paths only).
+		var stack []int
+		for _, s := range cfg.Succs(b) {
+			if !r[s] {
+				r[s] = true
+				stack = append(stack, s)
+			}
+		}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range cfg.Succs(u) {
+				if !r[s] {
+					r[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+		p.reach1[b] = r
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			p.of[in] = pos{block: b.ID, idx: i}
+		}
+	}
+	return p
+}
+
+// reaches reports whether a control-flow path from p to q exists (p strictly
+// before q within a block, or any nonempty block path; a block inside a
+// cycle reaches itself).
+func (ps *positions) reaches(p, q pos) bool {
+	if p.block == q.block {
+		if p.idx <= q.idx {
+			return true
+		}
+		return ps.reach1[p.block][q.block] // wrap around a cycle
+	}
+	return ps.reach1[p.block][q.block]
+}
+
+// buildCut computes the live set of cut j and packs it into slots. prev is
+// cut j-1 (nil for the first cut): relayed objects' slot assignments there
+// constrain packing here.
+func (st *partitionState) buildCut(j int, ps *positions, prev *cutInfo) *cutInfo {
+	an := st.an
+	ci := &cutInfo{index: j, slotOf: make(map[object]int)}
+
+	// Values crossing the cut.
+	var values []int
+	for r, def := range an.DataDef {
+		if def < 0 || st.stageOf[def] > j {
+			continue
+		}
+		crosses := false
+		for _, use := range an.DataUses[r] {
+			if st.stageOf[use] > j {
+				crosses = true
+			}
+		}
+		if crosses {
+			values = append(values, r)
+		}
+	}
+	sort.Ints(values)
+	for _, r := range values {
+		ci.objects = append(ci.objects, object{reg: r})
+	}
+
+	// Control objects crossing the cut: transitive dependents count, since
+	// a downstream stage navigates nested regions through the outer
+	// branch's decision.
+	var branches []int
+	for b := range an.Ctrl {
+		if st.stageOf[b] > j {
+			continue
+		}
+		crosses := false
+		for _, d := range st.ctrlClosure(b) {
+			if st.stageOf[d] > j {
+				crosses = true
+			}
+		}
+		if crosses {
+			branches = append(branches, b)
+		}
+	}
+	sort.Ints(branches)
+	for _, b := range branches {
+		ci.objects = append(ci.objects, object{isCtrl: true, branch: b})
+	}
+
+	st.packCut(ci, ps, prev)
+	return ci
+}
+
+// defStage returns the stage owning an object's definition.
+func (st *partitionState) defStage(o object) int {
+	if o.isCtrl {
+		return st.stageOf[o.branch]
+	}
+	return st.stageOf[st.an.DataDef[o.reg]]
+}
+
+// defPositions returns the realization-relevant definition points of an
+// object: the defining instruction for values, or the start of each
+// distinct successor block for control objects (where the realization
+// materializes the control-object constants).
+func (st *partitionState) defPositions(o object, ps *positions) []pos {
+	if !o.isCtrl {
+		def := st.an.DataDef[o.reg]
+		u := st.an.Units[def]
+		for _, in := range u.Instrs {
+			for _, d := range in.Defines() {
+				if d == o.reg {
+					return []pos{ps.of[in]}
+				}
+			}
+		}
+		return nil
+	}
+	var out []pos
+	for _, t := range st.ctrlTargets(o.branch) {
+		out = append(out, pos{block: t, idx: 0})
+	}
+	return out
+}
+
+// ctrlTargets returns the distinct external successor blocks of a branch
+// unit in deterministic order. Control-object values index this list.
+func (st *partitionState) ctrlTargets(branchUnit int) []int {
+	u := st.an.Units[branchUnit]
+	if !u.IsLoop {
+		return distinctTargets(u.Instrs[len(u.Instrs)-1])
+	}
+	inUnit := make(map[int]bool, len(u.Blocks))
+	for _, b := range u.Blocks {
+		inUnit[b] = true
+	}
+	var out []int
+	seen := make(map[int]bool)
+	blocks := append([]int(nil), u.Blocks...)
+	sort.Ints(blocks)
+	for _, bid := range blocks {
+		t := st.an.F.Blocks[bid].Term()
+		if t == nil {
+			continue
+		}
+		for _, tgt := range t.Targets {
+			if !inUnit[tgt] && !seen[tgt] {
+				seen[tgt] = true
+				out = append(out, tgt)
+			}
+		}
+	}
+	return out
+}
+
+// usePositions returns the positions where stages beyond cut j consume the
+// object. For phi operands the consuming point is the end of the incoming
+// predecessor block.
+func (st *partitionState) usePositions(o object, j int, ps *positions) []pos {
+	an := st.an
+	var out []pos
+	if o.isCtrl {
+		for _, d := range st.ctrlClosure(o.branch) {
+			if st.stageOf[d] <= j {
+				continue
+			}
+			for _, in := range an.Units[d].Instrs {
+				out = append(out, ps.of[in])
+			}
+		}
+		return out
+	}
+	for _, useUnit := range an.DataUses[o.reg] {
+		if st.stageOf[useUnit] <= j {
+			continue
+		}
+		for _, in := range an.Units[useUnit].Instrs {
+			if in.Op == ir.OpPhi {
+				for k, a := range in.Args {
+					if a == o.reg {
+						p := in.PhiPreds[k]
+						out = append(out, pos{block: p, idx: len(an.F.Blocks[p].Instrs)})
+					}
+				}
+				continue
+			}
+			uses := false
+			for _, r := range in.Uses() {
+				if r == o.reg {
+					uses = true
+				}
+			}
+			if uses {
+				out = append(out, ps.of[in])
+			}
+		}
+	}
+	return out
+}
+
+// interferes implements the paper's interference relation over the
+// concatenated CFGs with impossible paths excluded (figures 15/16): u and v
+// interfere iff some execution path defines u, later defines v, and carries
+// a beyond-the-cut use of u (or symmetrically). Sharing a slot is then
+// unsafe because v's (later) slot write would clobber the value u's
+// downstream consumer reads.
+//
+// Objects RELAYED by the sending stage of cut j (defined in stages < j) are
+// rewritten at the stage's entry rather than at their original definition
+// point, so their effective write position differs:
+//
+//   - two relayed objects share a slot iff they arrived in the same slot of
+//     the previous cut (the relay copies are unconditional; distinct
+//     sources would clobber each other on every path);
+//   - a locally defined object clobbers a relayed one whenever its
+//     definition co-occurs on a path with any beyond-the-cut use of the
+//     relayed object (the relay write always precedes it);
+//   - a relayed object never clobbers a locally defined one (entry writes
+//     precede all local definitions).
+func (st *partitionState) interferes(u, v object, j int, ps *positions, prev *cutInfo) bool {
+	uRelayed := st.defStage(u) < j
+	vRelayed := st.defStage(v) < j
+	if uRelayed && vRelayed {
+		if prev == nil {
+			return true // defensive: should not happen
+		}
+		return prev.slotOf[u] != prev.slotOf[v]
+	}
+	if uRelayed {
+		return st.clobbersRelayed(u, v, j, ps)
+	}
+	if vRelayed {
+		return st.clobbersRelayed(v, u, j, ps)
+	}
+	return st.clobbers(u, v, j, ps) || st.clobbers(v, u, j, ps)
+}
+
+// clobbersRelayed reports whether local object v's definition can co-occur
+// on a path with a beyond-the-cut use of relayed object u.
+func (st *partitionState) clobbersRelayed(u, v object, j int, ps *positions) bool {
+	for _, dv := range st.defPositions(v, ps) {
+		for _, q := range st.usePositions(u, j, ps) {
+			if ps.reaches(dv, q) || ps.reaches(q, dv) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// clobbers reports whether v's definition can follow u's on a path that
+// also uses u beyond the cut.
+func (st *partitionState) clobbers(u, v object, j int, ps *positions) bool {
+	for _, du := range st.defPositions(u, ps) {
+		for _, dv := range st.defPositions(v, ps) {
+			if !ps.reaches(du, dv) {
+				continue
+			}
+			for _, q := range st.usePositions(u, j, ps) {
+				// Paper figure 15: def(u) ... def(v) ... use(u).
+				if ps.reaches(dv, q) {
+					return true
+				}
+				// Paper figure 16: def(u) ... use(u) ... def(v).
+				if ps.reaches(du, q) && ps.reaches(q, dv) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// naiveInterferes is the figure-13 relation (no impossible-path exclusion):
+// both objects are live at a common program point, where live means the
+// definition reaches the point and some beyond-cut use is reachable from
+// it. This admits the paper's t2/t3 false interference.
+func (st *partitionState) naiveInterferes(u, v object, j int, ps *positions) bool {
+	livePoints := func(o object) map[int]bool {
+		// Block-granularity liveness region.
+		blocks := make(map[int]bool)
+		for _, d := range st.defPositions(o, ps) {
+			for _, q := range st.usePositions(o, j, ps) {
+				if !ps.reaches(d, q) && d.block != q.block {
+					continue
+				}
+				// All blocks on some d->q path: b with reach(d,b) and
+				// reach(b,q), plus the endpoints.
+				blocks[d.block] = true
+				blocks[q.block] = true
+				for b := range ps.reach1 {
+					if ps.reach1[d.block][b] && ps.reach1[b][q.block] {
+						blocks[b] = true
+					}
+				}
+			}
+		}
+		return blocks
+	}
+	bu := livePoints(u)
+	for b := range livePoints(v) {
+		if bu[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// packCut colors the interference graph, assigning each object a slot.
+func (st *partitionState) packCut(ci *cutInfo, ps *positions, prev *cutInfo) {
+	n := len(ci.objects)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for k := i + 1; k < n; k++ {
+			u, v := ci.objects[i], ci.objects[k]
+			var conflict bool
+			switch {
+			case st.opts.Tx == TxNaiveUnified:
+				conflict = true
+			case st.defStage(u) < ci.index || st.defStage(v) < ci.index:
+				// Relay-involved pairs always use the exact relation: the
+				// naive modes are ablations of packing quality, never of
+				// correctness.
+				conflict = st.interferes(u, v, ci.index, ps, prev)
+			case st.opts.Tx == TxNaiveInterference:
+				// The naive relation (concatenated CFGs without excluding
+				// impossible paths) is a SUPERSET of the exact one: it adds
+				// false pairs like the paper's t2/t3 but must never drop a
+				// real conflict.
+				conflict = st.interferes(u, v, ci.index, ps, prev) ||
+					st.naiveInterferes(u, v, ci.index, ps)
+			default:
+				conflict = st.interferes(u, v, ci.index, ps, prev)
+			}
+			if conflict {
+				adj[i][k], adj[k][i] = true, true
+				ci.interferences++
+			}
+		}
+	}
+
+	// Greedy coloring, highest degree first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	degree := make([]int, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if adj[i][k] {
+				degree[i]++
+			}
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return degree[order[a]] > degree[order[b]] })
+
+	color := make([]int, n)
+	for i := range color {
+		color[i] = -1
+	}
+	for _, i := range order {
+		used := make(map[int]bool)
+		for k := 0; k < n; k++ {
+			if adj[i][k] && color[k] >= 0 {
+				used[color[k]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		color[i] = c
+		if c+1 > ci.numSlots {
+			ci.numSlots = c + 1
+		}
+	}
+	for i, o := range ci.objects {
+		ci.slotOf[o] = color[i]
+	}
+}

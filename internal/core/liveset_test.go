@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/ppc"
+)
+
+// preparePS builds a partitionState with a forced stage assignment from a
+// degree-2 partition of src.
+func preparePS(t *testing.T, src string, stages int) (*partitionState, *positions) {
+	t.Helper()
+	prog, err := ppc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := (&Options{Stages: stages}).withDefaults()
+	clone := prog.Clone()
+	an, err := prepare(clone, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stageOf, _, err := assignStages(an, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &partitionState{opts: opts, an: an, stageOf: stageOf}
+	return st, newPositions(an.F)
+}
+
+func TestPositionsReaches(t *testing.T) {
+	st, ps := preparePS(t, `pps P { loop {
+		var n = pkt_rx();
+		if (n > 0) { trace(1); } else { trace(2); }
+		trace(3);
+	} }`, 2)
+	_ = st
+	f := ps.f
+
+	// Within a block: earlier index reaches later, not vice versa (entry
+	// block is straight-line here).
+	entry := f.Blocks[f.Entry]
+	if len(entry.Instrs) >= 2 {
+		p0 := pos{block: entry.ID, idx: 0}
+		p1 := pos{block: entry.ID, idx: 1}
+		if !ps.reaches(p0, p1) {
+			t.Error("forward intra-block reach missing")
+		}
+		if ps.reaches(p1, p0) {
+			t.Error("backward intra-block reach on acyclic block")
+		}
+	}
+	// Entry reaches every reachable block.
+	for _, b := range f.Blocks {
+		if b.ID == f.Entry {
+			continue
+		}
+		if !ps.reaches(pos{block: f.Entry, idx: 0}, pos{block: b.ID, idx: 0}) {
+			t.Errorf("entry does not reach b%d", b.ID)
+		}
+	}
+}
+
+func TestPositionsReachesAroundLoop(t *testing.T) {
+	_, ps := preparePS(t, `pps P { loop {
+		var n = pkt_rx();
+		var i = 0;
+		while[6] (i < 4) { i = i + 1; trace(i); }
+		trace(n);
+	} }`, 2)
+	f := ps.f
+	// Find the loop body block (the one with a back edge path to itself).
+	for _, b := range f.Blocks {
+		if ps.reach1[b.ID][b.ID] && len(b.Instrs) >= 2 {
+			// Inside a cycle, a later position reaches an earlier one via
+			// the back edge.
+			early := pos{block: b.ID, idx: 0}
+			late := pos{block: b.ID, idx: len(b.Instrs) - 1}
+			if !ps.reaches(late, early) {
+				t.Errorf("b%d: wrap-around reach missing", b.ID)
+			}
+			return
+		}
+	}
+	t.Skip("no self-cyclic block found (loop shape changed)")
+}
+
+// TestInterferenceExclusiveArms pins the core packing fact directly at the
+// relation level: values defined in exclusive arms with arm-local uses do
+// not interfere; values on one path do.
+func TestInterferenceExclusiveArms(t *testing.T) {
+	src := `pps P { loop {
+		var p = pkt_rx();
+		if (p > 0) {
+			var t2 = hash_crc(p * 11);
+			var a1 = hash_crc(t2 ^ 1);
+			var a2 = hash_crc(a1 + 2);
+			trace(t2 ^ a2);
+		} else {
+			var t3 = hash_crc(p * 13);
+			var b1 = hash_crc(t3 ^ 4);
+			var b2 = hash_crc(b1 + 5);
+			trace(t3 ^ b2);
+		}
+	} }`
+	st, ps := preparePS(t, src, 2)
+
+	// Collect the cut-1 value objects whose names we recognize.
+	ci := st.buildCut(1, ps, nil)
+	var vals []object
+	for _, o := range ci.objects {
+		if !o.isCtrl {
+			vals = append(vals, o)
+		}
+	}
+	if len(vals) < 2 {
+		t.Skipf("cut carries %d values; shape changed", len(vals))
+	}
+	// Objects from different arms must not interfere (their defs are not
+	// co-reachable). Verify at least one non-interfering pair exists and
+	// that packing exploited it.
+	nonInterfering := 0
+	for i := 0; i < len(vals); i++ {
+		for k := i + 1; k < len(vals); k++ {
+			if !st.interferes(vals[i], vals[k], 1, ps, nil) {
+				nonInterfering++
+			}
+		}
+	}
+	if nonInterfering == 0 {
+		t.Error("no non-interfering pairs among exclusive-arm values")
+	}
+	if ci.numSlots >= len(ci.objects) {
+		t.Errorf("packing failed: %d slots for %d objects", ci.numSlots, len(ci.objects))
+	}
+}
+
+// TestDefStageAndCtrlTargets sanity-checks the realization metadata
+// helpers used throughout.
+func TestDefStageAndCtrlTargets(t *testing.T) {
+	st, ps := preparePS(t, `pps P { loop {
+		var n = pkt_rx();
+		if (n > 0) { trace(1); } else { trace(2); }
+	} }`, 2)
+	_ = ps
+	for b := range st.an.Ctrl {
+		targets := st.ctrlTargets(b)
+		if st.an.Units[b].IsLoop {
+			continue
+		}
+		term := st.an.Units[b].Instrs[len(st.an.Units[b].Instrs)-1]
+		if term.Op == ir.OpBr && len(targets) != 2 {
+			t.Errorf("branch unit %d has %d distinct targets, want 2", b, len(targets))
+		}
+		for _, o := range []object{{isCtrl: true, branch: b}} {
+			ds := st.defStage(o)
+			if ds != st.stageOf[b] {
+				t.Errorf("defStage(co %d) = %d, want %d", b, ds, st.stageOf[b])
+			}
+		}
+	}
+}

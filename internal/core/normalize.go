@@ -1,0 +1,147 @@
+// Package core implements the automatic pipelining transformation of the
+// paper: construction of the flow-network model over the program's
+// dependence structure, selection of D-1 balanced minimum-cost cuts, and
+// realization of the pipeline stages with minimal (packed, unified)
+// live-set transmission and reconstructed control flow.
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// splitCriticalEdges inserts an empty block on every CFG edge whose tail
+// has several successors and whose head has several predecessors. After
+// splitting, every successor of a branch that is shared with other control
+// flow has a dedicated landing block, which the realization uses to
+// materialize control-object assignments on the correct edge. Phi
+// predecessor lists are remapped.
+func splitCriticalEdges(f *ir.Func) {
+	cfg := f.CFG()
+	nBlocks := len(f.Blocks)
+	for bid := 0; bid < nBlocks; bid++ {
+		b := f.Blocks[bid]
+		t := b.Term()
+		if t == nil || len(t.Targets) < 2 {
+			continue
+		}
+		for ti, succ := range t.Targets {
+			if len(cfg.Preds(succ)) < 2 {
+				continue
+			}
+			// Skip if this target was already retargeted to a fresh pad in
+			// an earlier iteration of this loop (duplicate switch targets).
+			if succ >= nBlocks {
+				continue
+			}
+			pad := f.NewBlock("crit")
+			pad.Instrs = []*ir.Instr{{Op: ir.OpJmp, Dst: ir.NoReg, Targets: []int{succ}}}
+			t.Targets[ti] = pad.ID
+			remapPhiPred(f.Blocks[succ], b.ID, pad.ID, t, ti)
+		}
+	}
+}
+
+// remapPhiPred rewrites phis in block succ that listed pred oldP to list
+// newP instead. When the terminator has several edges to the same block
+// (e.g. a switch with duplicate targets), only one phi entry exists for the
+// shared predecessor; the first retargeted edge claims it, and later edges
+// duplicate the entry. The terminator t and target index ti identify which
+// edge moved.
+func remapPhiPred(succ *ir.Block, oldP, newP int, t *ir.Instr, ti int) {
+	// Does the old predecessor still have another edge into succ?
+	stillThere := false
+	for i, tgt := range t.Targets {
+		if i != ti && tgt == succ.ID {
+			stillThere = true
+		}
+	}
+	for _, in := range succ.Instrs {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		for i, p := range in.PhiPreds {
+			if p == oldP {
+				if stillThere {
+					// Duplicate the operand for the new edge.
+					in.PhiPreds = append(in.PhiPreds, newP)
+					in.Args = append(in.Args, in.Args[i])
+				} else {
+					in.PhiPreds[i] = newP
+				}
+				break
+			}
+		}
+	}
+}
+
+// splitLoopExits inserts a landing block on every edge that leaves a
+// nontrivial CFG SCC (an inner loop). After this pass every loop exit edge
+// has a dedicated block outside the loop, so (a) a multi-exit loop's
+// control object can be assigned one value per exit edge on the edge
+// itself (paper figure 17), and (b) phis at loop join points have
+// predecessors outside the loop, surviving loop-region replacement in
+// downstream stages.
+func splitLoopExits(f *ir.Func) {
+	cfg := f.CFG()
+	scc := graph.SCC(cfg)
+	inLoop := make([]bool, len(f.Blocks))
+	for c, members := range scc.Members {
+		if len(members) > 1 {
+			for _, b := range members {
+				inLoop[b] = true
+			}
+		} else {
+			b := members[0]
+			for _, s := range f.Blocks[b].Succs() {
+				if s == b {
+					inLoop[b] = true
+				}
+			}
+		}
+		_ = c
+	}
+	nBlocks := len(f.Blocks)
+	for bid := 0; bid < nBlocks; bid++ {
+		if !inLoop[bid] {
+			continue
+		}
+		b := f.Blocks[bid]
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		for ti, succ := range t.Targets {
+			if succ < len(inLoop) && scc.Comp[succ] == scc.Comp[bid] {
+				continue // stays inside the loop
+			}
+			if succ >= nBlocks {
+				continue // already a fresh pad
+			}
+			// A single-predecessor pure forwarding block (e.g. one created
+			// by splitCriticalEdges) already serves as the landing pad.
+			sb := f.Blocks[succ]
+			if len(cfg.Preds(succ)) == 1 && len(sb.Instrs) == 1 && sb.Instrs[0].Op == ir.OpJmp {
+				continue
+			}
+			pad := f.NewBlock("exitpad")
+			pad.Instrs = []*ir.Instr{{Op: ir.OpJmp, Dst: ir.NoReg, Targets: []int{succ}}}
+			t.Targets[ti] = pad.ID
+			remapPhiPred(f.Blocks[succ], b.ID, pad.ID, t, ti)
+		}
+	}
+}
+
+// distinctTargets returns the distinct successor blocks of a terminator in
+// first-appearance order. Control-object values index this list.
+func distinctTargets(t *ir.Instr) []int {
+	var out []int
+	seen := make(map[int]bool)
+	for _, tgt := range t.Targets {
+		if !seen[tgt] {
+			seen[tgt] = true
+			out = append(out, tgt)
+		}
+	}
+	return out
+}

@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/costmodel"
+	"repro/internal/dep"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/maxflow"
+	"repro/internal/ssa"
+)
+
+// TxMode selects how the live set is transmitted between stages.
+type TxMode int
+
+const (
+	// TxPacked is the paper's unified transmission with interference-based
+	// packing: objects that are never simultaneously live across the cut
+	// share a transmission slot (figures 12-16).
+	TxPacked TxMode = iota
+	// TxNaiveUnified transmits every live object in its own slot
+	// (figure 11).
+	TxNaiveUnified
+	// TxNaiveInterference packs with the naive interference relation
+	// (concatenated CFGs without excluding impossible paths, figure 13):
+	// every pair of objects live in overlapping regions interferes. We
+	// model it conservatively as the complete interference relation
+	// restricted to objects whose def can reach a common use region; in
+	// practice it packs strictly worse than TxPacked.
+	TxNaiveInterference
+)
+
+func (m TxMode) String() string {
+	switch m {
+	case TxPacked:
+		return "packed"
+	case TxNaiveUnified:
+		return "naive-unified"
+	case TxNaiveInterference:
+		return "naive-interference"
+	}
+	return "?"
+}
+
+// Options configures Partition.
+type Options struct {
+	// Stages is the pipelining degree D (>= 1).
+	Stages int
+	// Epsilon is the balance variance ε of the paper (default 1/16).
+	Epsilon float64
+	// Arch is the cost model (default costmodel.Default()).
+	Arch *costmodel.Arch
+	// Channel is the inter-stage ring kind (default NNRing).
+	Channel costmodel.ChannelKind
+	// Tx selects the transmission strategy (default TxPacked).
+	Tx TxMode
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.Stages <= 0 {
+		opts.Stages = 1
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1.0 / 16.0
+	}
+	if opts.Arch == nil {
+		opts.Arch = costmodel.Default()
+	}
+	return opts
+}
+
+// partitionState carries everything the realization needs.
+type partitionState struct {
+	opts Options
+	an   *dep.Analysis
+	// stageOf[unitID] is the 1-based stage assignment.
+	stageOf []int
+	// cutInfos[j] describes cut j+1 (between stage j+1 and j+2).
+	cuts []*cutInfo
+
+	closures map[int][]int // branch unit -> transitive control dependents
+}
+
+// ctrlClosure returns the transitive control dependents of branch unit u:
+// everything directly control-dependent on u plus everything dependent on
+// branches inside u's region. A stage containing any of these needs u's
+// control object to navigate its cloned control flow.
+func (st *partitionState) ctrlClosure(u int) []int {
+	if st.closures == nil {
+		st.closures = make(map[int][]int)
+	}
+	if c, ok := st.closures[u]; ok {
+		return c
+	}
+	seen := make(map[int]bool)
+	queue := append([]int(nil), st.an.Ctrl[u]...)
+	var out []int
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+		if nested, ok := st.an.Ctrl[w]; ok {
+			queue = append(queue, nested...)
+		}
+	}
+	st.closures[u] = out
+	return out
+}
+
+// netModel is the flow-network model of one program, rebuilt per cut so
+// that per-cut seeding never conflicts with earlier contractions.
+type netModel struct {
+	nw       *maxflow.Network
+	weight   []int64
+	nc       int
+	nNodes   int
+	compNode func(c int) int
+}
+
+// buildNetwork constructs the flow network of paper step 1.6 over the
+// dependence-graph components: program (component) nodes carry the balance
+// weight; each externally used SSA value contributes a variable node whose
+// single definition edge carries VCost; each branch unit with external
+// control dependents contributes a control node whose definition edge
+// carries CCost; use edges are infinite; and reverse-infinite edges enforce
+// that no dependence flows from the sink side to the source side.
+func buildNetwork(an *dep.Analysis, scc *graph.SCCResult, cg *graph.Digraph, compWeight []int64, opts Options) *netModel {
+	nc := len(compWeight)
+	const src, snk = 0, 1
+	compNode := func(c int) int { return 2 + c }
+	nNodes := 2 + nc
+
+	varNode := make(map[int]int)  // SSA reg -> node
+	ctrlNode := make(map[int]int) // branch unit -> node
+	for r, def := range an.DataDef {
+		if def < 0 {
+			continue
+		}
+		for _, use := range an.DataUses[r] {
+			if scc.Comp[use] != scc.Comp[def] {
+				varNode[r] = nNodes
+				nNodes++
+				break
+			}
+		}
+	}
+	for b, deps := range an.Ctrl {
+		for _, d := range deps {
+			if scc.Comp[d] != scc.Comp[b] {
+				ctrlNode[b] = nNodes
+				nNodes++
+				break
+			}
+		}
+	}
+
+	nw := maxflow.New(nNodes, src, snk)
+	weight := make([]int64, nNodes)
+	for c := 0; c < nc; c++ {
+		weight[compNode(c)] = compWeight[c]
+	}
+
+	for r, on := range varNode {
+		d := compNode(scc.Comp[an.DataDef[r]])
+		nw.AddEdge(d, on, opts.Arch.VCost)
+		nw.AddEdge(on, d, maxflow.Inf)
+		seen := map[int]bool{}
+		for _, use := range an.DataUses[r] {
+			uc := compNode(scc.Comp[use])
+			if uc == d || seen[uc] {
+				continue
+			}
+			seen[uc] = true
+			nw.AddEdge(on, uc, maxflow.Inf)
+			nw.AddEdge(uc, d, maxflow.Inf)
+		}
+	}
+	for b, on := range ctrlNode {
+		d := compNode(scc.Comp[b])
+		nw.AddEdge(d, on, opts.Arch.CCost)
+		nw.AddEdge(on, d, maxflow.Inf)
+		seen := map[int]bool{}
+		for _, depu := range an.Ctrl[b] {
+			uc := compNode(scc.Comp[depu])
+			if uc == d || seen[uc] {
+				continue
+			}
+			seen[uc] = true
+			nw.AddEdge(on, uc, maxflow.Inf)
+			nw.AddEdge(uc, d, maxflow.Inf)
+		}
+	}
+	// Ordering dependences cost nothing to cut but must stay directed.
+	orderSeen := map[[2]int]bool{}
+	for _, o := range an.Order {
+		a, b := scc.Comp[o[0]], scc.Comp[o[1]]
+		if a == b || orderSeen[[2]int{a, b}] {
+			continue
+		}
+		orderSeen[[2]int{a, b}] = true
+		nw.AddEdge(compNode(b), compNode(a), maxflow.Inf)
+	}
+	// Anchor edges (paper step 1.6.1): zero-cost edges from the source to
+	// entry components and from terminal components to the sink. They give
+	// the balanced-cut search frontier candidates even before any
+	// component is pinned; cutting them transmits nothing.
+	for c := 0; c < nc; c++ {
+		if len(cg.Preds(c)) == 0 {
+			nw.AddEdge(src, compNode(c), 0)
+		}
+		if len(cg.Succs(c)) == 0 {
+			nw.AddEdge(compNode(c), snk, 0)
+		}
+	}
+	return &netModel{nw: nw, weight: weight, nc: nc, nNodes: nNodes, compNode: compNode}
+}
+
+// compDAG condenses the unit dependence graph to components.
+func compDAG(an *dep.Analysis, scc *graph.SCCResult) *graph.Digraph {
+	nc := scc.NumComps()
+	cg := graph.New(nc)
+	add := func(u, v int) {
+		a, b := scc.Comp[u], scc.Comp[v]
+		if a != b {
+			cg.AddEdge(a, b)
+		}
+	}
+	for r, def := range an.DataDef {
+		if def < 0 {
+			continue
+		}
+		for _, use := range an.DataUses[r] {
+			add(def, use)
+		}
+	}
+	for b, deps := range an.Ctrl {
+		for _, d := range deps {
+			add(b, d)
+		}
+	}
+	for _, o := range an.Order {
+		add(o[0], o[1])
+	}
+	cg.Dedup()
+	return cg
+}
+
+// topoByProgramOrder returns a deterministic topological order of the
+// component DAG, preferring components whose earliest unit appears first in
+// the program (Kahn's algorithm with a program-position priority). Program
+// order keeps mutually exclusive regions contiguous, which keeps the live
+// sets crossing each cut small (interleaving parallel arms was measured to
+// double transmission cost for no balance gain).
+func topoByProgramOrder(cg *graph.Digraph, scc *graph.SCCResult) []int {
+	nc := cg.Len()
+	key := make([]int, nc)
+	for c := 0; c < nc; c++ {
+		key[c] = 1 << 30
+		for _, u := range scc.Members[c] {
+			if u < key[c] {
+				key[c] = u
+			}
+		}
+	}
+	indeg := make([]int, nc)
+	for u := 0; u < nc; u++ {
+		for _, v := range cg.Succs(u) {
+			indeg[v]++
+		}
+	}
+	avail := make([]bool, nc)
+	for c := 0; c < nc; c++ {
+		avail[c] = indeg[c] == 0
+	}
+	order := make([]int, 0, nc)
+	for len(order) < nc {
+		best := -1
+		for c := 0; c < nc; c++ {
+			if avail[c] && (best < 0 || key[c] < key[best]) {
+				best = c
+			}
+		}
+		if best < 0 {
+			break // cycle: cannot happen on a condensation
+		}
+		avail[best] = false
+		indeg[best] = -1
+		order = append(order, best)
+		for _, v := range cg.Succs(best) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				avail[v] = true
+			}
+		}
+	}
+	return order
+}
+
+// assignStages runs the flow-network construction and the D-1 successive
+// balanced min cuts (paper sections 3.2-3.3), returning the per-unit stage
+// assignment. Each cut is found on a freshly built network seeded with the
+// previously assigned stages (collapsed into the source), a topological
+// prefix of the remaining components (source side) and a topological suffix
+// (sink side); the balanced min-cut heuristic then refines the boundary.
+func assignStages(an *dep.Analysis, opts Options) ([]int, []*balance.Result, error) {
+	units := an.Units
+	ug := an.UnitGraph()
+	scc := graph.SCC(ug)
+	nc := scc.NumComps()
+
+	compWeight := make([]int64, nc)
+	for _, u := range units {
+		compWeight[scc.Comp[u.ID]] += u.Weight
+	}
+	var totalWeight int64
+	for _, w := range compWeight {
+		totalWeight += w
+	}
+
+	cg := compDAG(an, scc)
+	topo := topoByProgramOrder(cg, scc)
+
+	D := opts.Stages
+	stageOfComp := make([]int, nc)
+	for c := range stageOfComp {
+		stageOfComp[c] = D
+	}
+	assigned := make([]bool, nc)
+	var results []*balance.Result
+	var collapsedW int64
+
+	for i := 1; i < D; i++ {
+		remaining := totalWeight - collapsedW
+		slice := remaining / int64(D-i+1)
+		tol := int64(opts.Epsilon * float64(slice))
+		lo, hi := collapsedW+slice-tol, collapsedW+slice+tol
+
+		m := buildNetwork(an, scc, cg, compWeight, opts)
+
+		// Pin previously assigned components plus a topological prefix of
+		// the remainder into the source, and a topological suffix into the
+		// sink, so the min cut has real flow to work against.
+		var srcPins, snkPins []int
+		pinnedW := int64(0)
+		pinnedSrc := make([]bool, nc)
+		for c := 0; c < nc; c++ {
+			if assigned[c] {
+				srcPins = append(srcPins, m.compNode(c))
+				pinnedSrc[c] = true
+				pinnedW += compWeight[c]
+			}
+		}
+		// Pins are irreversible (contraction), so never overshoot the band:
+		// stop as soon as the next component would push past it and leave
+		// the boundary to the min cut.
+		for _, c := range topo {
+			if pinnedW >= lo || pinnedW+compWeight[c] > hi {
+				break
+			}
+			if !pinnedSrc[c] {
+				srcPins = append(srcPins, m.compNode(c))
+				pinnedSrc[c] = true
+				pinnedW += compWeight[c]
+			}
+		}
+		sinkW := int64(0)
+		for k := len(topo) - 1; k >= 0; k-- {
+			c := topo[k]
+			if sinkW >= totalWeight-hi || sinkW+compWeight[c] > totalWeight-lo {
+				break
+			}
+			if pinnedSrc[c] {
+				break // seeds met in the middle; leave the rest free
+			}
+			snkPins = append(snkPins, m.compNode(c))
+			sinkW += compWeight[c]
+		}
+		m.nw.CollapseIntoSource(srcPins)
+		m.nw.CollapseIntoSink(snkPins)
+
+		res := balance.MinCut(m.nw, m.weight, lo, hi, collapsedW)
+		if res.Cost >= maxflow.Inf/2 {
+			return nil, nil, fmt.Errorf("cut %d: no finite cut found (cost %d)", i, res.Cost)
+		}
+		results = append(results, res)
+
+		for c := 0; c < nc; c++ {
+			if assigned[c] {
+				continue
+			}
+			if res.SourceSide[m.compNode(c)] {
+				stageOfComp[c] = i
+				assigned[c] = true
+				collapsedW += compWeight[c]
+			}
+		}
+	}
+
+	stageOf := make([]int, len(units))
+	for _, u := range units {
+		stageOf[u.ID] = stageOfComp[scc.Comp[u.ID]]
+	}
+
+	// Defensive validation: no dependence may flow backward.
+	for u := 0; u < len(units); u++ {
+		for _, v := range ug.Succs(u) {
+			if scc.Comp[u] != scc.Comp[v] && stageOf[u] > stageOf[v] {
+				return nil, nil, fmt.Errorf("internal error: dependence %d->%d crosses backward (stage %d -> %d)", u, v, stageOf[u], stageOf[v])
+			}
+		}
+	}
+	return stageOf, results, nil
+}
+
+// prepare converts a program (clone) into analyzed, normalized SSA form:
+// SSA construction, critical-edge splitting, loop-exit landing pads, unique
+// exit, and dependence analysis.
+func prepare(prog *ir.Program, opts Options) (*dep.Analysis, error) {
+	ssa.Build(prog.Func)
+	ssa.CopyProp(prog.Func)
+	ssa.DeadCode(prog.Func)
+	splitCriticalEdges(prog.Func)
+	splitLoopExits(prog.Func)
+	prog.Func.CanonicalizeExit()
+	return dep.Analyze(prog, opts.Arch)
+}

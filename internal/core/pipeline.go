@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// CutReport summarizes one selected cut.
+type CutReport struct {
+	Index         int   // cut j separates stages <= j from > j
+	Values        int   // SSA values in the live set
+	Ctrls         int   // control objects in the live set
+	Slots         int   // transmission slots after packing
+	Interferences int   // interfering pairs
+	Weight        int64 // W(X): source-side weight after this cut
+	Cost          int64 // flow-network cut cost
+	Feasible      bool  // balance constraint met exactly
+	Iterations    int   // min-cut computations used
+}
+
+// StageReport summarizes one realized stage.
+type StageReport struct {
+	Stage  int
+	Cost   PathCost
+	Blocks int
+	Instrs int
+}
+
+// Report aggregates everything Partition measured.
+type Report struct {
+	Stages []StageReport
+	Cuts   []CutReport
+
+	// Seq is the worst-case path cost of the unpartitioned program.
+	Seq PathCost
+	// Speedup is Seq.Total divided by the longest stage's Total — the
+	// paper's speedup metric.
+	Speedup float64
+	// Overhead is the transmission/processing instruction ratio in the
+	// longest stage — the paper's live-set transmission overhead metric.
+	Overhead float64
+	// LongestStage is the 1-based index of the longest stage.
+	LongestStage int
+}
+
+// Result is the outcome of Partition.
+type Result struct {
+	// Stages holds one program per pipeline stage, connected by live-set
+	// transmissions (OpSendLS/OpRecvLS). All stages share the original
+	// program's arrays.
+	Stages []*ir.Program
+	Report *Report
+}
+
+// Partition applies the automatic pipelining transformation to a PPS
+// program (whose Func must be the one-iteration loop body in mutable,
+// pre-SSA form, as produced by the PPC front end). The input program is not
+// modified.
+func Partition(orig *ir.Program, options Options) (*Result, error) {
+	opts := options.withDefaults()
+	prog := orig.Clone()
+
+	an, err := prepare(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	stageOf, balanceResults, err := assignStages(an, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	st := &partitionState{opts: opts, an: an, stageOf: stageOf}
+	ps := newPositions(an.F)
+	var prev *cutInfo
+	for j := 1; j < opts.Stages; j++ {
+		ci := st.buildCut(j, ps, prev)
+		st.cuts = append(st.cuts, ci)
+		prev = ci
+	}
+
+	rep := &Report{Seq: FuncCost(an.F, opts.Arch, opts.Channel)}
+	res := &Result{Report: rep}
+	for k := 1; k <= opts.Stages; k++ {
+		sf, err := st.realizeStage(k)
+		if err != nil {
+			return nil, err
+		}
+		sp := &ir.Program{
+			Name:   fmt.Sprintf("%s.stage%d", prog.Name, k),
+			Arrays: prog.Arrays,
+			Func:   sf,
+		}
+		res.Stages = append(res.Stages, sp)
+		cost := FuncCost(sf, opts.Arch, opts.Channel)
+		nInstr := 0
+		for _, b := range sf.Blocks {
+			nInstr += len(b.Instrs)
+		}
+		rep.Stages = append(rep.Stages, StageReport{
+			Stage:  k,
+			Cost:   cost,
+			Blocks: len(sf.Blocks),
+			Instrs: nInstr,
+		})
+	}
+
+	for i, ci := range st.cuts {
+		cr := CutReport{
+			Index:         ci.index,
+			Slots:         ci.numSlots,
+			Interferences: ci.interferences,
+		}
+		for _, o := range ci.objects {
+			if o.isCtrl {
+				cr.Ctrls++
+			} else {
+				cr.Values++
+			}
+		}
+		if i < len(balanceResults) {
+			br := balanceResults[i]
+			cr.Weight = br.Weight
+			cr.Cost = br.Cost
+			cr.Feasible = br.Feasible
+			cr.Iterations = br.Iterations
+		}
+		rep.Cuts = append(rep.Cuts, cr)
+	}
+
+	if err := ValidateStages(res.Stages); err != nil {
+		return nil, fmt.Errorf("internal error: %w", err)
+	}
+
+	// Longest stage, speedup, overhead.
+	longest := 0
+	for i, s := range rep.Stages {
+		if s.Cost.Total > rep.Stages[longest].Cost.Total {
+			longest = i
+		}
+	}
+	rep.LongestStage = longest + 1
+	ls := rep.Stages[longest].Cost
+	if ls.Total > 0 {
+		rep.Speedup = float64(rep.Seq.Total) / float64(ls.Total)
+	}
+	if ls.Proc() > 0 {
+		rep.Overhead = float64(ls.Tx) / float64(ls.Proc())
+	}
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	. "repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ppc"
+	"repro/internal/randprog"
+)
+
+// TestPropertyPipelineEquivalence is the repository's central property: for
+// randomly generated programs, random packet inputs, and every pipelining
+// degree, the partitioned pipeline reproduces the sequential trace exactly.
+func TestPropertyPipelineEquivalence(t *testing.T) {
+	seeds := int64(150)
+	if testing.Short() {
+		seeds = 30
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		prog, err := ppc.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		packets := make([][]byte, 3+rng.Intn(4))
+		for i := range packets {
+			p := make([]byte, rng.Intn(16))
+			rng.Read(p)
+			packets[i] = p
+		}
+		iters := len(packets) + 1
+
+		base := interp.NewWorld(packets)
+		seqTrace, err := interp.RunSequential(prog.Clone(), base.Clone(), iters)
+		if err != nil {
+			t.Fatalf("seed %d: sequential: %v\n%s", seed, err, src)
+		}
+		for _, d := range []int{2, 3, 5} {
+			res, err := Partition(prog, Options{Stages: d})
+			if err != nil {
+				t.Fatalf("seed %d D=%d: partition: %v\n%s", seed, d, err, src)
+			}
+			pipeTrace, err := interp.RunPipeline(res.Stages, base.Clone(), iters)
+			if err != nil {
+				t.Fatalf("seed %d D=%d: pipeline: %v\n%s", seed, d, err, src)
+			}
+			if diff := interp.TraceEqual(seqTrace, pipeTrace); diff != "" {
+				t.Fatalf("seed %d D=%d: %s\nsource:\n%s", seed, d, diff, src)
+			}
+		}
+	}
+}
+
+// TestPropertyTxModesEquivalent checks that all transmission strategies are
+// behaviour-preserving (they differ only in slot counts).
+func TestPropertyTxModesEquivalent(t *testing.T) {
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(1000); seed < 1000+seeds; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		prog, err := ppc.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		packets := [][]byte{{1, 2, 3}, {9}, {4, 4, 4, 4}}
+		base := interp.NewWorld(packets)
+		seqTrace, err := interp.RunSequential(prog.Clone(), base.Clone(), 4)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var slotCounts [3]int
+		for mi, mode := range []TxMode{TxPacked, TxNaiveUnified, TxNaiveInterference} {
+			res, err := Partition(prog, Options{Stages: 3, Tx: mode})
+			if err != nil {
+				t.Fatalf("seed %d mode %v: %v\n%s", seed, mode, err, src)
+			}
+			pipeTrace, err := interp.RunPipeline(res.Stages, base.Clone(), 4)
+			if err != nil {
+				t.Fatalf("seed %d mode %v: %v\n%s", seed, mode, err, src)
+			}
+			if diff := interp.TraceEqual(seqTrace, pipeTrace); diff != "" {
+				t.Fatalf("seed %d mode %v: %s\n%s", seed, mode, diff, src)
+			}
+			for _, c := range res.Report.Cuts {
+				slotCounts[mi] += c.Slots
+			}
+		}
+		// Packing must never use more slots than the naive strategy.
+		if slotCounts[0] > slotCounts[1] {
+			t.Errorf("seed %d: packed slots %d > naive slots %d", seed, slotCounts[0], slotCounts[1])
+		}
+	}
+}
+
+// TestPropertyEpsilonSweep: the balance variance trades balance for cut
+// cost but never correctness.
+func TestPropertyEpsilonSweep(t *testing.T) {
+	src := randprog.Generate(7, randprog.DefaultConfig())
+	prog, err := ppc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := [][]byte{{3, 1, 4}, {1, 5}}
+	base := interp.NewWorld(packets)
+	seqTrace, err := interp.RunSequential(prog.Clone(), base.Clone(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{1.0 / 64, 1.0 / 16, 1.0 / 4, 0.9} {
+		res, err := Partition(prog, Options{Stages: 3, Epsilon: eps})
+		if err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		pipeTrace, err := interp.RunPipeline(res.Stages, base.Clone(), 3)
+		if err != nil {
+			t.Fatalf("eps=%v: %v", eps, err)
+		}
+		if diff := interp.TraceEqual(seqTrace, pipeTrace); diff != "" {
+			t.Fatalf("eps=%v: %s", eps, diff)
+		}
+	}
+}

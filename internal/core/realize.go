@@ -1,0 +1,431 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dep"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+// realizeStage builds the IR function for pipeline stage k (1-based) from
+// the analyzed original. The returned function:
+//
+//   - keeps exactly the instructions assigned to stage k,
+//   - starts with an OpRecvLS for cut k-1 (k > 1) and ends with an OpSendLS
+//     for cut k (k < D) at the unique exit,
+//   - re-executes upstream control decisions by switching on received
+//     control objects, assigns control-object values on its own branches'
+//     edges, and skips regions that contain no stage-k code by jumping to
+//     the region's post-dominator,
+//   - replaces inner loops owned by other stages with a switch on the
+//     loop's control object over its exit landing pads (paper figure 17).
+func (st *partitionState) realizeStage(k int) (*ir.Func, error) {
+	an := st.an
+	D := st.opts.Stages
+	f := an.F.Clone()
+	nOrig := f.NumRegs
+
+	// Post-dominators of the summarized CFG, for skip targets.
+	pdom := graph.Dominators(an.SumCFG.Reverse(), an.ExitNode)
+
+	// Instruction-level stage lookup by position (clone blocks mirror the
+	// original, so index instructions positionally).
+	stageOfInstr := func(b, i int) int {
+		orig := an.F.Blocks[b].Instrs[i]
+		u, ok := an.UnitOf[orig]
+		if !ok || u < 0 {
+			return 0 // structural (jmp/ret): every stage keeps its own
+		}
+		return st.stageOf[u]
+	}
+
+	// Incoming and outgoing cuts.
+	var recvCut, sendCut *cutInfo
+	if k > 1 {
+		recvCut = st.cuts[k-2]
+	}
+	if k < D {
+		sendCut = st.cuts[k-1]
+	}
+
+	// Slot registers.
+	var recvRegs, sendRegs []int
+	if recvCut != nil {
+		recvRegs = make([]int, recvCut.numSlots)
+		for i := range recvRegs {
+			recvRegs[i] = f.NewReg()
+		}
+	}
+	if sendCut != nil {
+		sendRegs = make([]int, sendCut.numSlots)
+		for i := range sendRegs {
+			sendRegs[i] = f.NewReg()
+		}
+	}
+
+	// inReg returns the register carrying an upstream object in this stage.
+	inReg := func(o object) (int, error) {
+		if recvCut == nil {
+			return 0, fmt.Errorf("stage %d: object %+v has no incoming cut", k, o)
+		}
+		s, ok := recvCut.slotOf[o]
+		if !ok {
+			return 0, fmt.Errorf("stage %d: object %+v missing from cut %d live set", k, o, recvCut.index)
+		}
+		return recvRegs[s], nil
+	}
+
+	// 1. Filter instructions: keep stage-k instructions plus structural
+	// terminators; remember kept original-position instructions for the
+	// later rename.
+	type keptInstr struct{ in *ir.Instr }
+	var kept []keptInstr
+	for _, b := range f.Blocks {
+		var out []*ir.Instr
+		for i, in := range b.Instrs {
+			s := stageOfInstr(b.ID, i)
+			if in.Op.IsTerminator() {
+				out = append(out, in) // rewired below
+				if s == k || s == 0 {
+					kept = append(kept, keptInstr{in})
+				}
+				continue
+			}
+			if s == k {
+				out = append(out, in)
+				kept = append(kept, keptInstr{in})
+			}
+		}
+		b.Instrs = out
+	}
+
+	// 2. Rewire terminators.
+	for _, b := range f.Blocks {
+		origBlk := an.F.Blocks[b.ID]
+		origTerm := origBlk.Term()
+		if origTerm == nil {
+			continue
+		}
+		u, isUnit := an.UnitOf[origTerm]
+		if !isUnit || u < 0 {
+			continue // jmp/ret stay
+		}
+		unit := an.Units[u]
+		if unit.IsLoop {
+			continue // loops handled as whole regions below
+		}
+		us := st.stageOf[u]
+		if us == k {
+			continue // stage computes its own branch
+		}
+		t := b.Term()
+		if us < k && st.coNeededBy(u, k) {
+			co, err := inReg(object{isCtrl: true, branch: u})
+			if err != nil {
+				return nil, err
+			}
+			st.replaceWithCoSwitch(t, u, co)
+			continue
+		}
+		// No stage-k code depends on this branch: skip to the join.
+		target, err := st.skipTarget(u, pdom)
+		if err != nil {
+			return nil, err
+		}
+		t.Op = ir.OpJmp
+		t.Args = nil
+		t.Cases = nil
+		t.Targets = []int{target}
+	}
+
+	// 3. Replace inner loops owned by other stages.
+	for _, unit := range an.Units {
+		if !unit.IsLoop || st.stageOf[unit.ID] == k {
+			continue
+		}
+		header, err := st.loopHeader(unit)
+		if err != nil {
+			return nil, err
+		}
+		hb := f.Blocks[header]
+		term := &ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg}
+		if st.stageOf[unit.ID] < k && st.coNeededBy(unit.ID, k) {
+			co, err := inReg(object{isCtrl: true, branch: unit.ID})
+			if err != nil {
+				return nil, err
+			}
+			st.replaceWithCoSwitch(term, unit.ID, co)
+		} else {
+			target, err := st.skipTarget(unit.ID, pdom)
+			if err != nil {
+				return nil, err
+			}
+			term.Targets = []int{target}
+		}
+		hb.Instrs = []*ir.Instr{term}
+		// Other loop blocks become unreachable stubs.
+		for _, bid := range unit.Blocks {
+			if bid != header {
+				f.Blocks[bid].Instrs = []*ir.Instr{{Op: ir.OpRet, Dst: ir.NoReg}}
+			}
+		}
+	}
+
+	// 4. Rename upstream value uses to received slot registers.
+	for _, ki := range kept {
+		in := ki.in
+		for idx, r := range in.Uses() {
+			if r >= nOrig || an.DataDef[r] < 0 {
+				continue
+			}
+			if st.stageOf[an.DataDef[r]] >= k {
+				continue
+			}
+			nr, err := inReg(object{reg: r})
+			if err != nil {
+				return nil, err
+			}
+			in.Args[idx] = nr
+		}
+	}
+
+	// 5. Materialize transmissions. Slot writes (including relay copies,
+	// which are prepended to the entry) go in first; the receive is
+	// prepended last so it ends up ahead of everything.
+	if sendCut != nil {
+		if err := st.insertSlotWrites(f, k, sendCut, sendRegs, recvCut, recvRegs); err != nil {
+			return nil, err
+		}
+		// CanonicalizeExit guaranteed a unique ret block in the original;
+		// find it in the clone (same IDs).
+		exitID := -1
+		for _, b := range an.F.Blocks {
+			if t := b.Term(); t != nil && t.Op == ir.OpRet {
+				exitID = b.ID
+			}
+		}
+		if exitID < 0 {
+			return nil, fmt.Errorf("stage %d: no exit block", k)
+		}
+		exit := f.Blocks[exitID]
+		send := &ir.Instr{Op: ir.OpSendLS, Dst: ir.NoReg, Args: sendRegs, Tx: true}
+		// Insert before the ret.
+		n := len(exit.Instrs)
+		exit.Instrs = append(exit.Instrs, nil)
+		copy(exit.Instrs[n:], exit.Instrs[n-1:])
+		exit.Instrs[n-1] = send
+	}
+	if recvCut != nil {
+		entry := f.Blocks[f.Entry]
+		recv := &ir.Instr{Op: ir.OpRecvLS, Dst: ir.NoReg, Dsts: recvRegs, Tx: true}
+		entry.Instrs = append([]*ir.Instr{recv}, entry.Instrs...)
+	}
+
+	// 6. Lower remaining phis and clean up.
+	ssa.Destruct(f)
+	cleanupFunc(f)
+	f.Name = fmt.Sprintf("%s.stage%d", an.F.Name, k)
+	if err := f.Verify(ir.VerifyMutable); err != nil {
+		return nil, fmt.Errorf("stage %d: invalid realization: %w\n%s", k, err, f)
+	}
+	return f, nil
+}
+
+// coNeededBy reports whether stage k contains code (transitively)
+// control-dependent on branch unit u — if so, the stage's clone must follow
+// the original decision through u's region.
+func (st *partitionState) coNeededBy(u, k int) bool {
+	for _, d := range st.ctrlClosure(u) {
+		if st.stageOf[d] == k {
+			return true
+		}
+	}
+	return false
+}
+
+// replaceWithCoSwitch rewrites terminator t to dispatch on the control
+// object register co over the branch unit's distinct targets.
+func (st *partitionState) replaceWithCoSwitch(t *ir.Instr, u, co int) {
+	targets := st.ctrlTargets(u)
+	t.Op = ir.OpSwitch
+	t.Args = []int{co}
+	t.Cases = nil
+	t.Targets = nil
+	for i := 0; i < len(targets)-1; i++ {
+		t.Cases = append(t.Cases, int64(i))
+		t.Targets = append(t.Targets, targets[i])
+	}
+	t.Targets = append(t.Targets, targets[len(targets)-1]) // default
+}
+
+// skipTarget returns the block to jump to when stage k has nothing inside
+// the region controlled by branch unit u: the entry block of the immediate
+// post-dominator of u's summarized node.
+func (st *partitionState) skipTarget(u int, pdom *graph.DomTree) (int, error) {
+	node := st.an.Units[u].SumNode
+	ip := pdom.Idom[node]
+	if ip < 0 {
+		return 0, fmt.Errorf("no post-dominator for summarized node %d", node)
+	}
+	return st.nodeEntryBlock(ip)
+}
+
+// nodeEntryBlock returns the unique entry block of a summarized node (the
+// block with a predecessor outside the node; for single-block nodes, the
+// block itself).
+func (st *partitionState) nodeEntryBlock(node int) (int, error) {
+	var members []int
+	for _, b := range st.an.F.Blocks {
+		if st.an.BlockComp[b.ID] == node {
+			members = append(members, b.ID)
+		}
+	}
+	if len(members) == 1 {
+		return members[0], nil
+	}
+	cfg := st.an.F.CFG()
+	inNode := make(map[int]bool, len(members))
+	for _, m := range members {
+		inNode[m] = true
+	}
+	for _, m := range members {
+		for _, p := range cfg.Preds(m) {
+			if !inNode[p] {
+				return m, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("summarized node %d has no external entry", node)
+}
+
+// loopHeader returns the entry block of a loop unit.
+func (st *partitionState) loopHeader(unit *dep.Unit) (int, error) {
+	return st.nodeEntryBlock(unit.SumNode)
+}
+
+// insertSlotWrites places the unified-transmission slot assignments for the
+// outgoing cut of stage k:
+//
+//   - a value defined in stage k: a copy right after its definition;
+//   - a relayed object (arrived over the incoming cut): a copy right after
+//     the OpRecvLS... conceptually; since the receive is prepended after
+//     this pass runs, relay copies are collected and prepended to the entry
+//     block (the receive lands in front of them);
+//   - a control object owned by stage k: a constant per distinct target,
+//     written directly into the slot register at the top of each target
+//     block.
+func (st *partitionState) insertSlotWrites(f *ir.Func, k int, cut *cutInfo, sendRegs []int, recvCut *cutInfo, recvRegs []int) error {
+	an := st.an
+	var relays []*ir.Instr
+	for _, o := range cut.objects {
+		slot := cut.slotOf[o]
+		dst := sendRegs[slot]
+		if o.isCtrl {
+			if st.stageOf[o.branch] == k {
+				for i, tgt := range st.ctrlTargets(o.branch) {
+					c := &ir.Instr{Op: ir.OpConst, Dst: dst, Imm: int64(i), Tx: true}
+					insertAfterPhis(f.Blocks[tgt], c)
+				}
+				continue
+			}
+			// Relay.
+			src, err := slotIn(recvCut, recvRegs, o)
+			if err != nil {
+				return fmt.Errorf("stage %d: %w", k, err)
+			}
+			relays = append(relays, &ir.Instr{Op: ir.OpCopy, Dst: dst, Args: []int{src}, Tx: true})
+			continue
+		}
+		defUnit := an.DataDef[o.reg]
+		if st.stageOf[defUnit] == k {
+			// Copy right after the defining instruction in the clone.
+			if err := insertCopyAfterDef(f, an, o.reg, dst); err != nil {
+				return fmt.Errorf("stage %d: %w", k, err)
+			}
+			continue
+		}
+		src, err := slotIn(recvCut, recvRegs, o)
+		if err != nil {
+			return fmt.Errorf("stage %d: %w", k, err)
+		}
+		relays = append(relays, &ir.Instr{Op: ir.OpCopy, Dst: dst, Args: []int{src}, Tx: true})
+	}
+	if len(relays) > 0 {
+		entry := f.Blocks[f.Entry]
+		entry.Instrs = append(relays, entry.Instrs...)
+	}
+	return nil
+}
+
+func slotIn(recvCut *cutInfo, recvRegs []int, o object) (int, error) {
+	if recvCut == nil {
+		return 0, fmt.Errorf("relayed object %+v with no incoming cut", o)
+	}
+	s, ok := recvCut.slotOf[o]
+	if !ok {
+		return 0, fmt.Errorf("relayed object %+v missing from incoming live set", o)
+	}
+	return recvRegs[s], nil
+}
+
+// insertCopyAfterDef finds register r's defining instruction in the clone
+// (by original position) and inserts `dst = copy r` right after it (after
+// the phi cluster when the definition is a phi).
+func insertCopyAfterDef(f *ir.Func, an *dep.Analysis, r, dst int) error {
+	for _, ob := range an.F.Blocks {
+		for oi, oin := range ob.Instrs {
+			defines := false
+			for _, d := range oin.Defines() {
+				if d == r {
+					defines = true
+				}
+			}
+			if !defines {
+				continue
+			}
+			// Locate the same instruction in the clone: the clone block
+			// holds a filtered subset, so search by identity is impossible;
+			// find the cloned instruction defining r instead.
+			blk := f.Blocks[ob.ID]
+			for ci, cin := range blk.Instrs {
+				cd := false
+				for _, d := range cin.Defines() {
+					if d == r {
+						cd = true
+					}
+				}
+				if !cd {
+					continue
+				}
+				at := ci + 1
+				if cin.Op == ir.OpPhi {
+					for at < len(blk.Instrs) && blk.Instrs[at].Op == ir.OpPhi {
+						at++
+					}
+				}
+				cp := &ir.Instr{Op: ir.OpCopy, Dst: dst, Args: []int{r}, Tx: true}
+				blk.Instrs = append(blk.Instrs, nil)
+				copy(blk.Instrs[at+1:], blk.Instrs[at:])
+				blk.Instrs[at] = cp
+				return nil
+			}
+			_ = oi
+			return fmt.Errorf("register r%d defined at b%d in the original but missing from the stage clone", r, ob.ID)
+		}
+	}
+	return fmt.Errorf("register r%d has no definition", r)
+}
+
+// insertAfterPhis inserts an instruction after the phi cluster at the top
+// of a block.
+func insertAfterPhis(b *ir.Block, in *ir.Instr) {
+	at := 0
+	for at < len(b.Instrs) && b.Instrs[at].Op == ir.OpPhi {
+		at++
+	}
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[at+1:], b.Instrs[at:])
+	b.Instrs[at] = in
+}

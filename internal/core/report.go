@@ -1,0 +1,27 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the report in the format cmd/ppcc prints.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sequential worst-case path: %d instructions\n", r.Seq.Total)
+	for _, s := range r.Stages {
+		fmt.Fprintf(&sb, "  stage %d: worst path %4d (tx %3d), %3d blocks, %4d instructions\n",
+			s.Stage, s.Cost.Total, s.Cost.Tx, s.Blocks, s.Instrs)
+	}
+	for _, c := range r.Cuts {
+		note := ""
+		if !c.Feasible {
+			note = ", best effort"
+		}
+		fmt.Fprintf(&sb, "  cut %d: %d values + %d control objects -> %d slots (interferences %d, cut cost %d, W(X)=%d%s)\n",
+			c.Index, c.Values, c.Ctrls, c.Slots, c.Interferences, c.Cost, c.Weight, note)
+	}
+	fmt.Fprintf(&sb, "speedup %.2fx; longest stage %d; transmission overhead %.3f\n",
+		r.Speedup, r.LongestStage, r.Overhead)
+	return sb.String()
+}

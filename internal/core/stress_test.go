@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	. "repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ppc"
+	"repro/internal/randprog"
+)
+
+// TestStressDeepRandomPrograms pushes the generator to deeper nesting and
+// larger bodies than the standard property suite, at higher degrees.
+func TestStressDeepRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress")
+	}
+	cfg := randprog.Config{
+		MaxDepth:      5,
+		MaxStmts:      8,
+		MaxExprDepth:  4,
+		PersistentVar: true,
+		Queues:        true,
+		PacketOps:     true,
+	}
+	for seed := int64(5000); seed < 5060; seed++ {
+		src := randprog.Generate(seed, cfg)
+		prog, err := ppc.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		packets := make([][]byte, 4)
+		for i := range packets {
+			p := make([]byte, rng.Intn(24))
+			rng.Read(p)
+			packets[i] = p
+		}
+		base := interp.NewWorld(packets)
+		seq, err := interp.RunSequential(prog.Clone(), base.Clone(), 5)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		for _, d := range []int{4, 8} {
+			res, err := Partition(prog, Options{Stages: d})
+			if err != nil {
+				t.Fatalf("seed %d D=%d: %v\n%s", seed, d, err, src)
+			}
+			pipe, err := interp.RunPipeline(res.Stages, base.Clone(), 5)
+			if err != nil {
+				t.Fatalf("seed %d D=%d: %v\n%s", seed, d, err, src)
+			}
+			if diff := interp.TraceEqual(seq, pipe); diff != "" {
+				t.Fatalf("seed %d D=%d: %s\n%s", seed, d, diff, src)
+			}
+		}
+	}
+}
+
+// TestStressAllTxModesDeep drives every transmission mode over the deep
+// generator shape.
+func TestStressAllTxModesDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress")
+	}
+	cfg := randprog.Config{
+		MaxDepth:      4,
+		MaxStmts:      6,
+		MaxExprDepth:  3,
+		PersistentVar: true,
+		Queues:        false,
+		PacketOps:     true,
+	}
+	for seed := int64(7000); seed < 7030; seed++ {
+		src := randprog.Generate(seed, cfg)
+		prog, err := ppc.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		packets := [][]byte{{1, 2, 3, 4, 5, 6, 7, 8}, {9}, {}}
+		base := interp.NewWorld(packets)
+		seq, err := interp.RunSequential(prog.Clone(), base.Clone(), 4)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		for _, mode := range []TxMode{TxPacked, TxNaiveUnified, TxNaiveInterference} {
+			res, err := Partition(prog, Options{Stages: 4, Tx: mode})
+			if err != nil {
+				t.Fatalf("seed %d %v: %v\n%s", seed, mode, err, src)
+			}
+			pipe, err := interp.RunPipeline(res.Stages, base.Clone(), 4)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v\n%s", seed, mode, err, src)
+			}
+			if diff := interp.TraceEqual(seq, pipe); diff != "" {
+				t.Fatalf("seed %d %v: %s\n%s", seed, mode, diff, src)
+			}
+		}
+	}
+}

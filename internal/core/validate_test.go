@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"testing"
+
+	. "repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/ppc"
+)
+
+func TestValidateStagesAcceptsRealPartition(t *testing.T) {
+	prog, _ := ppc.Compile(paperExample)
+	res, err := Partition(prog, Options{Stages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateStages(res.Stages); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateStagesRejections(t *testing.T) {
+	mk := func(body func(f *ir.Func, bl *ir.Builder)) *ir.Program {
+		f := ir.NewFunc("s")
+		bl := ir.NewBuilder(f)
+		body(f, bl)
+		return &ir.Program{Name: "s", Func: f}
+	}
+	plain := mk(func(f *ir.Func, bl *ir.Builder) { bl.Ret() })
+
+	if err := ValidateStages(nil); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+
+	// Stage 1 with a receive.
+	badRecv := mk(func(f *ir.Func, bl *ir.Builder) {
+		r := f.NewReg()
+		f.Blocks[0].Instrs = append(f.Blocks[0].Instrs,
+			&ir.Instr{Op: ir.OpRecvLS, Dst: ir.NoReg, Dsts: []int{r}, Tx: true})
+		bl.SetBlock(f.Blocks[0])
+		bl.Ret()
+	})
+	if err := ValidateStages([]*ir.Program{badRecv}); err == nil {
+		t.Error("first-stage receive accepted")
+	}
+
+	// Width mismatch between consecutive stages.
+	sender := mk(func(f *ir.Func, bl *ir.Builder) {
+		a := bl.Const(1)
+		b := bl.Const(2)
+		f.Blocks[0].Instrs = append(f.Blocks[0].Instrs,
+			&ir.Instr{Op: ir.OpSendLS, Dst: ir.NoReg, Args: []int{a, b}, Tx: true})
+		bl.SetBlock(f.Blocks[0])
+		bl.Ret()
+	})
+	receiver := mk(func(f *ir.Func, bl *ir.Builder) {
+		r := f.NewReg()
+		f.Blocks[0].Instrs = append(f.Blocks[0].Instrs,
+			&ir.Instr{Op: ir.OpRecvLS, Dst: ir.NoReg, Dsts: []int{r}, Tx: true})
+		bl.SetBlock(f.Blocks[0])
+		bl.Ret()
+	})
+	if err := ValidateStages([]*ir.Program{sender, receiver}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+
+	// Persistent array WRITTEN in one stage and read in another (read-only
+	// sharing is legal; a write forces colocation).
+	arr := &ir.Array{ID: 0, Name: "state", Size: 2, Persistent: true}
+	s1 := mk(func(f *ir.Func, bl *ir.Builder) {
+		idx := bl.Const(0)
+		v := bl.Const(9)
+		bl.Store(arr, idx, v)
+		bl.Ret()
+	})
+	s2 := mk(func(f *ir.Func, bl *ir.Builder) {
+		idx := bl.Const(0)
+		_ = bl.Load(arr, idx)
+		bl.Ret()
+	})
+	// Wire a matching cut so only the persistent rule can fail.
+	a := s1.Func.NewReg()
+	s1.Func.Blocks[0].Instrs = append(s1.Func.Blocks[0].Instrs[:len(s1.Func.Blocks[0].Instrs)-1],
+		&ir.Instr{Op: ir.OpCopy, Dst: a, Args: []int{0}},
+		&ir.Instr{Op: ir.OpSendLS, Dst: ir.NoReg, Args: []int{a}, Tx: true},
+		&ir.Instr{Op: ir.OpRet, Dst: ir.NoReg})
+	r := s2.Func.NewReg()
+	s2.Func.Blocks[0].Instrs = append([]*ir.Instr{
+		{Op: ir.OpRecvLS, Dst: ir.NoReg, Dsts: []int{r}, Tx: true}}, s2.Func.Blocks[0].Instrs...)
+	if err := ValidateStages([]*ir.Program{s1, s2}); err == nil {
+		t.Error("shared persistent array accepted")
+	}
+
+	// A healthy single stage passes.
+	if err := ValidateStages([]*ir.Program{plain}); err != nil {
+		t.Errorf("trivial pipeline rejected: %v", err)
+	}
+}

@@ -1,0 +1,187 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	. "repro/internal/dataflow"
+	"repro/internal/ir"
+	"repro/internal/ppc"
+	"repro/internal/ssa"
+)
+
+func compile(t *testing.T, src string, toSSA bool) *ir.Func {
+	t.Helper()
+	prog, err := ppc.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if toSSA {
+		ssa.Build(prog.Func)
+	}
+	return prog.Func
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	f := ir.NewFunc("s")
+	bl := ir.NewBuilder(f)
+	a := bl.Const(1)
+	b := bl.Const(2)
+	c := bl.Bin(ir.OpAdd, a, b)
+	bl.CallVoid("trace", c)
+	bl.Ret()
+	lv := ComputeLiveness(f)
+	// Nothing is live into the entry of a straight-line function.
+	if lv.In[0].Count() != 0 {
+		t.Errorf("live-in of entry = %v, want empty", lv.In[0].Slice())
+	}
+	if lv.Out[0].Count() != 0 {
+		t.Errorf("live-out of exit block = %v, want empty", lv.Out[0].Slice())
+	}
+}
+
+func TestLivenessAcrossBranch(t *testing.T) {
+	// r defined in entry, used in both arms: live into both.
+	f := ir.NewFunc("b")
+	bl := ir.NewBuilder(f)
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	v := bl.Const(5)
+	c := bl.Const(1)
+	bl.Br(c, then, els)
+	bl.SetBlock(then)
+	bl.CallVoid("trace", v)
+	bl.Ret()
+	bl.SetBlock(els)
+	bl.CallVoid("trace", v)
+	bl.Ret()
+	lv := ComputeLiveness(f)
+	if !lv.In[then.ID].Has(v) || !lv.In[els.ID].Has(v) {
+		t.Error("v should be live into both arms")
+	}
+	if !lv.Out[0].Has(v) {
+		t.Error("v should be live out of entry")
+	}
+	if lv.In[0].Has(v) {
+		t.Error("v should not be live into entry (defined there)")
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// Loop-carried: i used and redefined in body; live around the back edge.
+	f := compile(t, `pps P { loop {
+		var i = 0;
+		while[8] (i < 5) { i = i + 1; }
+		trace(i);
+	} }`, false)
+	lv := ComputeLiveness(f)
+	// Find the while header (has LoopBound).
+	for _, b := range f.Blocks {
+		if b.LoopBound == 8 {
+			if lv.In[b.ID].Count() == 0 {
+				t.Error("loop header should have live-in registers (i)")
+			}
+		}
+	}
+}
+
+func TestLivenessPhiEdgeSemantics(t *testing.T) {
+	f := compile(t, `pps P { loop {
+		var n = pkt_rx();
+		var x = 0;
+		if (n > 0) { x = 1; } else { x = 2; }
+		trace(x);
+	} }`, true)
+	lv := ComputeLiveness(f)
+	// Find the phi and check each operand is live out of its pred only.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpPhi {
+				continue
+			}
+			for i, p := range in.PhiPreds {
+				arg := in.Args[i]
+				if !lv.Out[p].Has(arg) {
+					t.Errorf("phi operand r%d not live out of its pred b%d", arg, p)
+				}
+				// And not live into the phi block itself as a plain use.
+				for j, q := range in.PhiPreds {
+					if i != j && lv.Out[q].Has(arg) {
+						// The same value may legitimately flow on both
+						// edges only if it is the same register.
+						if in.Args[j] != arg {
+							t.Errorf("phi operand r%d live out of unrelated pred b%d", arg, q)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLiveAcross(t *testing.T) {
+	f := compile(t, `pps P { loop {
+		var n = pkt_rx();
+		var x = 0;
+		if (n > 0) { x = 1; } else { x = 2; }
+		trace(x);
+	} }`, true)
+	lv := ComputeLiveness(f)
+	cfg := f.CFG()
+	// For each phi operand, LiveAcross must hold on its edge.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpPhi {
+				continue
+			}
+			for i, p := range in.PhiPreds {
+				if !lv.LiveAcross(f, p, b.ID, in.Args[i]) {
+					t.Errorf("LiveAcross(b%d->b%d, r%d) = false for phi operand", p, b.ID, in.Args[i])
+				}
+			}
+		}
+	}
+	_ = cfg
+}
+
+func TestDefUse(t *testing.T) {
+	f := compile(t, `pps P { loop {
+		var n = pkt_rx();
+		trace(n + 1);
+		trace(n + 2);
+	} }`, true)
+	du := ComputeDefUse(f)
+	// Find the pkt_rx result register and check it has one def, two uses.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Call == "pkt_rx" {
+				r := in.Dst
+				if du.Def[r] != in {
+					t.Error("Def does not point at the defining call")
+				}
+				// `var n = pkt_rx()` copies the result into n, so the call
+				// result has exactly one use (the copy) and n has two (the
+				// two adds).
+				if len(du.Uses[r]) != 1 {
+					t.Fatalf("Uses(call result) = %d, want 1", len(du.Uses[r]))
+				}
+				cp := du.Uses[r][0]
+				if cp.Op != ir.OpCopy {
+					t.Fatalf("use of call result is %s, want copy", cp)
+				}
+				n := cp.Dst
+				if len(du.Uses[n]) != 2 {
+					t.Errorf("Uses(n) = %d, want 2", len(du.Uses[n]))
+				}
+				site := du.DefSite[r]
+				if f.Blocks[site.Block].Instrs[site.Index] != in {
+					t.Error("DefSite does not locate the call")
+				}
+				for k, u := range du.UseSites[n] {
+					if f.Blocks[u.Block].Instrs[u.Index] != du.Uses[n][k] {
+						t.Error("UseSites inconsistent with Uses")
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package dataflow
+
+import "repro/internal/ir"
+
+// InstrRef identifies an instruction by position.
+type InstrRef struct {
+	Block int // block ID
+	Index int // index within Block.Instrs
+}
+
+// DefUse holds SSA def-use information: for each register, its unique
+// defining instruction and all instructions that use it.
+type DefUse struct {
+	// Def[r] is the defining instruction of register r, or nil if r is
+	// never defined (e.g. allocated but unused).
+	Def []*ir.Instr
+	// DefSite[r] locates the definition.
+	DefSite []InstrRef
+	// Uses[r] lists the instructions reading r.
+	Uses [][]*ir.Instr
+	// UseSites[r] locates them.
+	UseSites [][]InstrRef
+}
+
+// ComputeDefUse builds def-use chains for an SSA-form function. For mutable
+// functions the Def of a multiply-defined register is its last definition in
+// block order (callers needing precision should convert to SSA first).
+func ComputeDefUse(f *ir.Func) *DefUse {
+	du := &DefUse{
+		Def:      make([]*ir.Instr, f.NumRegs),
+		DefSite:  make([]InstrRef, f.NumRegs),
+		Uses:     make([][]*ir.Instr, f.NumRegs),
+		UseSites: make([][]InstrRef, f.NumRegs),
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			ref := InstrRef{Block: b.ID, Index: i}
+			for _, d := range in.Defines() {
+				du.Def[d] = in
+				du.DefSite[d] = ref
+			}
+			for _, u := range in.Uses() {
+				du.Uses[u] = append(du.Uses[u], in)
+				du.UseSites[u] = append(du.UseSites[u], ref)
+			}
+		}
+	}
+	return du
+}

@@ -1,0 +1,116 @@
+// Package dataflow implements the register-level dataflow analyses used by
+// the pipelining transformation: backward liveness and def-use chains.
+// Both operate on either mutable or SSA-form IR (they only rely on each
+// instruction's Defines and Uses sets).
+package dataflow
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/ir"
+)
+
+// Liveness holds per-block live-in/live-out register sets.
+type Liveness struct {
+	In  []*bitset.Set // indexed by block ID
+	Out []*bitset.Set
+}
+
+// ComputeLiveness runs the standard backward may-liveness analysis over f.
+// Phi instructions are handled with SSA edge semantics: a phi's operand for
+// predecessor P is live out of P (only), and the phi's result is defined at
+// the top of its block.
+func ComputeLiveness(f *ir.Func) *Liveness {
+	n := len(f.Blocks)
+	lv := &Liveness{In: make([]*bitset.Set, n), Out: make([]*bitset.Set, n)}
+	for i := 0; i < n; i++ {
+		lv.In[i] = bitset.New(f.NumRegs)
+		lv.Out[i] = bitset.New(f.NumRegs)
+	}
+
+	// Per-block gen (upward-exposed uses) and kill (defs) sets, excluding
+	// phi operands (handled edge-wise below).
+	gen := make([]*bitset.Set, n)
+	kill := make([]*bitset.Set, n)
+	for _, b := range f.Blocks {
+		g := bitset.New(f.NumRegs)
+		k := bitset.New(f.NumRegs)
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				// The phi def kills; operands belong to predecessors.
+				for _, d := range in.Defines() {
+					k.Set(d)
+				}
+				continue
+			}
+			for _, u := range in.Uses() {
+				if !k.Has(u) {
+					g.Set(u)
+				}
+			}
+			for _, d := range in.Defines() {
+				k.Set(d)
+			}
+		}
+		gen[b.ID] = g
+		kill[b.ID] = k
+	}
+
+	// phiUses[p] = registers used by phis in successors of p, via the edge
+	// from p.
+	phiUses := make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		phiUses[i] = bitset.New(f.NumRegs)
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			for i, p := range in.PhiPreds {
+				phiUses[p].Set(in.Args[i])
+			}
+		}
+	}
+
+	cfg := f.CFG()
+	changed := true
+	for changed {
+		changed = false
+		// Iterate in postorder for fast convergence of a backward problem.
+		for _, b := range f.Postorder() {
+			out := bitset.New(f.NumRegs)
+			for _, s := range cfg.Succs(b.ID) {
+				out.Union(lv.In[s])
+			}
+			out.Union(phiUses[b.ID])
+			in := out.Copy()
+			in.Diff(kill[b.ID])
+			in.Union(gen[b.ID])
+			if !out.Equal(lv.Out[b.ID]) || !in.Equal(lv.In[b.ID]) {
+				lv.Out[b.ID] = out
+				lv.In[b.ID] = in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAcross reports whether register r is live on the CFG edge from -> to:
+// r is live-in at `to` (or used by a phi in `to` along this edge).
+func (lv *Liveness) LiveAcross(f *ir.Func, from, to, r int) bool {
+	if lv.In[to].Has(r) {
+		return true
+	}
+	for _, in := range f.Blocks[to].Instrs {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		for i, p := range in.PhiPreds {
+			if p == from && in.Args[i] == r {
+				return true
+			}
+		}
+	}
+	return false
+}

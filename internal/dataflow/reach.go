@@ -1,0 +1,115 @@
+package dataflow
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/ir"
+)
+
+// Def identifies one definition site for the reaching-definitions analysis.
+type Def struct {
+	Reg   int
+	Block int
+	Index int
+}
+
+// Reaching holds the classic forward reaching-definitions solution: which
+// definition sites may reach the entry/exit of each block. In SSA form
+// every register has one site and the analysis degenerates to "has the
+// definition executed"; on mutable (pre-SSA or realized-stage) code it
+// distinguishes competing writes to the same register.
+type Reaching struct {
+	// Defs enumerates all definition sites; bit i in the sets below refers
+	// to Defs[i].
+	Defs []Def
+	// In[b]/Out[b] are the definition sites reaching block b's entry/exit.
+	In  []*bitset.Set
+	Out []*bitset.Set
+
+	defsOf map[int][]int // reg -> indices into Defs
+}
+
+// ComputeReaching runs the analysis over f.
+func ComputeReaching(f *ir.Func) *Reaching {
+	r := &Reaching{defsOf: make(map[int][]int)}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			for _, d := range in.Defines() {
+				r.defsOf[d] = append(r.defsOf[d], len(r.Defs))
+				r.Defs = append(r.Defs, Def{Reg: d, Block: b.ID, Index: i})
+			}
+		}
+	}
+	n := len(f.Blocks)
+	nd := len(r.Defs)
+	gen := make([]*bitset.Set, n)
+	kill := make([]*bitset.Set, n)
+	r.In = make([]*bitset.Set, n)
+	r.Out = make([]*bitset.Set, n)
+	for b := 0; b < n; b++ {
+		gen[b] = bitset.New(nd)
+		kill[b] = bitset.New(nd)
+		r.In[b] = bitset.New(nd)
+		r.Out[b] = bitset.New(nd)
+	}
+	// Per-block gen/kill in forward order: a later definition of the same
+	// register kills earlier ones (including its own block's).
+	idx := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for range in.Defines() {
+				d := r.Defs[idx]
+				for _, other := range r.defsOf[d.Reg] {
+					if other != idx {
+						kill[b.ID].Set(other)
+					}
+					gen[b.ID].Clear(other)
+				}
+				gen[b.ID].Set(idx)
+				idx++
+			}
+		}
+	}
+
+	cfg := f.CFG()
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.ReversePostorder() {
+			in := bitset.New(nd)
+			for _, p := range cfg.Preds(b.ID) {
+				in.Union(r.Out[p])
+			}
+			out := in.Copy()
+			out.Diff(kill[b.ID])
+			out.Union(gen[b.ID])
+			if !in.Equal(r.In[b.ID]) || !out.Equal(r.Out[b.ID]) {
+				r.In[b.ID] = in
+				r.Out[b.ID] = out
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+// ReachesEntry reports whether any definition of reg may reach the entry
+// of block b.
+func (r *Reaching) ReachesEntry(reg, b int) bool {
+	for _, i := range r.defsOf[reg] {
+		if r.In[b].Has(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// DefsReachingEntry lists the definition sites of reg reaching b's entry.
+func (r *Reaching) DefsReachingEntry(reg, b int) []Def {
+	var out []Def
+	for _, i := range r.defsOf[reg] {
+		if r.In[b].Has(i) {
+			out = append(out, r.Defs[i])
+		}
+	}
+	return out
+}

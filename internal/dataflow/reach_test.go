@@ -1,0 +1,128 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	. "repro/internal/dataflow"
+	"repro/internal/ir"
+)
+
+// diamondWithTwoDefs builds:
+//
+//	entry: r0 = const 0; br r1(cond via const), then, else
+//	then:  r0 = const 1; jmp join
+//	else:  (nothing)    jmp join
+//	join:  trace(r0); ret
+//
+// r0 has two defs; both reach join's entry.
+func diamondWithTwoDefs() (*ir.Func, int) {
+	f := ir.NewFunc("reach")
+	bl := ir.NewBuilder(f)
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+	r0 := f.NewReg()
+	bl.ConstTo(r0, 0)
+	cond := bl.Const(1)
+	bl.Br(cond, then, els)
+	bl.SetBlock(then)
+	bl.ConstTo(r0, 1)
+	bl.Jmp(join)
+	bl.SetBlock(els)
+	bl.Jmp(join)
+	bl.SetBlock(join)
+	bl.CallVoid("trace", r0)
+	bl.Ret()
+	return f, r0
+}
+
+func TestReachingDiamond(t *testing.T) {
+	f, r0 := diamondWithTwoDefs()
+	r := ComputeReaching(f)
+	if !r.ReachesEntry(r0, 3) {
+		t.Fatal("r0 does not reach the join")
+	}
+	defs := r.DefsReachingEntry(r0, 3)
+	if len(defs) != 2 {
+		t.Fatalf("%d defs of r0 reach the join, want 2 (both branches)", len(defs))
+	}
+	// Only the redefinition reaches along the then path.
+	thenDefs := r.DefsReachingEntry(r0, 1)
+	if len(thenDefs) != 1 || thenDefs[0].Block != 0 {
+		t.Errorf("then-entry defs = %+v, want the entry def only", thenDefs)
+	}
+}
+
+func TestReachingKillsWithinBlock(t *testing.T) {
+	f := ir.NewFunc("kill")
+	bl := ir.NewBuilder(f)
+	next := f.NewBlock("next")
+	r0 := f.NewReg()
+	bl.ConstTo(r0, 1)
+	bl.ConstTo(r0, 2) // kills the first def
+	bl.Jmp(next)
+	bl.SetBlock(next)
+	bl.CallVoid("trace", r0)
+	bl.Ret()
+	r := ComputeReaching(f)
+	defs := r.DefsReachingEntry(r0, next.ID)
+	if len(defs) != 1 || defs[0].Index != 1 {
+		t.Errorf("reaching defs = %+v, want only the second const", defs)
+	}
+}
+
+func TestReachingLoopCarried(t *testing.T) {
+	// entry: r0 = 0; jmp head
+	// head:  br c, body, exit
+	// body:  r0 = r0+1; jmp head
+	// exit:  ret
+	f := ir.NewFunc("loop")
+	bl := ir.NewBuilder(f)
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	r0 := f.NewReg()
+	bl.ConstTo(r0, 0)
+	bl.Jmp(head)
+	bl.SetBlock(head)
+	c := bl.Const(1)
+	bl.Br(c, body, exit)
+	bl.SetBlock(body)
+	one := bl.Const(1)
+	f.Blocks[body.ID].Instrs = append(f.Blocks[body.ID].Instrs,
+		&ir.Instr{Op: ir.OpAdd, Dst: r0, Args: []int{r0, one}})
+	bl.SetBlock(body)
+	bl.Jmp(head)
+	bl.SetBlock(exit)
+	bl.Ret()
+
+	r := ComputeReaching(f)
+	// Both the init and the loop-body def reach the head.
+	if got := len(r.DefsReachingEntry(r0, head.ID)); got != 2 {
+		t.Errorf("%d defs reach the loop head, want 2", got)
+	}
+	// Both reach the exit as well.
+	if got := len(r.DefsReachingEntry(r0, exit.ID)); got != 2 {
+		t.Errorf("%d defs reach the exit, want 2", got)
+	}
+}
+
+func TestReachingSSAUniqueDefs(t *testing.T) {
+	f := compile(t, `pps P { loop {
+		var n = pkt_rx();
+		var x = 0;
+		if (n > 0) { x = 1; } else { x = 2; }
+		trace(x);
+	} }`, true)
+	r := ComputeReaching(f)
+	// In SSA every register has exactly one definition site.
+	counts := map[int]int{}
+	for _, d := range r.Defs {
+		counts[d.Reg]++
+	}
+	for reg, c := range counts {
+		if c != 1 {
+			t.Errorf("register r%d has %d definition sites in SSA", reg, c)
+		}
+	}
+}

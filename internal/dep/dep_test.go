@@ -1,0 +1,330 @@
+package dep_test
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	. "repro/internal/dep"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/ppc"
+	"repro/internal/ssa"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *Analysis) {
+	t.Helper()
+	prog, err := ppc.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ssa.Build(prog.Func)
+	prog.Func.CanonicalizeExit()
+	a, err := Analyze(prog, costmodel.Default())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return prog, a
+}
+
+func TestUnitsStraightLine(t *testing.T) {
+	_, a := analyze(t, `pps P { loop { trace(1 + 2); } }`)
+	// const, const, add, trace (jmp/ret excluded) — at least 4 units, none
+	// a loop.
+	if len(a.Units) < 4 {
+		t.Fatalf("got %d units, want >= 4", len(a.Units))
+	}
+	for _, u := range a.Units {
+		if u.IsLoop {
+			t.Error("straight-line program has a loop unit")
+		}
+		if len(u.Instrs) != 1 {
+			t.Error("plain unit should hold exactly one instruction")
+		}
+		if u.Weight <= 0 {
+			t.Error("unit weight must be positive")
+		}
+	}
+}
+
+func TestLoopBecomesOneUnit(t *testing.T) {
+	_, a := analyze(t, `pps P { loop {
+		var s = 0;
+		for[16] (var i = 0; i < 8; i = i + 1) { s += i; }
+		trace(s);
+	} }`)
+	loops := 0
+	for _, u := range a.Units {
+		if u.IsLoop {
+			loops++
+			if len(u.Blocks) < 2 {
+				t.Error("for-loop unit should cover several blocks")
+			}
+		}
+	}
+	if loops != 1 {
+		t.Fatalf("got %d loop units, want 1", loops)
+	}
+}
+
+func TestLoopWeightScalesWithBound(t *testing.T) {
+	weightOf := func(src string) int64 {
+		_, a := analyze(t, src)
+		for _, u := range a.Units {
+			if u.IsLoop {
+				return u.Weight
+			}
+		}
+		return 0
+	}
+	w4 := weightOf(`pps P { loop { var s = 0; for[4] (var i = 0; i < 4; i = i + 1) { s += i; } trace(s); } }`)
+	w32 := weightOf(`pps P { loop { var s = 0; for[32] (var i = 0; i < 4; i = i + 1) { s += i; } trace(s); } }`)
+	if w32 != 8*w4 {
+		t.Errorf("loop weights %d and %d should scale 8x with the bound", w4, w32)
+	}
+}
+
+func TestDataDeps(t *testing.T) {
+	_, a := analyze(t, `pps P { loop { var n = pkt_rx(); trace(n + 1); } }`)
+	g := a.UnitGraph()
+	// Find the pkt_rx unit and the add unit; there must be a path rx -> add.
+	var rx, add, tr int = -1, -1, -1
+	for _, u := range a.Units {
+		in := u.Instrs[0]
+		switch {
+		case in.Op == ir.OpCall && in.Call == "pkt_rx":
+			rx = u.ID
+		case in.Op == ir.OpAdd:
+			add = u.ID
+		case in.Op == ir.OpCall && in.Call == "trace":
+			tr = u.ID
+		}
+	}
+	if rx < 0 || add < 0 || tr < 0 {
+		t.Fatal("expected units not found")
+	}
+	if !g.ReachableFrom(rx)[add] {
+		t.Error("no dependence path from pkt_rx to the add")
+	}
+	if !g.ReachableFrom(add)[tr] {
+		t.Error("no dependence path from the add to trace")
+	}
+	if g.ReachableFrom(tr)[rx] {
+		t.Error("spurious backward dependence")
+	}
+}
+
+func TestControlDeps(t *testing.T) {
+	_, a := analyze(t, `pps P { loop {
+		var n = pkt_rx();
+		if (n > 0) { trace(1); } else { trace(2); }
+	} }`)
+	// The branch unit must control both trace units.
+	var brUnit int = -1
+	traceUnits := map[int]bool{}
+	for _, u := range a.Units {
+		in := u.Instrs[0]
+		if in.Op == ir.OpBr {
+			brUnit = u.ID
+		}
+		if in.Op == ir.OpCall && in.Call == "trace" {
+			traceUnits[u.ID] = true
+		}
+	}
+	if brUnit < 0 || len(traceUnits) != 2 {
+		t.Fatal("expected units not found")
+	}
+	controlled := map[int]bool{}
+	for _, d := range a.Ctrl[brUnit] {
+		controlled[d] = true
+	}
+	for tu := range traceUnits {
+		if !controlled[tu] {
+			t.Errorf("trace unit %d not control-dependent on the branch", tu)
+		}
+	}
+}
+
+func TestPhiDeciderDependence(t *testing.T) {
+	_, a := analyze(t, `pps P { loop {
+		var n = pkt_rx();
+		var x = 0;
+		if (n > 0) { x = 1; } else { x = 2; }
+		trace(x);
+	} }`)
+	var brUnit, phiUnit int = -1, -1
+	for _, u := range a.Units {
+		in := u.Instrs[0]
+		if in.Op == ir.OpBr {
+			brUnit = u.ID
+		}
+		if in.Op == ir.OpPhi {
+			phiUnit = u.ID
+		}
+	}
+	if brUnit < 0 || phiUnit < 0 {
+		t.Fatal("branch or phi unit missing")
+	}
+	found := false
+	for _, d := range a.Ctrl[brUnit] {
+		if d == phiUnit {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("phi is not recorded as control-dependent on its deciding branch")
+	}
+}
+
+func TestOrderDepsOnPacketChannel(t *testing.T) {
+	_, a := analyze(t, `pps P { loop {
+		var n = pkt_rx();
+		pkt_setbyte(0, 1);
+		var b = pkt_byte(0);
+		trace(b);
+	} }`)
+	g := a.UnitGraph()
+	var rx, set, get int = -1, -1, -1
+	for _, u := range a.Units {
+		in := u.Instrs[0]
+		if in.Op != ir.OpCall {
+			continue
+		}
+		switch in.Call {
+		case "pkt_rx":
+			rx = u.ID
+		case "pkt_setbyte":
+			set = u.ID
+		case "pkt_byte":
+			get = u.ID
+		}
+	}
+	if !g.HasEdge(rx, set) {
+		t.Error("pkt_rx must be ordered before pkt_setbyte (write-write)")
+	}
+	if !g.HasEdge(set, get) {
+		t.Error("pkt_setbyte must be ordered before pkt_byte (write-read)")
+	}
+}
+
+func TestReadsDoNotConflict(t *testing.T) {
+	_, a := analyze(t, `pps P { loop {
+		var n = pkt_rx();
+		var x = pkt_byte(0);
+		var y = pkt_byte(1);
+		trace(x + y);
+	} }`)
+	g := a.UnitGraph()
+	var reads []int
+	for _, u := range a.Units {
+		if in := u.Instrs[0]; in.Op == ir.OpCall && in.Call == "pkt_byte" {
+			reads = append(reads, u.ID)
+		}
+	}
+	if len(reads) != 2 {
+		t.Fatal("expected two pkt_byte units")
+	}
+	if g.HasEdge(reads[0], reads[1]) || g.HasEdge(reads[1], reads[0]) {
+		t.Error("two reads must not be order-dependent")
+	}
+}
+
+func TestPersistentStateIsLoopCarried(t *testing.T) {
+	_, a := analyze(t, `pps P {
+		persistent var total = 0;
+		loop { total = total + 1; trace(total); }
+	}`)
+	if len(a.Carried) == 0 {
+		t.Fatal("persistent scalar access produced no loop-carried dependence")
+	}
+	// The load and store of `total` must share a DG SCC.
+	g := a.UnitGraph()
+	scc := graph.SCC(g)
+	var loadU, storeU int = -1, -1
+	for _, u := range a.Units {
+		in := u.Instrs[0]
+		if in.Op == ir.OpLoad && in.Arr.Name == "total" {
+			loadU = u.ID
+		}
+		if in.Op == ir.OpStore && in.Arr.Name == "total" {
+			storeU = u.ID
+		}
+	}
+	if loadU < 0 || storeU < 0 {
+		t.Fatal("load/store units missing")
+	}
+	if scc.Comp[loadU] != scc.Comp[storeU] {
+		t.Error("persistent load and store are not in the same DG SCC")
+	}
+}
+
+func TestLocalArrayNotLoopCarried(t *testing.T) {
+	_, a := analyze(t, `pps P {
+		var buf[8];
+		loop { buf[0] = pkt_rx(); trace(buf[0]); }
+	}`)
+	if len(a.Carried) != 0 {
+		t.Errorf("local array produced loop-carried deps: %v", a.Carried)
+	}
+	// But the store must still be ordered before the load.
+	g := a.UnitGraph()
+	var st, ld int = -1, -1
+	for _, u := range a.Units {
+		in := u.Instrs[0]
+		if in.Op == ir.OpStore {
+			st = u.ID
+		}
+		if in.Op == ir.OpLoad {
+			ld = u.ID
+		}
+	}
+	if !g.ReachableFrom(st)[ld] {
+		t.Error("store not ordered before load on a local array")
+	}
+}
+
+func TestQueueIntrinsicsLoopCarried(t *testing.T) {
+	_, a := analyze(t, `pps P { loop {
+		q_put(1, pkt_rx());
+		trace(q_get(1));
+	} }`)
+	if len(a.Carried) == 0 {
+		t.Error("queue intrinsics should be loop-carried")
+	}
+}
+
+func TestInfiniteInnerLoopRejected(t *testing.T) {
+	// PPC cannot express a structurally exit-free loop (every while has an
+	// exit edge), so build one by hand: entry -> trap, trap -> trap.
+	f := ir.NewFunc("trap")
+	bl := ir.NewBuilder(f)
+	trap := f.NewBlock("trap")
+	exit := f.NewBlock("exit")
+	c := bl.Const(1)
+	bl.Br(c, trap, exit)
+	bl.SetBlock(trap)
+	bl.Jmp(trap)
+	bl.SetBlock(exit)
+	bl.Ret()
+	prog := &ir.Program{Name: "trap", Func: f}
+	if _, err := Analyze(prog, costmodel.Default()); err == nil {
+		t.Error("Analyze accepted a region that never reaches the iteration end")
+	}
+}
+
+func TestUnitGraphAcyclicAfterCondense(t *testing.T) {
+	_, a := analyze(t, `pps P {
+		persistent var st = 0;
+		loop {
+			var n = pkt_rx();
+			st = st + n;
+			var i = 0;
+			while[8] (i < n) { i = i + 1; }
+			trace(st + i);
+		}
+	}`)
+	g := a.UnitGraph()
+	scc := graph.SCC(g)
+	if _, ok := graph.Condense(g, scc).Topo(); !ok {
+		t.Error("condensed dependence graph is not a DAG")
+	}
+}

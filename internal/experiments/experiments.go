@@ -1,0 +1,456 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (section 4): speedup versus pipelining degree for each PPS of
+// the NPF IPv4 forwarding and IP forwarding benchmarks (figures 19/20), the
+// live-set transmission overhead (figures 21/22), and the ablations called
+// out in DESIGN.md (transmission modes, balance variance, ring kind, and
+// dynamic throughput on the simulator).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/netbench"
+	"repro/internal/npsim"
+)
+
+// Degrees is the pipelining-degree sweep used by the paper (1..10).
+var Degrees = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+
+// Series is one curve: a PPS measured across pipelining degrees.
+type Series struct {
+	PPS      string
+	App      string
+	Degrees  []int
+	Speedup  []float64 // sequential worst path / longest stage worst path
+	Overhead []float64 // tx/proc instruction ratio in the longest stage
+	Slots    []int     // total transmission slots across all cuts
+	Verified []bool    // pipelined trace matched the sequential trace
+}
+
+// MeasureIters is the traffic length used for dynamic measurements: long
+// enough that slow paths (TTL expiry, RED drops) occur.
+const MeasureIters = 60
+
+// sweep measures one PPS across all degrees. The metric follows the paper:
+// the dynamic instruction count of the longest stage when processing a
+// minimum-size packet of the given traffic, worst case over the stream.
+// Every partition is simultaneously verified against the sequential trace.
+func sweep(p netbench.PPS, iters int) (Series, error) {
+	if iters <= 0 {
+		iters = MeasureIters
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		return Series{}, err
+	}
+	s := Series{PPS: p.Name, App: p.App}
+	arch := costmodel.Default()
+
+	seqWorld := netbench.NewWorld(p.Traffic(iters))
+	seqD, err := MeasureDynamic([]*ir.Program{prog.Clone()}, seqWorld, iters, arch, costmodel.NNRing)
+	if err != nil {
+		return Series{}, fmt.Errorf("%s: sequential: %w", p.Name, err)
+	}
+	seqTrace := seqWorld.Trace
+
+	for _, d := range Degrees {
+		res, err := core.Partition(prog, core.Options{Stages: d})
+		if err != nil {
+			return Series{}, fmt.Errorf("%s D=%d: %w", p.Name, d, err)
+		}
+		pipeWorld := netbench.NewWorld(p.Traffic(iters))
+		demands, err := MeasureDynamic(res.Stages, pipeWorld, iters, arch, costmodel.NNRing)
+		if err != nil {
+			return Series{}, fmt.Errorf("%s D=%d: pipeline: %w", p.Name, d, err)
+		}
+		if diff := interp.TraceEqual(seqTrace, pipeWorld.Trace); diff != "" {
+			return Series{}, fmt.Errorf("%s D=%d: pipelined behaviour diverged: %s", p.Name, d, diff)
+		}
+		speedup, overhead, _ := DynamicSpeedup(seqD[0], demands)
+		slots := 0
+		for _, c := range res.Report.Cuts {
+			slots += c.Slots
+		}
+		s.Degrees = append(s.Degrees, d)
+		s.Speedup = append(s.Speedup, speedup)
+		s.Overhead = append(s.Overhead, overhead)
+		s.Slots = append(s.Slots, slots)
+		s.Verified = append(s.Verified, true)
+	}
+	return s, nil
+}
+
+// Fig19SpeedupIPv4 reproduces figure 19: speedup of the IPv4 forwarding
+// PPSes versus pipelining degree.
+func Fig19SpeedupIPv4(verifyIters int) ([]Series, error) {
+	return sweepAll(netbench.IPv4Forwarding(), verifyIters)
+}
+
+// Fig20SpeedupIP reproduces figure 20: speedup of the IP forwarding PPSes
+// (IPv4 and IPv6 traffic measured separately for the IP PPS).
+func Fig20SpeedupIP(verifyIters int) ([]Series, error) {
+	return sweepAll(netbench.IPForwarding(), verifyIters)
+}
+
+// Fig21OverheadIPv4 and Fig22OverheadIP share the same sweeps; the
+// overhead columns of the series carry figures 21/22.
+func Fig21OverheadIPv4(verifyIters int) ([]Series, error) { return Fig19SpeedupIPv4(verifyIters) }
+
+// Fig22OverheadIP reproduces figure 22.
+func Fig22OverheadIP(verifyIters int) ([]Series, error) { return Fig20SpeedupIP(verifyIters) }
+
+func sweepAll(ppses []netbench.PPS, verifyIters int) ([]Series, error) {
+	var out []Series
+	for _, p := range ppses {
+		s, err := sweep(p, verifyIters)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SpeedupTable renders series speedups as the paper's figure data.
+func SpeedupTable(title string, series []Series) string {
+	return table(title, series, func(s Series, i int) string {
+		return fmt.Sprintf("%6.2f", s.Speedup[i])
+	})
+}
+
+// OverheadTable renders live-set transmission overhead ratios.
+func OverheadTable(title string, series []Series) string {
+	return table(title, series, func(s Series, i int) string {
+		return fmt.Sprintf("%6.3f", s.Overhead[i])
+	})
+}
+
+func table(title string, series []Series, cell func(Series, int) string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-12s", "degree")
+	for _, d := range Degrees {
+		fmt.Fprintf(&sb, "%7d", d)
+	}
+	sb.WriteString("\n")
+	for _, s := range series {
+		fmt.Fprintf(&sb, "%-12s", s.PPS)
+		for i := range s.Degrees {
+			fmt.Fprintf(&sb, " %s", cell(s, i))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TxAblation measures slot counts and overhead per transmission mode for
+// one PPS at one degree (the figures 10-16 design space).
+type TxAblation struct {
+	Mode     core.TxMode
+	Slots    int
+	Objects  int
+	Overhead float64
+}
+
+// AblationTransmission compares packed, naive-unified and
+// naive-interference transmission for the given PPS.
+func AblationTransmission(name string, degree int) ([]TxAblation, error) {
+	p, ok := netbench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown PPS %q", name)
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	var out []TxAblation
+	for _, mode := range []core.TxMode{core.TxPacked, core.TxNaiveInterference, core.TxNaiveUnified} {
+		res, err := core.Partition(prog, core.Options{Stages: degree, Tx: mode})
+		if err != nil {
+			return nil, err
+		}
+		a := TxAblation{Mode: mode, Overhead: res.Report.Overhead}
+		for _, c := range res.Report.Cuts {
+			a.Slots += c.Slots
+			a.Objects += c.Values + c.Ctrls
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// EpsilonPoint is one balance-variance ablation measurement.
+type EpsilonPoint struct {
+	Epsilon   float64
+	Speedup   float64
+	CutCost   int64
+	Imbalance float64 // max stage cost / mean stage cost
+}
+
+// AblationEpsilon sweeps the balance variance for one PPS and degree.
+func AblationEpsilon(name string, degree int, epsilons []float64) ([]EpsilonPoint, error) {
+	p, ok := netbench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown PPS %q", name)
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	var out []EpsilonPoint
+	for _, eps := range epsilons {
+		res, err := core.Partition(prog, core.Options{Stages: degree, Epsilon: eps})
+		if err != nil {
+			return nil, err
+		}
+		var cost int64
+		for _, c := range res.Report.Cuts {
+			cost += c.Cost
+		}
+		var total, maxStage int64
+		for _, s := range res.Report.Stages {
+			total += s.Cost.Total
+			if s.Cost.Total > maxStage {
+				maxStage = s.Cost.Total
+			}
+		}
+		imb := 0.0
+		if total > 0 {
+			imb = float64(maxStage) * float64(degree) / float64(total)
+		}
+		out = append(out, EpsilonPoint{Epsilon: eps, Speedup: res.Report.Speedup, CutCost: cost, Imbalance: imb})
+	}
+	return out, nil
+}
+
+// ChannelPoint compares ring kinds.
+type ChannelPoint struct {
+	Channel  costmodel.ChannelKind
+	Speedup  float64
+	Overhead float64
+}
+
+// AblationChannel compares NN and scratch rings for one PPS and degree.
+func AblationChannel(name string, degree int) ([]ChannelPoint, error) {
+	p, ok := netbench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown PPS %q", name)
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	var out []ChannelPoint
+	for _, ch := range []costmodel.ChannelKind{costmodel.NNRing, costmodel.ScratchRing} {
+		res, err := core.Partition(prog, core.Options{Stages: degree, Channel: ch})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ChannelPoint{Channel: ch, Speedup: res.Report.Speedup, Overhead: res.Report.Overhead})
+	}
+	return out, nil
+}
+
+// WeightModePoint compares balance weight functions (the paper's §6
+// future-work extension): how evenly each mode spreads unhidden IO latency
+// across the stages.
+type WeightModePoint struct {
+	Mode         costmodel.WeightMode
+	MaxStageLat  int64   // largest per-stage static latency sum
+	MeanStageLat float64 // mean per-stage static latency sum
+	LatencySkew  float64 // max/mean: 1.0 = perfectly distributed
+	InstrSpeedup float64 // the figure-19 metric under this mode
+}
+
+// AblationWeightMode partitions one PPS under both weight functions and
+// measures the distribution of IO latency over the stages.
+func AblationWeightMode(name string, degree int) ([]WeightModePoint, error) {
+	p, ok := netbench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown PPS %q", name)
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	latencyArch := costmodel.Default()
+	latencyArch.Mode = costmodel.WeightLatency
+
+	var out []WeightModePoint
+	for _, mode := range []costmodel.WeightMode{costmodel.WeightInstrs, costmodel.WeightLatency} {
+		arch := costmodel.Default()
+		arch.Mode = mode
+		res, err := core.Partition(prog, core.Options{Stages: degree, Arch: arch})
+		if err != nil {
+			return nil, err
+		}
+		// Measure the latency distribution with the latency cost table,
+		// regardless of which mode drove the balance.
+		var maxLat, totLat int64
+		for _, sp := range res.Stages {
+			var lat int64
+			for _, b := range sp.Func.Blocks {
+				for _, in := range b.Instrs {
+					lat += int64(latencyArch.InstrWeight(in))
+				}
+			}
+			totLat += lat
+			if lat > maxLat {
+				maxLat = lat
+			}
+		}
+		mean := float64(totLat) / float64(degree)
+		pt := WeightModePoint{Mode: mode, MaxStageLat: maxLat, MeanStageLat: mean}
+		if mean > 0 {
+			pt.LatencySkew = float64(maxLat) / mean
+		}
+		// Judge the partition's instruction balance with the standard
+		// cost table so the two rows are comparable.
+		instrArch := costmodel.Default()
+		seq := core.FuncCost(resolveSeq(prog), instrArch, costmodel.NNRing)
+		var maxStage int64
+		for _, sp := range res.Stages {
+			if c := core.FuncCost(sp.Func, instrArch, costmodel.NNRing); c.Total > maxStage {
+				maxStage = c.Total
+			}
+		}
+		if maxStage > 0 {
+			pt.InstrSpeedup = float64(seq.Total) / float64(maxStage)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// resolveSeq returns the function whose cost stands for the sequential
+// program (the unpartitioned body).
+func resolveSeq(prog *ir.Program) *ir.Func { return prog.Func }
+
+// ThroughputPoint is one simulator measurement.
+type ThroughputPoint struct {
+	Degree          int
+	CyclesPerPacket float64
+	SpeedupDynamic  float64
+}
+
+// SimThroughput runs the cycle simulator across degrees for one PPS — the
+// dynamic counterpart of figures 19/20.
+func SimThroughput(name string, degrees []int, iters int) ([]ThroughputPoint, error) {
+	p, ok := netbench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown PPS %q", name)
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	var base float64
+	var out []ThroughputPoint
+	for _, d := range degrees {
+		res, err := core.Partition(prog, core.Options{Stages: d})
+		if err != nil {
+			return nil, err
+		}
+		sim, err := npsim.Simulate(res.Stages, netbench.NewWorld(p.Traffic(iters)), iters, npsim.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		pt := ThroughputPoint{Degree: d, CyclesPerPacket: sim.CyclesPerPacket}
+		if d == degrees[0] {
+			base = sim.CyclesPerPacket
+		}
+		if pt.CyclesPerPacket > 0 {
+			pt.SpeedupDynamic = base / pt.CyclesPerPacket
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ThreadPoint is one thread-level simulator measurement.
+type ThreadPoint struct {
+	Threads         int
+	CyclesPerPacket float64
+	IssueBusy       float64 // of the first engine
+}
+
+// ThreadLatencyHiding sweeps hardware-thread counts on the fine-grained
+// simulator, demonstrating the premise behind the paper's instruction-count
+// weight function: memory latency is hidden by multithreading.
+func ThreadLatencyHiding(name string, degree, iters int) ([]ThreadPoint, error) {
+	p, ok := netbench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown PPS %q", name)
+	}
+	prog, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Partition(prog, core.Options{Stages: degree})
+	if err != nil {
+		return nil, err
+	}
+	var out []ThreadPoint
+	for _, threads := range []int{1, 2, 4, 8} {
+		cfg := npsim.DefaultConfig()
+		cfg.ThreadsPerPE = threads
+		sim, err := npsim.SimulateThreads(res.Stages, netbench.NewWorld(p.Traffic(iters)), iters, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt := ThreadPoint{Threads: threads, CyclesPerPacket: sim.CyclesPerPacket}
+		if len(sim.IssueBusy) > 0 {
+			pt.IssueBusy = sim.IssueBusy[0]
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// HeadlineClaim checks the abstract's claim: >4x speedup at nine stages
+// for the IPv4 PPS and for the IP PPS under both traffics, using the
+// paper's dynamic instructions-per-minimum-size-packet metric.
+func HeadlineClaim() (map[string]float64, error) {
+	out := make(map[string]float64)
+	arch := costmodel.Default()
+	for _, name := range []string{"IPv4", "IP(v4)", "IP(v6)"} {
+		p, _ := netbench.ByName(name)
+		prog, err := p.Compile()
+		if err != nil {
+			return nil, err
+		}
+		seqD, err := MeasureDynamic([]*ir.Program{prog.Clone()},
+			netbench.NewWorld(p.Traffic(MeasureIters)), MeasureIters, arch, costmodel.NNRing)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Partition(prog, core.Options{Stages: 9})
+		if err != nil {
+			return nil, err
+		}
+		demands, err := MeasureDynamic(res.Stages,
+			netbench.NewWorld(p.Traffic(MeasureIters)), MeasureIters, arch, costmodel.NNRing)
+		if err != nil {
+			return nil, err
+		}
+		speedup, _, _ := DynamicSpeedup(seqD[0], demands)
+		out[name] = speedup
+	}
+	return out, nil
+}
+
+// SortedKeys is a small helper for deterministic map rendering.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

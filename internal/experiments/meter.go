@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// StageDemand is the measured dynamic cost of one pipeline stage on a
+// traffic stream: the worst per-iteration instruction count (the paper's
+// "number of instructions required for processing a minimum sized packet")
+// and the transmission share in that worst iteration.
+type StageDemand struct {
+	MaxTotal int64
+	MaxTx    int64
+	MeanTot  float64
+}
+
+// MeasureDynamic functionally executes the pipeline on the given world and
+// returns the per-stage demands. All stages share persistent state.
+func MeasureDynamic(stages []*ir.Program, world *interp.World, iters int, arch *costmodel.Arch, ch costmodel.ChannelKind) ([]StageDemand, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("empty pipeline")
+	}
+	runners := make([]*interp.Runner, len(stages))
+	first := interp.NewRunner(stages[0], world)
+	runners[0] = first
+	for k := 1; k < len(stages); k++ {
+		runners[k] = interp.NewRunner(stages[k], world)
+		runners[k].SharePersistent(first)
+	}
+	demands := make([]StageDemand, len(stages))
+	sums := make([]int64, len(stages))
+	for i := 0; i < iters; i++ {
+		ctx := interp.NewIterCtx()
+		var slots []int64
+		for k, r := range runners {
+			var tot, tx int64
+			r.OnInstr = func(in *ir.Instr) {
+				w := int64(arch.InstrWeightOn(in, ch))
+				tot += w
+				if in.Tx {
+					tx += w
+				}
+			}
+			out, err := r.RunIteration(ctx, slots)
+			if err != nil {
+				return nil, fmt.Errorf("iteration %d stage %d: %w", i, k, err)
+			}
+			slots = out
+			if tot > demands[k].MaxTotal {
+				demands[k].MaxTotal = tot
+				demands[k].MaxTx = tx
+			}
+			sums[k] += tot
+		}
+	}
+	for k := range demands {
+		demands[k].MeanTot = float64(sums[k]) / float64(iters)
+	}
+	return demands, nil
+}
+
+// DynamicSpeedup summarizes demands into the paper's metrics: speedup
+// (sequential worst iteration / longest stage's worst iteration) and the
+// transmission overhead ratio in the longest stage.
+func DynamicSpeedup(seq StageDemand, stages []StageDemand) (speedup, overhead float64, longest int) {
+	for k, s := range stages {
+		if s.MaxTotal > stages[longest].MaxTotal {
+			longest = k
+		}
+	}
+	ls := stages[longest]
+	if ls.MaxTotal > 0 {
+		speedup = float64(seq.MaxTotal) / float64(ls.MaxTotal)
+	}
+	if proc := ls.MaxTotal - ls.MaxTx; proc > 0 {
+		overhead = float64(ls.MaxTx) / float64(proc)
+	}
+	return speedup, overhead, longest
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteDominates answers "does a dominate b" by exhaustive path search: a
+// dominates b iff b is unreachable from the root once a is removed.
+func bruteDominates(g *Digraph, root, a, b int) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, g.Len())
+	var stack []int
+	if root != a {
+		seen[root] = true
+		stack = append(stack, root)
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Succs(u) {
+			if v == a || seen[v] {
+				continue
+			}
+			seen[v] = true
+			stack = append(stack, v)
+		}
+	}
+	return !seen[b]
+}
+
+// TestDominatorsAgainstBruteForce cross-checks the Cooper-Harvey-Kennedy
+// implementation against path-removal dominance on random graphs.
+func TestDominatorsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(9)
+		g := New(n)
+		// Guarantee reachability with a random spanning structure, then
+		// add extra edges.
+		for v := 1; v < n; v++ {
+			g.AddEdge(rng.Intn(v), v)
+		}
+		for e := 0; e < n; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		d := Dominators(g, 0)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				want := bruteDominates(g, 0, a, b)
+				got := d.Dominates(a, b)
+				if got != want {
+					t.Fatalf("trial %d: Dominates(%d,%d) = %v, brute force says %v", trial, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFrontierDefinition checks DF(a) = { b : a dominates a pred of b but
+// not strictly b } against the definition on random graphs, restricted to
+// join blocks (>= 2 predecessors) other than the root: the implementation
+// deliberately computes the SSA-relevant frontier (phi functions are only
+// ever needed at joins), the standard Cooper-Harvey-Kennedy refinement.
+func TestFrontierDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(8)
+		g := New(n)
+		for v := 1; v < n; v++ {
+			g.AddEdge(rng.Intn(v), v)
+		}
+		for e := 0; e < n; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		d := Dominators(g, 0)
+		df := d.Frontier(g)
+		inDF := func(a, b int) bool {
+			for _, x := range df[a] {
+				if x == b {
+					return true
+				}
+			}
+			return false
+		}
+		reach := g.ReachableFrom(0)
+		for a := 0; a < n; a++ {
+			if !reach[a] {
+				continue
+			}
+			for b := 1; b < n; b++ {
+				if !reach[b] || len(g.Preds(b)) < 2 {
+					continue
+				}
+				want := false
+				for _, p := range g.Preds(b) {
+					if !reach[p] {
+						continue
+					}
+					if d.Dominates(a, p) && !(a != b && d.Dominates(a, b)) {
+						want = true
+					}
+				}
+				if got := inDF(a, b); got != want {
+					t.Fatalf("trial %d: DF(%d) contains %d = %v, definition says %v",
+						trial, a, b, got, want)
+				}
+			}
+		}
+	}
+}

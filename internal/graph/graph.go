@@ -1,0 +1,134 @@
+// Package graph provides the directed-graph algorithms used throughout the
+// pipelining compiler: strongly connected components (Tarjan), topological
+// ordering, reachability, and dominator/post-dominator trees
+// (Cooper–Harvey–Kennedy).
+//
+// Graphs are represented positionally: nodes are the integers 0..N-1 and the
+// caller supplies successor lists. This keeps the package independent of the
+// IR and lets the same routines serve the CFG, the summarized CFG, and the
+// dependence graph.
+package graph
+
+// Digraph is a directed graph over nodes 0..N-1.
+type Digraph struct {
+	succs [][]int
+	preds [][]int
+}
+
+// New returns an empty digraph with n nodes and no edges.
+func New(n int) *Digraph {
+	return &Digraph{
+		succs: make([][]int, n),
+		preds: make([][]int, n),
+	}
+}
+
+// Len returns the number of nodes.
+func (g *Digraph) Len() int { return len(g.succs) }
+
+// AddEdge inserts the edge u -> v. Duplicate edges are kept; callers that
+// care about multiplicity may deduplicate with Dedup.
+func (g *Digraph) AddEdge(u, v int) {
+	g.succs[u] = append(g.succs[u], v)
+	g.preds[v] = append(g.preds[v], u)
+}
+
+// Succs returns the successor list of u. The returned slice must not be
+// modified.
+func (g *Digraph) Succs(u int) []int { return g.succs[u] }
+
+// Preds returns the predecessor list of u. The returned slice must not be
+// modified.
+func (g *Digraph) Preds(u int) []int { return g.preds[u] }
+
+// HasEdge reports whether the edge u -> v is present.
+func (g *Digraph) HasEdge(u, v int) bool {
+	for _, w := range g.succs[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Dedup removes duplicate parallel edges in place.
+func (g *Digraph) Dedup() {
+	g.succs = dedupAdj(g.succs)
+	g.preds = dedupAdj(g.preds)
+}
+
+func dedupAdj(adj [][]int) [][]int {
+	for u, list := range adj {
+		seen := make(map[int]bool, len(list))
+		out := list[:0]
+		for _, v := range list {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		adj[u] = out
+	}
+	return adj
+}
+
+// Reverse returns a new digraph with every edge direction flipped.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.Len())
+	for u := range g.succs {
+		for _, v := range g.succs[u] {
+			r.AddEdge(v, u)
+		}
+	}
+	return r
+}
+
+// ReachableFrom returns the set of nodes reachable from start (including
+// start itself) as a boolean slice.
+func (g *Digraph) ReachableFrom(start int) []bool {
+	seen := make([]bool, g.Len())
+	stack := []int{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.succs[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// Topo returns a topological order of the graph's nodes (sources first).
+// The graph must be acyclic; Topo returns ok=false if a cycle exists.
+func (g *Digraph) Topo() (order []int, ok bool) {
+	n := g.Len()
+	indeg := make([]int, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.succs[u] {
+			indeg[v]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for u := 0; u < n; u++ {
+		if indeg[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	order = make([]int, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order, len(order) == n
+}

@@ -1,0 +1,125 @@
+package graph
+
+// SCCResult describes the strongly connected components of a digraph.
+type SCCResult struct {
+	// Comp maps each node to its component index. Component indices are
+	// assigned in reverse topological order by Tarjan's algorithm; use
+	// Condense or Topo on the condensation if a forward order is needed.
+	Comp []int
+	// Members lists the nodes of each component.
+	Members [][]int
+}
+
+// NumComps returns the number of strongly connected components.
+func (r *SCCResult) NumComps() int { return len(r.Members) }
+
+// IsTrivial reports whether component c is a single node with no self loop
+// in the graph g it was computed from. Callers that need self-loop
+// information should check g.HasEdge on the sole member.
+func (r *SCCResult) IsTrivial(c int) bool { return len(r.Members[c]) == 1 }
+
+// SCC computes strongly connected components using Tarjan's algorithm
+// (iterative, so deep graphs cannot overflow the goroutine stack).
+func SCC(g *Digraph) *SCCResult {
+	n := g.Len()
+	const unvisited = -1
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var (
+		stack   []int // Tarjan stack
+		members [][]int
+		counter int
+	)
+	type frame struct {
+		node int
+		next int // index into succ list
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		work := []frame{{node: root}}
+		index[root] = counter
+		lowlink[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			u := f.node
+			advanced := false
+			for f.next < len(g.succs[u]) {
+				v := g.succs[u][f.next]
+				f.next++
+				if index[v] == unvisited {
+					index[v] = counter
+					lowlink[v] = counter
+					counter++
+					stack = append(stack, v)
+					onStack[v] = true
+					work = append(work, frame{node: v})
+					advanced = true
+					break
+				}
+				if onStack[v] && index[v] < lowlink[u] {
+					lowlink[u] = index[v]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// u is finished.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].node
+				if lowlink[u] < lowlink[parent] {
+					lowlink[parent] = lowlink[u]
+				}
+			}
+			if lowlink[u] == index[u] {
+				var ms []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(members)
+					ms = append(ms, w)
+					if w == u {
+						break
+					}
+				}
+				members = append(members, ms)
+			}
+		}
+	}
+	return &SCCResult{Comp: comp, Members: members}
+}
+
+// Condense builds the condensation (component DAG) of g under the given SCC
+// result: one node per component, with deduplicated edges between distinct
+// components.
+func Condense(g *Digraph, r *SCCResult) *Digraph {
+	c := New(r.NumComps())
+	seen := make(map[[2]int]bool)
+	for u := 0; u < g.Len(); u++ {
+		cu := r.Comp[u]
+		for _, v := range g.succs[u] {
+			cv := r.Comp[v]
+			if cu == cv {
+				continue
+			}
+			key := [2]int{cu, cv}
+			if !seen[key] {
+				seen[key] = true
+				c.AddEdge(cu, cv)
+			}
+		}
+	}
+	return c
+}

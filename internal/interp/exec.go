@@ -1,0 +1,417 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// MaxSteps bounds the instructions executed per iteration, guarding against
+// accidentally non-terminating inner loops.
+const MaxSteps = 1_000_000
+
+// Runner executes the iterations of one program (or of one pipeline stage)
+// against a World, holding its persistent array state between iterations.
+type Runner struct {
+	Prog  *ir.Program
+	World *World
+
+	// OnInstr, when set, is invoked for every executed instruction. The
+	// network-processor simulator uses it to meter per-iteration cycle
+	// demand.
+	OnInstr func(in *ir.Instr)
+
+	persistent map[int][]int64 // array ID -> storage
+}
+
+// NewRunner creates a runner with freshly initialized persistent state.
+func NewRunner(prog *ir.Program, world *World) *Runner {
+	r := &Runner{Prog: prog, World: world, persistent: make(map[int][]int64)}
+	for _, a := range prog.Arrays {
+		if a.Persistent {
+			st := make([]int64, a.Size)
+			copy(st, a.Init)
+			r.persistent[a.ID] = st
+		}
+	}
+	return r
+}
+
+// SharePersistent makes r use the same persistent storage as other. Pipeline
+// stages of one original program share the program's flow state (the
+// partitioner guarantees each persistent array is touched by one stage only).
+func (r *Runner) SharePersistent(other *Runner) { r.persistent = other.persistent }
+
+// array returns the storage for arr in the given iteration context.
+func (r *Runner) array(ctx *IterCtx, arr *ir.Array) []int64 {
+	if arr.Persistent {
+		st, ok := r.persistent[arr.ID]
+		if !ok {
+			st = make([]int64, arr.Size)
+			copy(st, arr.Init)
+			r.persistent[arr.ID] = st
+		}
+		return st
+	}
+	st, ok := ctx.locals[arr.ID]
+	if !ok {
+		st = make([]int64, arr.Size)
+		ctx.locals[arr.ID] = st
+	}
+	return st
+}
+
+func wrapIndex(i int64, size int) int {
+	m := i % int64(size)
+	if m < 0 {
+		m += int64(size)
+	}
+	return int(m)
+}
+
+// RunIteration executes one PPS-loop iteration of r.Prog.Func in the given
+// per-iteration context. recv supplies the live-set slot values consumed by
+// OpRecvLS (nil for a first stage / sequential program); the values sent by
+// OpSendLS are returned.
+func (r *Runner) RunIteration(ctx *IterCtx, recv []int64) (sent []int64, err error) {
+	f := r.Prog.Func
+	regs := make([]int64, f.NumRegs)
+	cur := f.Blocks[f.Entry]
+	prev := -1
+	steps := 0
+
+	for {
+		// Phi instructions evaluate in parallel at block entry.
+		nPhi := 0
+		for _, in := range cur.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			nPhi++
+		}
+		if nPhi > 0 {
+			vals := make([]int64, nPhi)
+			for i := 0; i < nPhi; i++ {
+				in := cur.Instrs[i]
+				found := false
+				for j, p := range in.PhiPreds {
+					if p == prev {
+						vals[i] = regs[in.Args[j]]
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("%s: b%d: phi has no value for predecessor b%d", f.Name, cur.ID, prev)
+				}
+			}
+			for i := 0; i < nPhi; i++ {
+				regs[cur.Instrs[i].Dst] = vals[i]
+			}
+		}
+
+		for idx := nPhi; idx < len(cur.Instrs); idx++ {
+			in := cur.Instrs[idx]
+			steps++
+			if steps > MaxSteps {
+				return nil, fmt.Errorf("%s: step limit exceeded (non-terminating inner loop?)", f.Name)
+			}
+			if r.OnInstr != nil {
+				r.OnInstr(in)
+			}
+			switch in.Op {
+			case ir.OpConst:
+				regs[in.Dst] = in.Imm
+			case ir.OpCopy:
+				regs[in.Dst] = regs[in.Args[0]]
+			case ir.OpLoad:
+				st := r.array(ctx, in.Arr)
+				regs[in.Dst] = st[wrapIndex(regs[in.Args[0]], in.Arr.Size)]
+			case ir.OpStore:
+				st := r.array(ctx, in.Arr)
+				st[wrapIndex(regs[in.Args[0]], in.Arr.Size)] = regs[in.Args[1]]
+			case ir.OpCall:
+				v, err := r.intrinsic(ctx, in, regs)
+				if err != nil {
+					return nil, err
+				}
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = v
+				}
+			case ir.OpSendLS:
+				vals := make([]int64, len(in.Args))
+				for i, a := range in.Args {
+					vals[i] = regs[a]
+				}
+				sent = vals
+			case ir.OpRecvLS:
+				if len(recv) != len(in.Dsts) {
+					return nil, fmt.Errorf("%s: recvls expects %d slots, got %d", f.Name, len(in.Dsts), len(recv))
+				}
+				for i, d := range in.Dsts {
+					regs[d] = recv[i]
+				}
+			case ir.OpJmp:
+				prev, cur = cur.ID, f.Blocks[in.Targets[0]]
+				goto nextBlock
+			case ir.OpBr:
+				t := in.Targets[1]
+				if regs[in.Args[0]] != 0 {
+					t = in.Targets[0]
+				}
+				prev, cur = cur.ID, f.Blocks[t]
+				goto nextBlock
+			case ir.OpSwitch:
+				v := regs[in.Args[0]]
+				t := in.Targets[len(in.Targets)-1]
+				for i, c := range in.Cases {
+					if v == c {
+						t = in.Targets[i]
+						break
+					}
+				}
+				prev, cur = cur.ID, f.Blocks[t]
+				goto nextBlock
+			case ir.OpRet:
+				return sent, nil
+			default:
+				v, err := evalPure(in, regs)
+				if err != nil {
+					return nil, fmt.Errorf("%s: b%d: %v", f.Name, cur.ID, err)
+				}
+				regs[in.Dst] = v
+			}
+		}
+		return nil, fmt.Errorf("%s: b%d fell off the end without a terminator", f.Name, cur.ID)
+	nextBlock:
+	}
+}
+
+// evalPure evaluates binary/unary operations with total semantics.
+func evalPure(in *ir.Instr, regs []int64) (int64, error) {
+	b2i := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	if in.Op.IsUnary() {
+		x := regs[in.Args[0]]
+		switch in.Op {
+		case ir.OpNeg:
+			return -x, nil
+		case ir.OpNot:
+			return b2i(x == 0), nil
+		case ir.OpBNot:
+			return ^x, nil
+		}
+	}
+	if in.Op.IsBinary() {
+		a, b := regs[in.Args[0]], regs[in.Args[1]]
+		switch in.Op {
+		case ir.OpAdd:
+			return a + b, nil
+		case ir.OpSub:
+			return a - b, nil
+		case ir.OpMul:
+			return a * b, nil
+		case ir.OpDiv:
+			if b == 0 {
+				return 0, nil
+			}
+			// Avoid the single overflowing case MinInt64 / -1.
+			if a == -a && b == -1 {
+				return a, nil
+			}
+			return a / b, nil
+		case ir.OpMod:
+			if b == 0 {
+				return 0, nil
+			}
+			if a == -a && b == -1 {
+				return 0, nil
+			}
+			return a % b, nil
+		case ir.OpAnd:
+			return a & b, nil
+		case ir.OpOr:
+			return a | b, nil
+		case ir.OpXor:
+			return a ^ b, nil
+		case ir.OpShl:
+			return a << (uint64(b) & 63), nil
+		case ir.OpShr:
+			return a >> (uint64(b) & 63), nil
+		case ir.OpEq:
+			return b2i(a == b), nil
+		case ir.OpNe:
+			return b2i(a != b), nil
+		case ir.OpLt:
+			return b2i(a < b), nil
+		case ir.OpLe:
+			return b2i(a <= b), nil
+		case ir.OpGt:
+			return b2i(a > b), nil
+		case ir.OpGe:
+			return b2i(a >= b), nil
+		}
+	}
+	return 0, fmt.Errorf("cannot evaluate %s", in)
+}
+
+// intrinsic dispatches an OpCall.
+func (r *Runner) intrinsic(ctx *IterCtx, in *ir.Instr, regs []int64) (int64, error) {
+	arg := func(i int) int64 { return regs[in.Args[i]] }
+	w := r.World
+	switch in.Call {
+	case "pkt_rx":
+		p := w.rx()
+		if p == nil {
+			ctx.Pkt, ctx.HasPkt = nil, false
+			return -1, nil
+		}
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		ctx.Pkt, ctx.HasPkt = buf, true
+		return int64(len(buf)), nil
+	case "pkt_len":
+		return int64(len(ctx.Pkt)), nil
+	case "pkt_byte":
+		off := arg(0)
+		if off < 0 || off >= int64(len(ctx.Pkt)) {
+			return 0, nil
+		}
+		return int64(ctx.Pkt[off]), nil
+	case "pkt_word":
+		off := arg(0)
+		var v int64
+		for i := int64(0); i < 4; i++ {
+			v <<= 8
+			if o := off + i; o >= 0 && o < int64(len(ctx.Pkt)) {
+				v |= int64(ctx.Pkt[o])
+			}
+		}
+		return v, nil
+	case "pkt_setbyte":
+		off, val := arg(0), arg(1)
+		if off >= 0 && off < int64(len(ctx.Pkt)) {
+			ctx.Pkt[off] = byte(val)
+		}
+		return 0, nil
+	case "pkt_setword":
+		off, val := arg(0), arg(1)
+		for i := int64(0); i < 4; i++ {
+			if o := off + i; o >= 0 && o < int64(len(ctx.Pkt)) {
+				ctx.Pkt[o] = byte(val >> (8 * (3 - i)))
+			}
+		}
+		return 0, nil
+	case "pkt_send":
+		pkt := make([]byte, len(ctx.Pkt))
+		copy(pkt, ctx.Pkt)
+		w.emit(Event{Kind: EvSend, Val: arg(0), Pkt: pkt})
+		return 0, nil
+	case "pkt_drop":
+		w.emit(Event{Kind: EvDrop})
+		return 0, nil
+	case "meta_get":
+		return ctx.Meta[wrapIndex(arg(0), len(ctx.Meta))], nil
+	case "meta_set":
+		ctx.Meta[wrapIndex(arg(0), len(ctx.Meta))] = arg(1)
+		return 0, nil
+	case "rt_lookup":
+		if w.RT4 == nil {
+			return -1, nil
+		}
+		return w.RT4(arg(0)), nil
+	case "rt6_lookup":
+		if w.RT6 == nil {
+			return -1, nil
+		}
+		return w.RT6(arg(0), arg(1)), nil
+	case "csum_fold":
+		v := uint64(arg(0)) & 0xFFFFFFFF
+		v = (v & 0xFFFF) + (v >> 16)
+		v = (v & 0xFFFF) + (v >> 16)
+		return int64(v), nil
+	case "hash_crc":
+		// A small deterministic integer mix (xorshift-multiply).
+		v := uint64(arg(0))
+		v ^= v >> 33
+		v *= 0xff51afd7ed558ccd
+		v ^= v >> 33
+		return int64(v & 0x7FFFFFFF), nil
+	case "q_put":
+		q := arg(0)
+		w.Queues[q] = append(w.Queues[q], arg(1))
+		return 0, nil
+	case "q_get":
+		q := arg(0)
+		vs := w.Queues[q]
+		if len(vs) == 0 {
+			return -1, nil
+		}
+		v := vs[0]
+		w.Queues[q] = vs[1:]
+		return v, nil
+	case "q_len":
+		return int64(len(w.Queues[arg(0)])), nil
+	case "trace":
+		w.emit(Event{Kind: EvTrace, Val: arg(0)})
+		return 0, nil
+	}
+	return 0, fmt.Errorf("unknown intrinsic %q", in.Call)
+}
+
+// RunSequential executes iters iterations of prog against world and returns
+// the observable trace.
+func RunSequential(prog *ir.Program, world *World, iters int) ([]Event, error) {
+	r := NewRunner(prog, world)
+	for i := 0; i < iters; i++ {
+		if _, err := r.RunIteration(NewIterCtx(), nil); err != nil {
+			return nil, fmt.Errorf("iteration %d: %w", i, err)
+		}
+	}
+	return world.Trace, nil
+}
+
+// RunPipeline executes iters iterations through the given pipeline stages
+// (run to completion per iteration, which preserves the sequential trace
+// order and is therefore the correctness oracle for partitioning). All
+// stages share the world and the persistent state of the first stage.
+func RunPipeline(stages []*ir.Program, world *World, iters int) ([]Event, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("empty pipeline")
+	}
+	runners := make([]*Runner, len(stages))
+	for i, s := range stages {
+		runners[i] = &Runner{Prog: s, World: world, persistent: nil}
+	}
+	shared := make(map[int][]int64)
+	for _, s := range stages {
+		for _, a := range s.Arrays {
+			if a.Persistent {
+				if _, ok := shared[a.ID]; !ok {
+					st := make([]int64, a.Size)
+					copy(st, a.Init)
+					shared[a.ID] = st
+				}
+			}
+		}
+	}
+	for _, r := range runners {
+		r.persistent = shared
+	}
+	for i := 0; i < iters; i++ {
+		ctx := NewIterCtx()
+		var slots []int64
+		for k, r := range runners {
+			out, err := r.RunIteration(ctx, slots)
+			if err != nil {
+				return nil, fmt.Errorf("iteration %d, stage %d: %w", i, k, err)
+			}
+			slots = out
+		}
+	}
+	return world.Trace, nil
+}

@@ -1,0 +1,405 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/ppc"
+)
+
+// run compiles src, executes iters iterations with the given packets, and
+// returns the trace.
+func run(t *testing.T, src string, packets [][]byte, iters int) []Event {
+	t.Helper()
+	prog, err := ppc.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	trace, err := RunSequential(prog, NewWorld(packets), iters)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return trace
+}
+
+// traceVals extracts the values of EvTrace events.
+func traceVals(trace []Event) []int64 {
+	var vals []int64
+	for _, e := range trace {
+		if e.Kind == EvTrace {
+			vals = append(vals, e.Val)
+		}
+	}
+	return vals
+}
+
+func wantVals(t *testing.T, got []Event, want ...int64) {
+	t.Helper()
+	vals := traceVals(got)
+	if len(vals) != len(want) {
+		t.Fatalf("trace vals = %v, want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("trace vals = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	tr := run(t, `pps P { loop {
+		trace(2 + 3 * 4);
+		trace((2 + 3) * 4);
+		trace(7 / 2);
+		trace(7 % 3);
+		trace(-5);
+		trace(10 - 3);
+		trace(1 << 4);
+		trace(-16 >> 2);
+		trace(6 & 3);
+		trace(6 | 3);
+		trace(6 ^ 3);
+		trace(~0);
+	} }`, nil, 1)
+	wantVals(t, tr, 14, 20, 3, 1, -5, 7, 16, -4, 2, 7, 5, -1)
+}
+
+func TestDivModByZeroTotal(t *testing.T) {
+	tr := run(t, `pps P { loop { var z = 0; trace(5 / z); trace(5 % z); } }`, nil, 1)
+	wantVals(t, tr, 0, 0)
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	tr := run(t, `pps P { loop {
+		trace(3 < 4); trace(4 <= 4); trace(5 > 4); trace(4 >= 5);
+		trace(3 == 3); trace(3 != 3);
+		trace(!0); trace(!7);
+		trace(1 && 2); trace(1 && 0); trace(0 || 3); trace(0 || 0);
+	} }`, nil, 1)
+	wantVals(t, tr, 1, 1, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0)
+}
+
+func TestShortCircuitSkipsEffects(t *testing.T) {
+	// The RHS q_put must not run when the LHS decides the result.
+	src := `pps P { loop {
+		var a = 0;
+		if (a != 0 && q_len(1) > 0) { trace(1); }
+		trace(q_len(5));
+	} }`
+	tr := run(t, src, nil, 1)
+	wantVals(t, tr, 0)
+}
+
+func TestTernary(t *testing.T) {
+	tr := run(t, `pps P { loop { var x = 7; trace(x > 5 ? 100 : 200); trace(x > 9 ? 100 : 200); } }`, nil, 1)
+	wantVals(t, tr, 100, 200)
+}
+
+func TestWhileAndFor(t *testing.T) {
+	tr := run(t, `pps P { loop {
+		var sum = 0;
+		for[10] (var i = 1; i <= 5; i = i + 1) { sum += i; }
+		trace(sum);
+		var j = 0;
+		while[10] (j < 3) { j = j + 1; }
+		trace(j);
+		var k = 10;
+		do[5] { k = k - 4; } while (k > 0);
+		trace(k);
+	} }`, nil, 1)
+	wantVals(t, tr, 15, 3, -2)
+}
+
+func TestBreakContinue(t *testing.T) {
+	tr := run(t, `pps P { loop {
+		var s = 0;
+		for[20] (var i = 0; i < 10; i = i + 1) {
+			if (i == 3) { continue; }
+			if (i == 6) { break; }
+			s += i;
+		}
+		trace(s);
+	} }`, nil, 1)
+	// 0+1+2+4+5 = 12
+	wantVals(t, tr, 12)
+}
+
+func TestSwitchSemantics(t *testing.T) {
+	tr := run(t, `pps P { loop {
+		for[6] (var i = 0; i < 4; i = i + 1) {
+			switch (i) {
+			case 0: trace(100);
+			case 2: trace(102);
+			default: trace(-1);
+			}
+		}
+	} }`, nil, 1)
+	wantVals(t, tr, 100, -1, 102, -1)
+}
+
+func TestScopingAndShadowing(t *testing.T) {
+	tr := run(t, `pps P { loop {
+		var x = 1;
+		if (1) { var x = 2; trace(x); x = 3; trace(x); }
+		trace(x);
+	} }`, nil, 1)
+	wantVals(t, tr, 2, 3, 1)
+}
+
+func TestFunctionInliningSemantics(t *testing.T) {
+	tr := run(t, `
+		func max(a, b) { if (a > b) { return a; } return b; }
+		func clamp(x, lo, hi) { return max(lo, x > hi ? hi : x); }
+		pps P { loop {
+			trace(clamp(5, 0, 10));
+			trace(clamp(-5, 0, 10));
+			trace(clamp(50, 0, 10));
+		} }`, nil, 1)
+	wantVals(t, tr, 5, 0, 10)
+}
+
+func TestFunctionFallOffReturnsZero(t *testing.T) {
+	tr := run(t, `
+		func f(x) { if (x > 0) { return 7; } }
+		pps P { loop { trace(f(1)); trace(f(-1)); } }`, nil, 1)
+	wantVals(t, tr, 7, 0)
+}
+
+func TestPersistentScalarAcrossIterations(t *testing.T) {
+	tr := run(t, `pps P {
+		persistent var count = 100;
+		loop { count = count + 1; trace(count); }
+	}`, nil, 3)
+	wantVals(t, tr, 101, 102, 103)
+}
+
+func TestLocalArrayResetsEachIteration(t *testing.T) {
+	tr := run(t, `pps P {
+		var buf[4];
+		loop { trace(buf[1]); buf[1] = 42; }
+	}`, nil, 2)
+	wantVals(t, tr, 0, 0)
+}
+
+func TestPersistentArrayCarries(t *testing.T) {
+	tr := run(t, `pps P {
+		persistent var st[4];
+		loop { trace(st[1]); st[1] = st[1] + 42; }
+	}`, nil, 2)
+	wantVals(t, tr, 0, 42)
+}
+
+func TestArrayIndexWrap(t *testing.T) {
+	tr := run(t, `pps P { var a[4]; loop { a[5] = 9; trace(a[1]); a[-1] = 7; trace(a[3]); } }`, nil, 1)
+	wantVals(t, tr, 9, 7)
+}
+
+func TestPacketIntrinsics(t *testing.T) {
+	pkts := [][]byte{{0x45, 0x00, 0x01, 0x02, 0xFF}}
+	tr := run(t, `pps P { loop {
+		var n = pkt_rx();
+		trace(n);
+		trace(pkt_len());
+		trace(pkt_byte(0));
+		trace(pkt_byte(100));
+		trace(pkt_word(0));
+		pkt_setbyte(4, 0xAA);
+		trace(pkt_byte(4));
+		pkt_setword(0, 0x01020304);
+		trace(pkt_word(0));
+		pkt_send(3);
+	} }`, pkts, 1)
+	wantVals(t, tr, 5, 5, 0x45, 0, 0x45000102, 0xAA, 0x01020304)
+	last := tr[len(tr)-1]
+	if last.Kind != EvSend || last.Val != 3 {
+		t.Fatalf("last event = %v, want send(3)", last)
+	}
+	if last.Pkt[0] != 0x01 || last.Pkt[4] != 0xAA {
+		t.Errorf("sent packet bytes wrong: %v", last.Pkt)
+	}
+}
+
+func TestPktRxExhausted(t *testing.T) {
+	tr := run(t, `pps P { loop { trace(pkt_rx()); } }`, [][]byte{{1, 2}}, 3)
+	wantVals(t, tr, 2, -1, -1)
+}
+
+func TestPktRxDoesNotMutateInput(t *testing.T) {
+	pkts := [][]byte{{1, 2, 3}}
+	prog, err := ppc.Compile(`pps P { loop { var n = pkt_rx(); pkt_setbyte(0, 99); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(pkts)
+	if _, err := RunSequential(prog, w, 1); err != nil {
+		t.Fatal(err)
+	}
+	if pkts[0][0] != 1 {
+		t.Error("pkt_setbyte mutated the input stream")
+	}
+}
+
+func TestMetaWords(t *testing.T) {
+	tr := run(t, `pps P { loop { meta_set(3, 77); trace(meta_get(3)); trace(meta_get(4)); } }`, nil, 1)
+	wantVals(t, tr, 77, 0)
+}
+
+func TestQueues(t *testing.T) {
+	tr := run(t, `pps P { loop {
+		trace(q_get(1));
+		q_put(1, 11); q_put(1, 22);
+		trace(q_len(1));
+		trace(q_get(1)); trace(q_get(1)); trace(q_get(1));
+	} }`, nil, 1)
+	wantVals(t, tr, -1, 2, 11, 22, -1)
+}
+
+func TestRouteLookups(t *testing.T) {
+	prog, err := ppc.Compile(`pps P { loop { trace(rt_lookup(5)); trace(rt6_lookup(1, 2)); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(nil)
+	w.RT4 = func(addr int64) int64 { return addr * 10 }
+	w.RT6 = func(hi, lo int64) int64 { return hi + lo }
+	tr, err := RunSequential(prog, w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals(t, tr, 50, 3)
+	// Nil lookups return -1.
+	tr2 := run(t, `pps P { loop { trace(rt_lookup(5)); } }`, nil, 1)
+	wantVals(t, tr2, -1)
+}
+
+func TestCsumFold(t *testing.T) {
+	tr := run(t, `pps P { loop { trace(csum_fold(0x1FFFF)); trace(csum_fold(0xFFFF)); } }`, nil, 1)
+	wantVals(t, tr, 1, 0xFFFF)
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a := run(t, `pps P { loop { trace(hash_crc(12345)); } }`, nil, 1)
+	b := run(t, `pps P { loop { trace(hash_crc(12345)); } }`, nil, 1)
+	if traceVals(a)[0] != traceVals(b)[0] {
+		t.Error("hash_crc not deterministic")
+	}
+	if traceVals(a)[0] < 0 {
+		t.Error("hash_crc should be non-negative")
+	}
+}
+
+func TestContinueEndsIteration(t *testing.T) {
+	tr := run(t, `pps P { loop {
+		var n = pkt_rx();
+		if (n < 0) { continue; }
+		trace(n);
+	} }`, [][]byte{{1, 2, 3}}, 3)
+	wantVals(t, tr, 3)
+}
+
+func TestStepLimit(t *testing.T) {
+	// An unannotated while(1) must hit the step limit, not hang.
+	prog, err := ppc.Compile(`pps P { loop { var i = 0; while (1) { i = i + 1; } } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSequential(prog, NewWorld(nil), 1); err == nil {
+		t.Fatal("non-terminating loop did not error")
+	}
+}
+
+func TestTraceEqual(t *testing.T) {
+	a := []Event{{Kind: EvTrace, Val: 1}, {Kind: EvSend, Val: 2, Pkt: []byte{9}}}
+	b := []Event{{Kind: EvTrace, Val: 1}, {Kind: EvSend, Val: 2, Pkt: []byte{9}}}
+	if d := TraceEqual(a, b); d != "" {
+		t.Errorf("equal traces reported different: %s", d)
+	}
+	b[1].Pkt = []byte{8}
+	if d := TraceEqual(a, b); d == "" {
+		t.Error("different traces reported equal")
+	}
+	if d := TraceEqual(a, a[:1]); d == "" {
+		t.Error("length mismatch not reported")
+	}
+}
+
+func TestWorldCloneRewinds(t *testing.T) {
+	w := NewWorld([][]byte{{1}, {2}})
+	w.rx()
+	w.Queues[3] = []int64{7}
+	c := w.Clone()
+	if got := c.rx(); got == nil || got[0] != 1 {
+		t.Error("Clone did not rewind the packet stream")
+	}
+	c.Queues[3][0] = 99
+	if w.Queues[3][0] != 7 {
+		t.Error("Clone shares queue storage")
+	}
+}
+
+func TestRunPipelineManualStages(t *testing.T) {
+	// Hand-build a two-stage pipeline: stage 1 computes x = 5+y and sends
+	// it; stage 2 receives and traces x*2. Equivalent sequential program
+	// traces 16.
+	arrs := []*ir.Array(nil)
+
+	s1 := ir.NewFunc("s1")
+	b1 := ir.NewBuilder(s1)
+	y := b1.Const(3)
+	five := b1.Const(5)
+	x := b1.Bin(ir.OpAdd, five, y)
+	b1.Cur.Instrs = append(b1.Cur.Instrs, &ir.Instr{Op: ir.OpSendLS, Dst: ir.NoReg, Args: []int{x}, Tx: true})
+	b1.Ret()
+
+	s2 := ir.NewFunc("s2")
+	b2 := ir.NewBuilder(s2)
+	rx := s2.NewReg()
+	b2.Cur.Instrs = append(b2.Cur.Instrs, &ir.Instr{Op: ir.OpRecvLS, Dst: ir.NoReg, Dsts: []int{rx}, Tx: true})
+	two := b2.Const(2)
+	prod := b2.Bin(ir.OpMul, rx, two)
+	b2.CallVoid("trace", prod)
+	b2.Ret()
+
+	stages := []*ir.Program{
+		{Name: "s1", Arrays: arrs, Func: s1},
+		{Name: "s2", Arrays: arrs, Func: s2},
+	}
+	tr, err := RunPipeline(stages, NewWorld(nil), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals(t, tr, 16, 16)
+}
+
+func TestOnInstrMetering(t *testing.T) {
+	prog, err := ppc.Compile(`pps P { loop { var n = pkt_rx(); trace(n + 1); } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(prog, NewWorld([][]byte{{1, 2}}))
+	count := 0
+	calls := 0
+	r.OnInstr = func(in *ir.Instr) {
+		count++
+		if in.Op == ir.OpCall {
+			calls++
+		}
+	}
+	if _, err := r.RunIteration(NewIterCtx(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("OnInstr never fired")
+	}
+	if calls != 2 {
+		t.Errorf("metered %d calls, want 2 (pkt_rx + trace)", calls)
+	}
+	// Metering must not perturb behaviour: rerun without the hook.
+	r2 := NewRunner(prog, NewWorld([][]byte{{1, 2}}))
+	if _, err := r2.RunIteration(NewIterCtx(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if diff := TraceEqual(r.World.Trace, r2.World.Trace); diff != "" {
+		t.Errorf("metering changed behaviour: %s", diff)
+	}
+}

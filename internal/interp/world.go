@@ -1,0 +1,140 @@
+// Package interp executes IR programs deterministically. It is the
+// behavioural oracle of the repository: the pipelining transformation is
+// correct iff running the partitioned stages (connected by live-set
+// transmissions) produces exactly the observable trace of the original
+// sequential PPS on the same input.
+package interp
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// EventKind classifies observable events.
+type EventKind uint8
+
+const (
+	EvTrace EventKind = iota // trace(v)
+	EvSend                   // pkt_send(port)
+	EvDrop                   // pkt_drop()
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvTrace:
+		return "trace"
+	case EvSend:
+		return "send"
+	case EvDrop:
+		return "drop"
+	}
+	return "?"
+}
+
+// Event is one observable action of a PPS.
+type Event struct {
+	Kind EventKind
+	Val  int64  // trace value or send port
+	Pkt  []byte // packet contents at send time (EvSend only)
+}
+
+// Equal reports whether two events are identical.
+func (e Event) Equal(o Event) bool {
+	return e.Kind == o.Kind && e.Val == o.Val && bytes.Equal(e.Pkt, o.Pkt)
+}
+
+func (e Event) String() string {
+	if e.Kind == EvSend {
+		return fmt.Sprintf("send(port=%d, %d bytes)", e.Val, len(e.Pkt))
+	}
+	return fmt.Sprintf("%s(%d)", e.Kind, e.Val)
+}
+
+// World supplies the environment a PPS runs in: the input packet stream,
+// read-only route tables, persistent queues, and the observable event trace.
+type World struct {
+	// Packets is the input stream consumed by pkt_rx, one per call.
+	Packets [][]byte
+	next    int
+
+	// RT4 and RT6 answer route lookups. Nil lookups return -1 (no route).
+	RT4 func(addr int64) int64
+	RT6 func(hi, lo int64) int64
+
+	// Queues backs the q_put/q_get/q_len intrinsics.
+	Queues map[int64][]int64
+
+	// Trace accumulates observable events.
+	Trace []Event
+}
+
+// NewWorld returns a world with the given input packets and empty state.
+func NewWorld(packets [][]byte) *World {
+	return &World{Packets: packets, Queues: make(map[int64][]int64)}
+}
+
+// Clone returns a deep copy of the world's mutable state with the input
+// stream rewound, so the same inputs can be replayed.
+func (w *World) Clone() *World {
+	c := &World{
+		Packets: make([][]byte, len(w.Packets)),
+		RT4:     w.RT4,
+		RT6:     w.RT6,
+		Queues:  make(map[int64][]int64, len(w.Queues)),
+	}
+	for i, p := range w.Packets {
+		c.Packets[i] = append([]byte(nil), p...)
+	}
+	for q, vs := range w.Queues {
+		c.Queues[q] = append([]int64(nil), vs...)
+	}
+	return c
+}
+
+// TraceEqual compares two traces and returns a description of the first
+// difference, or "" if equal.
+func TraceEqual(a, b []Event) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !a[i].Equal(b[i]) {
+			return fmt.Sprintf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Sprintf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	return ""
+}
+
+// emit appends an event.
+func (w *World) emit(e Event) { w.Trace = append(w.Trace, e) }
+
+// rx returns the next input packet, or nil when the stream is exhausted.
+func (w *World) rx() []byte {
+	if w.next >= len(w.Packets) {
+		return nil
+	}
+	p := w.Packets[w.next]
+	w.next++
+	return p
+}
+
+// IterCtx is the per-iteration context: the packet being processed, the
+// packet descriptor (metadata words), and the per-iteration local array
+// storage. On real hardware this state lives in DRAM/SRAM, indexed by a
+// packet handle that flows down the pipeline; here the context flows with
+// the iteration.
+type IterCtx struct {
+	Pkt    []byte // nil when pkt_rx found no packet
+	HasPkt bool
+	Meta   [16]int64
+	locals map[int][]int64 // array ID -> storage
+}
+
+// NewIterCtx returns an empty per-iteration context.
+func NewIterCtx() *IterCtx {
+	return &IterCtx{locals: make(map[int][]int64)}
+}

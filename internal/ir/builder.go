@@ -1,0 +1,99 @@
+package ir
+
+// Builder provides convenience methods for emitting instructions into a
+// function while tracking the current block. It is used by the PPC lowering
+// pass and by tests that construct IR by hand.
+type Builder struct {
+	Func *Func
+	Cur  *Block
+}
+
+// NewBuilder returns a builder positioned at f's entry block.
+func NewBuilder(f *Func) *Builder {
+	return &Builder{Func: f, Cur: f.Blocks[f.Entry]}
+}
+
+// SetBlock repositions the builder.
+func (bl *Builder) SetBlock(b *Block) { bl.Cur = b }
+
+// emit appends in to the current block and returns its Dst.
+func (bl *Builder) emit(in *Instr) int {
+	bl.Cur.Instrs = append(bl.Cur.Instrs, in)
+	return in.Dst
+}
+
+// Const emits Dst = imm.
+func (bl *Builder) Const(imm int64) int {
+	return bl.emit(&Instr{Op: OpConst, Dst: bl.Func.NewReg(), Imm: imm})
+}
+
+// Copy emits Dst = src.
+func (bl *Builder) Copy(src int) int {
+	return bl.emit(&Instr{Op: OpCopy, Dst: bl.Func.NewReg(), Args: []int{src}})
+}
+
+// CopyTo emits dst = src for an existing destination register (mutable,
+// pre-SSA form).
+func (bl *Builder) CopyTo(dst, src int) {
+	bl.emit(&Instr{Op: OpCopy, Dst: dst, Args: []int{src}})
+}
+
+// ConstTo emits dst = imm for an existing destination register.
+func (bl *Builder) ConstTo(dst int, imm int64) {
+	bl.emit(&Instr{Op: OpConst, Dst: dst, Imm: imm})
+}
+
+// Bin emits Dst = a op b.
+func (bl *Builder) Bin(op Op, a, b int) int {
+	return bl.emit(&Instr{Op: op, Dst: bl.Func.NewReg(), Args: []int{a, b}})
+}
+
+// Un emits Dst = op a.
+func (bl *Builder) Un(op Op, a int) int {
+	return bl.emit(&Instr{Op: op, Dst: bl.Func.NewReg(), Args: []int{a}})
+}
+
+// Load emits Dst = arr[idx].
+func (bl *Builder) Load(arr *Array, idx int) int {
+	return bl.emit(&Instr{Op: OpLoad, Dst: bl.Func.NewReg(), Args: []int{idx}, Arr: arr})
+}
+
+// Store emits arr[idx] = val.
+func (bl *Builder) Store(arr *Array, idx, val int) {
+	bl.emit(&Instr{Op: OpStore, Dst: NoReg, Args: []int{idx, val}, Arr: arr})
+}
+
+// Call emits a value-returning intrinsic call.
+func (bl *Builder) Call(name string, args ...int) int {
+	return bl.emit(&Instr{Op: OpCall, Dst: bl.Func.NewReg(), Args: args, Call: name})
+}
+
+// CallVoid emits an intrinsic call with no result.
+func (bl *Builder) CallVoid(name string, args ...int) {
+	bl.emit(&Instr{Op: OpCall, Dst: NoReg, Args: args, Call: name})
+}
+
+// Jmp terminates the current block with an unconditional jump.
+func (bl *Builder) Jmp(target *Block) {
+	bl.emit(&Instr{Op: OpJmp, Dst: NoReg, Targets: []int{target.ID}})
+}
+
+// Br terminates the current block with a conditional branch.
+func (bl *Builder) Br(cond int, then, els *Block) {
+	bl.emit(&Instr{Op: OpBr, Dst: NoReg, Args: []int{cond}, Targets: []int{then.ID, els.ID}})
+}
+
+// Switch terminates the current block with a multiway branch. The final
+// entry of targets is the default.
+func (bl *Builder) Switch(v int, cases []int64, targets []*Block) {
+	ids := make([]int, len(targets))
+	for i, t := range targets {
+		ids[i] = t.ID
+	}
+	bl.emit(&Instr{Op: OpSwitch, Dst: NoReg, Args: []int{v}, Cases: cases, Targets: ids})
+}
+
+// Ret terminates the current block, ending the PPS-loop iteration.
+func (bl *Builder) Ret() {
+	bl.emit(&Instr{Op: OpRet, Dst: NoReg})
+}

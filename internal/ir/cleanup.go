@@ -1,0 +1,43 @@
+package ir
+
+// RemoveUnreachable deletes blocks not reachable from the entry, renumbers
+// the remaining blocks, remaps branch targets and phi predecessor lists, and
+// drops phi operands flowing in from deleted blocks.
+func RemoveUnreachable(f *Func) {
+	reach := f.CFG().ReachableFrom(f.Entry)
+	remap := make([]int, len(f.Blocks))
+	var kept []*Block
+	for _, b := range f.Blocks {
+		if reach[b.ID] {
+			remap[b.ID] = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap[b.ID] = -1
+		}
+	}
+	if len(kept) == len(f.Blocks) {
+		return
+	}
+	for _, b := range kept {
+		b.ID = remap[b.ID]
+		for _, in := range b.Instrs {
+			for i, t := range in.Targets {
+				in.Targets[i] = remap[t]
+			}
+			if in.Op == OpPhi {
+				args := in.Args[:0]
+				preds := in.PhiPreds[:0]
+				for i, p := range in.PhiPreds {
+					if remap[p] >= 0 {
+						args = append(args, in.Args[i])
+						preds = append(preds, remap[p])
+					}
+				}
+				in.Args = args
+				in.PhiPreds = preds
+			}
+		}
+	}
+	f.Blocks = kept
+	f.Entry = remap[f.Entry]
+}

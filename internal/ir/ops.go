@@ -1,0 +1,151 @@
+// Package ir defines the three-address intermediate representation that the
+// pipelining compiler operates on.
+//
+// A PPS (packet processing stage) is lowered to a single Func whose body is
+// ONE iteration of the PPS loop: the implicit infinite loop is supplied by
+// the runtime (interpreter or simulator), which re-invokes the Func once per
+// packet/iteration. Flow state that survives across iterations lives in
+// persistent Arrays; everything else is per-iteration.
+//
+// Values are virtual registers identified by small integers. Constants are
+// materialized by OpConst instructions so that every operand of every other
+// instruction is a register; this keeps the dataflow and dependence analyses
+// uniform.
+package ir
+
+import "fmt"
+
+// Op enumerates IR operations.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+
+	// Pure value producers.
+	OpConst // Dst = Imm
+	OpCopy  // Dst = Args[0]
+	OpPhi   // Dst = φ(Args...), PhiPreds parallel to Args (SSA only)
+
+	// Binary arithmetic/logic: Dst = Args[0] op Args[1].
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // division by zero yields 0 (total semantics)
+	OpMod // mod by zero yields 0
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // shift counts are masked to 0..63
+	OpShr // arithmetic shift right
+
+	// Comparisons: Dst = 1 if true else 0.
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	// Unary: Dst = op Args[0].
+	OpNeg  // arithmetic negation
+	OpNot  // logical not (0 -> 1, nonzero -> 0)
+	OpBNot // bitwise complement
+
+	// Memory: arrays are module-level, identified by Arr.
+	OpLoad  // Dst = Arr[Args[0]]; out-of-range indices wrap (index % size)
+	OpStore // Arr[Args[0]] = Args[1]
+
+	// Call of an intrinsic (Callee): Dst = callee(Args...) or no Dst.
+	OpCall
+
+	// Live-set transmission pseudo-ops inserted by the pipeliner.
+	OpSendLS // send Args (slot values) to the next stage's pipe
+	OpRecvLS // receive into Dsts (slot registers) from the previous stage
+
+	// Terminators.
+	OpJmp    // goto Targets[0]
+	OpBr     // if Args[0] != 0 goto Targets[0] else Targets[1]
+	OpSwitch // match Args[0] against Cases; Targets parallel; last Target is default
+	OpRet    // end of this PPS-loop iteration
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpConst:   "const",
+	OpCopy:    "copy",
+	OpPhi:     "phi",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpDiv:     "div",
+	OpMod:     "mod",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpEq:      "eq",
+	OpNe:      "ne",
+	OpLt:      "lt",
+	OpLe:      "le",
+	OpGt:      "gt",
+	OpGe:      "ge",
+	OpNeg:     "neg",
+	OpNot:     "not",
+	OpBNot:    "bnot",
+	OpLoad:    "load",
+	OpStore:   "store",
+	OpCall:    "call",
+	OpSendLS:  "sendls",
+	OpRecvLS:  "recvls",
+	OpJmp:     "jmp",
+	OpBr:      "br",
+	OpSwitch:  "switch",
+	OpRet:     "ret",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// IsTerminator reports whether op ends a basic block.
+func (op Op) IsTerminator() bool {
+	switch op {
+	case OpJmp, OpBr, OpSwitch, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsBinary reports whether op is a two-operand value operation.
+func (op Op) IsBinary() bool {
+	return op >= OpAdd && op <= OpGe
+}
+
+// IsUnary reports whether op is a one-operand value operation.
+func (op Op) IsUnary() bool {
+	return op == OpNeg || op == OpNot || op == OpBNot
+}
+
+// IsPure reports whether the op has no side effects and its result depends
+// only on its operands (so dead instances can be removed).
+func (op Op) IsPure() bool {
+	switch op {
+	case OpConst, OpCopy, OpPhi:
+		return true
+	}
+	return op.IsBinary() || op.IsUnary()
+}
+
+// HasDst reports whether instructions with this op define Dst.
+// OpCall may or may not define a value; see Instr.Defines.
+func (op Op) HasDst() bool {
+	switch op {
+	case OpConst, OpCopy, OpPhi, OpLoad:
+		return true
+	}
+	return op.IsBinary() || op.IsUnary()
+}

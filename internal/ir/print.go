@@ -1,0 +1,101 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the instruction in a readable assembly-like form.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	reg := func(r int) string {
+		if r == NoReg {
+			return "_"
+		}
+		return fmt.Sprintf("r%d", r)
+	}
+	regs := func(rs []int) string {
+		parts := make([]string, len(rs))
+		for i, r := range rs {
+			parts[i] = reg(r)
+		}
+		return strings.Join(parts, ", ")
+	}
+	switch in.Op {
+	case OpConst:
+		fmt.Fprintf(&sb, "%s = const %d", reg(in.Dst), in.Imm)
+	case OpCopy:
+		fmt.Fprintf(&sb, "%s = copy %s", reg(in.Dst), reg(in.Args[0]))
+	case OpPhi:
+		fmt.Fprintf(&sb, "%s = phi", reg(in.Dst))
+		for i, a := range in.Args {
+			fmt.Fprintf(&sb, " [b%d: %s]", in.PhiPreds[i], reg(a))
+		}
+	case OpLoad:
+		fmt.Fprintf(&sb, "%s = load %s[%s]", reg(in.Dst), in.Arr.Name, reg(in.Args[0]))
+	case OpStore:
+		fmt.Fprintf(&sb, "store %s[%s] = %s", in.Arr.Name, reg(in.Args[0]), reg(in.Args[1]))
+	case OpCall:
+		if in.Dst != NoReg {
+			fmt.Fprintf(&sb, "%s = call %s(%s)", reg(in.Dst), in.Call, regs(in.Args))
+		} else {
+			fmt.Fprintf(&sb, "call %s(%s)", in.Call, regs(in.Args))
+		}
+	case OpSendLS:
+		fmt.Fprintf(&sb, "sendls [%s]", regs(in.Args))
+	case OpRecvLS:
+		fmt.Fprintf(&sb, "[%s] = recvls", regs(in.Dsts))
+	case OpJmp:
+		fmt.Fprintf(&sb, "jmp b%d", in.Targets[0])
+	case OpBr:
+		fmt.Fprintf(&sb, "br %s, b%d, b%d", reg(in.Args[0]), in.Targets[0], in.Targets[1])
+	case OpSwitch:
+		fmt.Fprintf(&sb, "switch %s", reg(in.Args[0]))
+		for i, c := range in.Cases {
+			fmt.Fprintf(&sb, " [%d: b%d]", c, in.Targets[i])
+		}
+		fmt.Fprintf(&sb, " [default: b%d]", in.Targets[len(in.Targets)-1])
+	case OpRet:
+		sb.WriteString("ret")
+	default:
+		if in.Op.IsBinary() {
+			fmt.Fprintf(&sb, "%s = %s %s, %s", reg(in.Dst), in.Op, reg(in.Args[0]), reg(in.Args[1]))
+		} else if in.Op.IsUnary() {
+			fmt.Fprintf(&sb, "%s = %s %s", reg(in.Dst), in.Op, reg(in.Args[0]))
+		} else {
+			fmt.Fprintf(&sb, "%s ???", in.Op)
+		}
+	}
+	return sb.String()
+}
+
+// String renders the whole function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (entry b%d, %d regs)\n", f.Name, f.Entry, f.NumRegs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d", b.ID)
+		if b.Name != "" {
+			fmt.Fprintf(&sb, " <%s>", b.Name)
+		}
+		if b.LoopBound > 0 {
+			fmt.Fprintf(&sb, " loop[%d]", b.LoopBound)
+		}
+		sb.WriteString(":\n")
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", in)
+		}
+	}
+	return sb.String()
+}
+
+// String renders the program: arrays then the function body.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&sb, "%s\n", a)
+	}
+	sb.WriteString(p.Func.String())
+	return sb.String()
+}

@@ -1,0 +1,111 @@
+package ir
+
+import "fmt"
+
+// VerifyMode selects which structural invariants Verify checks.
+type VerifyMode int
+
+const (
+	// VerifyMutable checks basic well-formedness only; registers may have
+	// multiple definitions (post-realization stage code is in this form).
+	VerifyMutable VerifyMode = iota
+	// VerifySSA additionally requires a single definition per register,
+	// that definitions dominate uses, phi consistency, and phis only at
+	// block starts.
+	VerifySSA
+)
+
+// Verify checks structural invariants of f and returns the first violation
+// found, or nil.
+func (f *Func) Verify(mode VerifyMode) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s: no blocks", f.Name)
+	}
+	if f.Entry < 0 || f.Entry >= len(f.Blocks) {
+		return fmt.Errorf("%s: bad entry %d", f.Name, f.Entry)
+	}
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("%s: block at index %d has ID %d", f.Name, i, b.ID)
+		}
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("%s: b%d is empty (needs a terminator)", f.Name, b.ID)
+		}
+		for j, in := range b.Instrs {
+			isLast := j == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				return fmt.Errorf("%s: b%d instr %d (%s): terminator placement", f.Name, b.ID, j, in)
+			}
+			for _, t := range in.Targets {
+				if t < 0 || t >= len(f.Blocks) {
+					return fmt.Errorf("%s: b%d: branch to invalid block %d", f.Name, b.ID, t)
+				}
+			}
+			if in.Op == OpSwitch && len(in.Targets) != len(in.Cases)+1 {
+				return fmt.Errorf("%s: b%d: switch with %d cases, %d targets", f.Name, b.ID, len(in.Cases), len(in.Targets))
+			}
+			for _, r := range in.Uses() {
+				if r < 0 || r >= f.NumRegs {
+					return fmt.Errorf("%s: b%d: %s uses invalid register r%d", f.Name, b.ID, in, r)
+				}
+			}
+			for _, r := range in.Defines() {
+				if r < 0 || r >= f.NumRegs {
+					return fmt.Errorf("%s: b%d: %s defines invalid register r%d", f.Name, b.ID, in, r)
+				}
+			}
+			if (in.Op == OpLoad || in.Op == OpStore) && in.Arr == nil {
+				return fmt.Errorf("%s: b%d: %s without array", f.Name, b.ID, in.Op)
+			}
+			if in.Op == OpPhi {
+				if len(in.Args) != len(in.PhiPreds) {
+					return fmt.Errorf("%s: b%d: phi args/preds mismatch", f.Name, b.ID)
+				}
+			}
+		}
+	}
+	if mode == VerifySSA {
+		return f.verifySSA()
+	}
+	return nil
+}
+
+func (f *Func) verifySSA() error {
+	defBlock := make(map[int]int) // reg -> block ID
+	for _, b := range f.Blocks {
+		inBody := false
+		for _, in := range b.Instrs {
+			if in.Op == OpPhi && inBody {
+				return fmt.Errorf("%s: b%d: phi after non-phi instruction", f.Name, b.ID)
+			}
+			if in.Op != OpPhi {
+				inBody = true
+			}
+			for _, r := range in.Defines() {
+				if prev, dup := defBlock[r]; dup {
+					return fmt.Errorf("%s: r%d defined in both b%d and b%d", f.Name, r, prev, b.ID)
+				}
+				defBlock[r] = b.ID
+			}
+		}
+	}
+	// Phi predecessors must exactly match CFG predecessors.
+	cfg := f.CFG()
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != OpPhi {
+				continue
+			}
+			preds := cfg.Preds(b.ID)
+			if len(in.PhiPreds) != len(preds) {
+				return fmt.Errorf("%s: b%d: phi has %d incoming values, block has %d preds", f.Name, b.ID, len(in.PhiPreds), len(preds))
+			}
+			for _, p := range in.PhiPreds {
+				if !cfg.HasEdge(p, b.ID) {
+					return fmt.Errorf("%s: b%d: phi lists non-predecessor b%d", f.Name, b.ID, p)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+// Package maxflow implements the Goldberg–Tarjan push-relabel maximum-flow
+// algorithm (STOC 1986) on networks that support node contraction, as
+// required by the iterative balanced min-cut heuristic of the pipelining
+// transformation (paper section 3.3, adapted from Yang–Wong ICCAD 1994).
+//
+// Only the first phase of push-relabel runs (a maximum preflow), which is
+// sufficient to determine a minimum cut: nodes whose height reaches the
+// live node count can never push to the sink again and are deactivated.
+// The cut is recovered by backward residual reachability from the sink.
+//
+// Contraction merges nodes into the source or sink via a union-find; after
+// a contraction the algorithm restarts incrementally with the previous
+// preflow, per the paper: source out-edges are re-saturated, the source
+// label is set to the new node count, and other labels are either kept
+// (collapse into source) or reset to zero (collapse into sink).
+package maxflow
+
+import "math"
+
+// Inf is the capacity used for uncuttable edges. It is far from overflow
+// even when many infinite edges are summed.
+const Inf int64 = math.MaxInt64 / 1024
+
+// Network is a flow network over nodes 0..n-1 with a designated source and
+// sink. Edges are added in pairs (edge, reverse edge); capacities are fixed
+// at creation.
+type Network struct {
+	n      int
+	Source int
+	Sink   int
+
+	head  []int   // edge -> head node
+	cap   []int64 // edge -> capacity
+	flow  []int64 // edge -> current flow (flow[e] = -flow[e^1])
+	first [][]int // node -> incident edge ids (both directions)
+
+	parent []int // union-find
+	live   int   // number of representative nodes
+
+	height []int
+	excess []int64
+
+	ran bool
+}
+
+// New creates a network with n nodes.
+func New(n, source, sink int) *Network {
+	nw := &Network{
+		n:      n,
+		Source: source,
+		Sink:   sink,
+		first:  make([][]int, n),
+		parent: make([]int, n),
+		live:   n,
+		height: make([]int, n),
+		excess: make([]int64, n),
+	}
+	for i := range nw.parent {
+		nw.parent[i] = i
+	}
+	return nw
+}
+
+// Len returns the node count (including contracted nodes).
+func (nw *Network) Len() int { return nw.n }
+
+// AddEdge inserts a directed edge u -> v with the given capacity and its
+// zero-capacity reverse. It returns the edge id (the reverse is id^1).
+func (nw *Network) AddEdge(u, v int, capacity int64) int {
+	id := len(nw.head)
+	nw.head = append(nw.head, v, u)
+	nw.cap = append(nw.cap, capacity, 0)
+	nw.flow = append(nw.flow, 0, 0)
+	nw.first[u] = append(nw.first[u], id)
+	nw.first[v] = append(nw.first[v], id^1)
+	return id
+}
+
+// ForEachEdge calls fn for every forward edge with its original endpoints.
+func (nw *Network) ForEachEdge(fn func(id, tail, head int, capacity int64)) {
+	for e := 0; e < len(nw.head); e += 2 {
+		fn(e, nw.head[e^1], nw.head[e], nw.cap[e])
+	}
+}
+
+// EdgeCap returns the capacity of edge e.
+func (nw *Network) EdgeCap(e int) int64 { return nw.cap[e] }
+
+// EdgeEnds returns the tail and head of edge e.
+func (nw *Network) EdgeEnds(e int) (tail, head int) { return nw.head[e^1], nw.head[e] }
+
+// Find returns the representative of u after contractions.
+func (nw *Network) Find(u int) int {
+	for nw.parent[u] != u {
+		nw.parent[u] = nw.parent[nw.parent[u]]
+		u = nw.parent[u]
+	}
+	return u
+}
+
+func (nw *Network) residual(e int) int64 { return nw.cap[e] - nw.flow[e] }
+
+// CollapseIntoSource merges the given nodes into the source.
+func (nw *Network) CollapseIntoSource(nodes []int) {
+	s := nw.Find(nw.Source)
+	t := nw.Find(nw.Sink)
+	for _, u := range nodes {
+		ru := nw.Find(u)
+		if ru == s || ru == t {
+			continue
+		}
+		nw.parent[ru] = s
+		nw.excess[s] += nw.excess[ru]
+		nw.excess[ru] = 0
+		nw.live--
+	}
+	nw.prepareIncremental(true)
+}
+
+// CollapseIntoSink merges the given nodes into the sink.
+func (nw *Network) CollapseIntoSink(nodes []int) {
+	s := nw.Find(nw.Source)
+	t := nw.Find(nw.Sink)
+	for _, u := range nodes {
+		ru := nw.Find(u)
+		if ru == t || ru == s {
+			continue
+		}
+		nw.parent[ru] = t
+		nw.excess[t] += nw.excess[ru]
+		nw.excess[ru] = 0
+		nw.live--
+	}
+	nw.prepareIncremental(false)
+}
+
+// prepareIncremental implements the paper's warm-restart state: saturate
+// source out-edges, set the source label to the live node count, and keep
+// (collapse into source) or reset (collapse into sink) the other labels.
+func (nw *Network) prepareIncremental(intoSource bool) {
+	if !nw.ran {
+		return // the first MaxFlow call initializes from scratch
+	}
+	if !intoSource {
+		for u := 0; u < nw.n; u++ {
+			nw.height[u] = 0
+		}
+	}
+	nw.height[nw.Find(nw.Source)] = nw.live
+	nw.saturateSource()
+}
+
+// saturateSource pushes full residual capacity on every edge leaving the
+// source group.
+func (nw *Network) saturateSource() {
+	s := nw.Find(nw.Source)
+	t := nw.Find(nw.Sink)
+	for u := 0; u < nw.n; u++ {
+		if nw.Find(u) != s {
+			continue
+		}
+		for _, e := range nw.first[u] {
+			v := nw.Find(nw.head[e])
+			if v == s {
+				continue
+			}
+			if r := nw.residual(e); r > 0 {
+				nw.flow[e] += r
+				nw.flow[e^1] -= r
+				if v != t {
+					nw.excess[v] += r
+				}
+			}
+		}
+	}
+}
+
+// MaxFlow runs (or incrementally resumes) push-relabel and returns the
+// value of the current maximum preflow (= the max-flow value), measured as
+// net flow into the sink group.
+func (nw *Network) MaxFlow() int64 {
+	s := nw.Find(nw.Source)
+	t := nw.Find(nw.Sink)
+	if !nw.ran {
+		nw.ran = true
+		nw.height[s] = nw.live
+		nw.saturateSource()
+	}
+
+	// FIFO queue of active nodes (excess > 0, height below the horizon).
+	inQueue := make([]bool, nw.n)
+	var queue []int
+	enqueue := func(u int) {
+		if !inQueue[u] && u != s && u != t {
+			inQueue[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for u := 0; u < nw.n; u++ {
+		if nw.Find(u) == u && nw.excess[u] > 0 && nw.height[u] < nw.live {
+			enqueue(u)
+		}
+	}
+
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		if nw.Find(u) != u {
+			continue
+		}
+		nw.discharge(u, enqueue)
+	}
+
+	// Net flow into the sink group.
+	var value int64
+	for e := 0; e < len(nw.head); e += 2 {
+		from := nw.Find(nw.head[e^1])
+		to := nw.Find(nw.head[e])
+		if from != t && to == t {
+			value += nw.flow[e]
+		} else if from == t && to != t {
+			value -= nw.flow[e]
+		}
+	}
+	return value
+}
+
+// discharge pushes excess out of u until it is exhausted or u rises to the
+// horizon (height >= live), at which point u is deactivated: its remaining
+// excess can only flow back to the source and is irrelevant to the cut.
+func (nw *Network) discharge(u int, enqueue func(int)) {
+	s := nw.Find(nw.Source)
+	t := nw.Find(nw.Sink)
+	for nw.excess[u] > 0 && nw.height[u] < nw.live {
+		pushed := false
+		for _, e := range nw.first[u] {
+			v := nw.Find(nw.head[e])
+			if v == u || nw.residual(e) <= 0 || nw.height[u] != nw.height[v]+1 {
+				continue
+			}
+			amt := nw.excess[u]
+			if r := nw.residual(e); r < amt {
+				amt = r
+			}
+			nw.flow[e] += amt
+			nw.flow[e^1] -= amt
+			nw.excess[u] -= amt
+			if v != s && v != t {
+				nw.excess[v] += amt
+				if nw.height[v] < nw.live {
+					enqueue(v)
+				}
+			}
+			pushed = true
+			if nw.excess[u] == 0 {
+				return
+			}
+		}
+		if !pushed {
+			// Relabel to one above the lowest residual neighbor.
+			minH := math.MaxInt
+			for _, e := range nw.first[u] {
+				v := nw.Find(nw.head[e])
+				if v == u || nw.residual(e) <= 0 {
+					continue
+				}
+				if nw.height[v] < minH {
+					minH = nw.height[v]
+				}
+			}
+			if minH == math.MaxInt {
+				return // isolated: nothing to do
+			}
+			nw.height[u] = minH + 1
+		}
+	}
+}
+
+// SourceSide returns, after MaxFlow, the source side of a minimum cut: the
+// complement of the nodes that can still reach the sink in the residual
+// graph. Indexed by original node id (contracted members inherit their
+// representative's side).
+func (nw *Network) SourceSide() []bool {
+	t := nw.Find(nw.Sink)
+	canReach := make([]bool, nw.n)
+	var stack []int
+	push := func(u int) {
+		if !canReach[u] {
+			canReach[u] = true
+			stack = append(stack, u)
+		}
+	}
+	push(t)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// Walk residual edges BACKWARD: u can reach v if residual(u->v)>0.
+		// Incident list of v contains e with tail v and head u; the pair
+		// e^1 is the edge (u -> v).
+		for _, e := range nw.groupEdges(v) {
+			u := nw.Find(nw.head[e])
+			if u == v {
+				continue
+			}
+			if nw.residual(e^1) > 0 {
+				push(u)
+			}
+		}
+	}
+	out := make([]bool, nw.n)
+	for u := 0; u < nw.n; u++ {
+		out[u] = !canReach[nw.Find(u)]
+	}
+	return out
+}
+
+// groupEdges returns the incident edges of representative u including those
+// of nodes contracted into it. Only the source and sink groups ever have
+// members, so plain nodes stay O(degree).
+func (nw *Network) groupEdges(u int) []int {
+	s := nw.Find(nw.Source)
+	t := nw.Find(nw.Sink)
+	if u != s && u != t {
+		return nw.first[u]
+	}
+	var edges []int
+	for v := 0; v < nw.n; v++ {
+		if nw.Find(v) == u {
+			edges = append(edges, nw.first[v]...)
+		}
+	}
+	return edges
+}
+
+// CutValue returns the total capacity of edges crossing from the given
+// source side to its complement.
+func (nw *Network) CutValue(sourceSide []bool) int64 {
+	var v int64
+	for e := 0; e < len(nw.head); e += 2 {
+		if sourceSide[nw.head[e^1]] && !sourceSide[nw.head[e]] {
+			v += nw.cap[e]
+		}
+	}
+	return v
+}
+
+// CutEdges returns the forward edge ids crossing the given cut.
+func (nw *Network) CutEdges(sourceSide []bool) []int {
+	var edges []int
+	for e := 0; e < len(nw.head); e += 2 {
+		if sourceSide[nw.head[e^1]] && !sourceSide[nw.head[e]] {
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}

@@ -1,0 +1,92 @@
+package netbench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// AppStage is one PPS of an application chain, optionally replaced by its
+// realized pipeline (the auto-partitioning model: the full application is
+// a chain of PPSes connected by pipes; the transformation decomposes each
+// PPS independently).
+type AppStage struct {
+	PPS    PPS
+	Stages []*ir.Program // nil: run the sequential program
+}
+
+// AppResult is the outcome of running a PPS chain.
+type AppResult struct {
+	// Traces[i] is the observable trace of chain stage i.
+	Traces [][]interp.Event
+	// Output holds the packets the final stage sent.
+	Output [][]byte
+}
+
+// RunApp feeds input through the chained PPSes: the packets each PPS sends
+// become the next PPS's input stream, approximating the inter-PPS pipes of
+// figure 18. Each stage runs to completion over its whole stream (the
+// deterministic functional semantics used by all correctness checks).
+func RunApp(chain []AppStage, input [][]byte) (*AppResult, error) {
+	res := &AppResult{}
+	packets := input
+	for i, st := range chain {
+		world := NewWorld(packets)
+		iters := len(packets)
+		if iters == 0 {
+			res.Traces = append(res.Traces, nil)
+			continue
+		}
+		var err error
+		if st.Stages == nil {
+			var prog *ir.Program
+			prog, err = st.PPS.Compile()
+			if err == nil {
+				_, err = interp.RunSequential(prog, world, iters)
+			}
+		} else {
+			_, err = interp.RunPipeline(st.Stages, world, iters)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("app stage %d (%s): %w", i, st.PPS.Name, err)
+		}
+		var out [][]byte
+		for _, e := range world.Trace {
+			if e.Kind == interp.EvSend {
+				out = append(out, e.Pkt)
+			}
+		}
+		res.Traces = append(res.Traces, world.Trace)
+		packets = out
+	}
+	res.Output = packets
+	return res, nil
+}
+
+// PipelineApp partitions every PPS of an application at the given degree.
+func PipelineApp(ppses []PPS, degree int) ([]AppStage, error) {
+	var chain []AppStage
+	for _, p := range ppses {
+		prog, err := p.Compile()
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.Partition(prog, core.Options{Stages: degree})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		chain = append(chain, AppStage{PPS: p, Stages: r.Stages})
+	}
+	return chain, nil
+}
+
+// SequentialApp wraps PPSes as an unpartitioned chain.
+func SequentialApp(ppses []PPS) []AppStage {
+	chain := make([]AppStage, len(ppses))
+	for i, p := range ppses {
+		chain[i] = AppStage{PPS: p}
+	}
+	return chain
+}

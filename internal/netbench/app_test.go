@@ -1,0 +1,135 @@
+package netbench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// TestFullIPv4ApplicationChain runs the complete NPF IPv4 forwarding
+// application (figure 18a) end to end — RX feeding IPv4 feeding QM feeding
+// Scheduler feeding TX — with every PPS sequential, and then with every PPS
+// pipelined, and requires identical behaviour at every link of the chain.
+func TestFullIPv4ApplicationChain(t *testing.T) {
+	input := IPv4Stream(40)
+	ppses := IPv4Forwarding()
+	// Order the chain as in figure 18a: RX -> IPv4 -> QM -> Scheduler -> TX.
+	order := []string{"RX", "IPv4", "QM", "Scheduler", "TX"}
+	var chainPPS []PPS
+	for _, name := range order {
+		for _, p := range ppses {
+			if p.Name == name {
+				chainPPS = append(chainPPS, p)
+			}
+		}
+	}
+	if len(chainPPS) != 5 {
+		t.Fatal("chain incomplete")
+	}
+
+	seq, err := RunApp(SequentialApp(chainPPS), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Output) == 0 {
+		t.Fatal("the application forwarded nothing")
+	}
+
+	piped, err := PipelineApp(chainPPS, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := RunApp(piped, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range seq.Traces {
+		if diff := interp.TraceEqual(seq.Traces[i], pipe.Traces[i]); diff != "" {
+			t.Fatalf("chain stage %d (%s): %s", i, chainPPS[i].Name, diff)
+		}
+	}
+	if len(seq.Output) != len(pipe.Output) {
+		t.Fatalf("output packet counts differ: %d vs %d", len(seq.Output), len(pipe.Output))
+	}
+	for i := range seq.Output {
+		if !bytes.Equal(seq.Output[i], pipe.Output[i]) {
+			t.Fatalf("output packet %d differs", i)
+		}
+	}
+}
+
+// TestFullIPApplicationChain does the same for the IP forwarding
+// application (figure 18b): RX -> IP -> TX on mixed v4/v6 traffic.
+func TestFullIPApplicationChain(t *testing.T) {
+	input := MixedStream(30)
+	rx, _ := ByName("RX")
+	ip, _ := ByName("IP(v4)") // the IP PPS itself; traffic comes from the chain
+	tx, _ := ByName("TX")
+	chainPPS := []PPS{rx, ip, tx}
+
+	seq, err := RunApp(SequentialApp(chainPPS), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := PipelineApp(chainPPS, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := RunApp(piped, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Traces {
+		if diff := interp.TraceEqual(seq.Traces[i], pipe.Traces[i]); diff != "" {
+			t.Fatalf("chain stage %d (%s): %s", i, chainPPS[i].Name, diff)
+		}
+	}
+	// Both packet families must survive the chain.
+	if len(seq.Output) < 10 {
+		t.Fatalf("only %d packets made it through", len(seq.Output))
+	}
+}
+
+// TestRunAppEmptyInput covers the degenerate stream.
+func TestRunAppEmptyInput(t *testing.T) {
+	rx, _ := ByName("RX")
+	res, err := RunApp(SequentialApp([]PPS{rx}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 0 {
+		t.Error("empty input produced output")
+	}
+}
+
+// TestAppDropsPropagate: packets dropped mid-chain must not reach later
+// stages.
+func TestAppDropsPropagate(t *testing.T) {
+	// All-TTL-1 traffic: the IPv4 PPS drops everything.
+	input := make([][]byte, 8)
+	for i := range input {
+		input[i] = MinIPv4Packet(i, 1)
+	}
+	rx, _ := ByName("RX")
+	ipv4, _ := ByName("IPv4")
+	tx, _ := ByName("TX")
+	res, err := RunApp(SequentialApp([]PPS{rx, ipv4, tx}), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 0 {
+		t.Errorf("%d expired packets were forwarded", len(res.Output))
+	}
+	// The RX stage still forwarded them to IPv4.
+	sends := 0
+	for _, e := range res.Traces[0] {
+		if e.Kind == interp.EvSend {
+			sends++
+		}
+	}
+	if sends != len(input) {
+		t.Errorf("RX forwarded %d of %d packets", sends, len(input))
+	}
+}

@@ -1,0 +1,538 @@
+package netbench
+
+// The NPF benchmark packet processing stages, written in PPC. Each PPS is
+// an independent sequential program (the auto-partitioning model: PPSes
+// communicate through pipes, here approximated by the packet stream), and
+// each is what the pipelining transformation decomposes in the experiments.
+
+// RXSrc is the packet receive stage: POS/PPP framing validation,
+// protocol classification, and descriptor setup. Small, with a relatively
+// fat live set compared to its computation — its speedup levels off early,
+// as in the paper's figures 19/20.
+const RXSrc = `
+// NPF forwarding benchmarks: packet receive (RX) PPS.
+//
+// Minimum-size packets mean fixed-size headers, so the byte scans are
+// unrolled straight-line code, as in hand-written microengine RX blocks.
+const PPP_IPV4 = 0x0021;
+const PPP_IPV6 = 0x0057;
+const META_PROTO = 0;
+const META_LEN = 1;
+const META_PORT = 2;
+const META_CLASS = 3;
+const META_COLOR = 6;
+
+func framing_ok(len) {
+	if (len < 24) { return 0; }
+	if (pkt_byte(0) != 0xFF) { return 0; }
+	if (pkt_byte(1) != 0x03) { return 0; }
+	return 1;
+}
+
+pps RX {
+	loop {
+		var len = pkt_rx();
+		if (len < 0) { continue; }
+		if (!framing_ok(len)) {
+			pkt_drop();
+			continue;
+		}
+		var proto = (pkt_byte(2) << 8) | pkt_byte(3);
+		var family = 0;
+		if (proto == PPP_IPV4) {
+			family = 4;
+		} else if (proto == PPP_IPV6) {
+			family = 6;
+		} else {
+			pkt_drop();
+			continue;
+		}
+
+		// Burst-alignment scan over the first eight payload bytes
+		// (unrolled: the frame is minimum-size).
+		var b0 = pkt_byte(4);
+		var b1 = pkt_byte(5);
+		var b2 = pkt_byte(6);
+		var b3 = pkt_byte(7);
+		var b4 = pkt_byte(8);
+		var b5 = pkt_byte(9);
+		var b6 = pkt_byte(10);
+		var b7 = pkt_byte(11);
+		var sum = b0 + b1 + b2 + b3 + b4 + b5 + b6 + b7;
+		var sanity = csum_fold(sum);
+
+		// Receive-side flow color: a hash of the early header bytes used
+		// by downstream policing.
+		var mix1 = (b0 << 8) | b1;
+		var mix2 = (b2 << 8) | b3;
+		var color = hash_crc(mix1 ^ (mix2 << 3) ^ len);
+
+		// Input port resolution and length classification.
+		var port = (b0 ^ b1) & 3;
+		var lenclass = 0;
+		if (len <= 48) {
+			lenclass = 0;
+		} else if (len <= 128) {
+			lenclass = 1;
+		} else if (len <= 512) {
+			lenclass = 2;
+		} else {
+			lenclass = 3;
+		}
+
+		// Build the packet descriptor.
+		meta_set(META_PROTO, family);
+		meta_set(META_LEN, len);
+		meta_set(META_PORT, port);
+		meta_set(META_CLASS, (sanity & 7) | (lenclass << 3));
+		meta_set(META_COLOR, color & 0xFF);
+		trace(family);
+		pkt_send(0);
+	}
+}
+`
+
+// IPv4Src is the IPv4 forwarding stage of the NPF IPv4 forwarding
+// benchmark: full header validation, checksum verification, TTL handling
+// with incremental checksum update, route lookup, reverse-path check, ECMP
+// selection, flow hashing and DSCP classification. Large, with thin
+// cross-stage live sets — it keeps scaling to high pipelining degrees.
+const IPv4Src = `
+// NPF IPv4 forwarding benchmark: IPv4 PPS.
+const IPBASE = 4;
+const META_NEXTHOP = 4;
+const META_FLOW = 5;
+const META_CLASS = 3;
+
+func hdr16(off) {
+	return (pkt_byte(IPBASE + off) << 8) | pkt_byte(IPBASE + off + 1);
+}
+
+func fold32(x) {
+	return csum_fold(x);
+}
+
+pps IPv4 {
+	loop {
+		var len = pkt_rx();
+		if (len < 24) { pkt_drop(); continue; }
+
+		// --- Validation ---------------------------------------------
+		var vihl = pkt_byte(IPBASE);
+		var version = vihl >> 4;
+		var ihl = vihl & 0x0F;
+		if (version != 4) { pkt_drop(); continue; }
+		if (ihl < 5) { pkt_drop(); continue; }
+		var totlen = hdr16(2);
+		if (totlen < 20) { pkt_drop(); continue; }
+		if (totlen > len - 4) { pkt_drop(); continue; }
+
+		// --- Header checksum verification ---------------------------
+		var sum = hdr16(0);
+		sum = sum + hdr16(2);
+		sum = sum + hdr16(4);
+		sum = sum + hdr16(6);
+		sum = sum + hdr16(8);
+		sum = sum + hdr16(10);
+		sum = sum + hdr16(12);
+		sum = sum + hdr16(14);
+		sum = sum + hdr16(16);
+		sum = sum + hdr16(18);
+		var folded = fold32(sum);
+		if (folded != 0xFFFF) { pkt_drop(); continue; }
+
+		// --- TTL -----------------------------------------------------
+		var ttl = pkt_byte(IPBASE + 8);
+		if (ttl <= 1) {
+			// Would send ICMP time exceeded on the slow path.
+			trace(-11);
+			pkt_drop();
+			continue;
+		}
+		pkt_setbyte(IPBASE + 8, ttl - 1);
+		// Incremental checksum update (RFC 1624): adjust for the TTL
+		// byte decrement in the high byte of word 4.
+		var oldcs = hdr16(10);
+		var newcs = oldcs + 0x0100;
+		newcs = csum_fold(newcs);
+		pkt_setbyte(IPBASE + 10, newcs >> 8);
+		pkt_setbyte(IPBASE + 11, newcs & 0xFF);
+
+		// --- Addresses ----------------------------------------------
+		var src = pkt_word(IPBASE + 12);
+		var dst = pkt_word(IPBASE + 16);
+
+		// Martian source filtering.
+		var srcA = src >> 24;
+		if (srcA == 127) { pkt_drop(); continue; }
+		if (srcA == 0) { pkt_drop(); continue; }
+		if (srcA >= 224 && srcA < 240) { pkt_drop(); continue; }
+		if (src == 0xFFFFFFFF) { pkt_drop(); continue; }
+
+		// --- Route lookup and reverse-path sanity --------------------
+		var nh = rt_lookup(dst);
+		if (nh < 0) {
+			trace(-12);
+			pkt_drop();
+			continue;
+		}
+		var rpf = rt_lookup(src);
+		var rpfok = rpf >= 0 ? 1 : 0;
+
+		// --- Flow hash and ECMP --------------------------------------
+		var sport = (pkt_byte(IPBASE + 20) << 8) | pkt_byte(IPBASE + 21);
+		var dport = (pkt_byte(IPBASE + 22) << 8) | pkt_byte(IPBASE + 23);
+		var h1 = hash_crc(src ^ (dst << 1));
+		var h2 = hash_crc((sport << 16) | dport);
+		var flow = hash_crc(h1 ^ (h2 >> 3));
+		var ecmp = flow & 1;
+		var port = nh + (ecmp & rpfok);
+
+		// --- DSCP classification -------------------------------------
+		var dscp = pkt_byte(IPBASE + 1) >> 2;
+		var class = 0;
+		switch (dscp >> 3) {
+		case 0: class = 0;
+		case 1: class = 1;
+		case 2: class = 1;
+		case 3: class = 2;
+		case 4: class = 2;
+		case 5: class = 3;
+		case 6: class = 3;
+		default: class = 0;
+		}
+
+		// --- Emit -----------------------------------------------------
+		meta_set(META_NEXTHOP, port);
+		meta_set(META_FLOW, flow & 0xFFFF);
+		meta_set(META_CLASS, class);
+		trace(port * 8 + class);
+		pkt_send(port);
+	}
+}
+`
+
+// SchedulerSrc is the weighted-round-robin scheduler stage. Its credit
+// state carries from packet to packet (PPS-loop-carried dependence), so —
+// exactly as the paper reports — it cannot be usefully pipelined.
+const SchedulerSrc = `
+// NPF IPv4 forwarding benchmark: Scheduler PPS (WRR over 4 queues).
+const NQ = 4;
+
+pps Scheduler {
+	persistent var current = 0;
+	persistent var credit0 = 4;
+	persistent var credit1 = 3;
+	persistent var credit2 = 2;
+	persistent var credit3 = 1;
+	persistent var rounds = 0;
+
+	loop {
+		var n = pkt_rx();
+		if (n < 0) { continue; }
+
+		// Refresh credits once per round.
+		rounds = rounds + 1;
+		if (rounds >= NQ) {
+			rounds = 0;
+			credit0 = credit0 + 4;
+			credit1 = credit1 + 3;
+			credit2 = credit2 + 2;
+			credit3 = credit3 + 1;
+			if (credit0 > 16) { credit0 = 16; }
+			if (credit1 > 12) { credit1 = 12; }
+			if (credit2 > 8) { credit2 = 8; }
+			if (credit3 > 4) { credit3 = 4; }
+		}
+
+		// Pick the next backlogged queue with credit, starting after the
+		// previously served one.
+		var pick = -1;
+		var tries = 0;
+		var q = current;
+		while[5] (tries < NQ) {
+			q = (q + 1) % NQ;
+			var backlog = q_len(q);
+			var credit = q == 0 ? credit0 : q == 1 ? credit1 : q == 2 ? credit2 : credit3;
+			if (backlog > 0 && credit > 0) { pick = q; break; }
+			tries = tries + 1;
+		}
+		if (pick < 0) {
+			// Nothing eligible: serve the packet's own class directly.
+			trace(-1);
+			pkt_send(0);
+			continue;
+		}
+		current = pick;
+		if (pick == 0) { credit0 = credit0 - 1; }
+		if (pick == 1) { credit1 = credit1 - 1; }
+		if (pick == 2) { credit2 = credit2 - 1; }
+		if (pick == 3) { credit3 = credit3 - 1; }
+		var unit = q_get(pick);
+		trace(pick * 1000 + (unit & 0xFF));
+		pkt_send(pick);
+	}
+}
+`
+
+// QMSrc is the queue manager stage: threshold-based admission (a
+// deterministic RED approximation) into four class queues with persistent
+// depth accounting. Like the Scheduler, it is inherently loop-carried.
+const QMSrc = `
+// NPF IPv4 forwarding benchmark: queue manager (QM) PPS.
+const QHI = 48;
+const QLO = 32;
+
+pps QM {
+	persistent var accepted = 0;
+	persistent var dropped = 0;
+	persistent var wred = 0;
+
+	loop {
+		var n = pkt_rx();
+		if (n < 0) { continue; }
+		var class = (pkt_byte(5) ^ pkt_byte(9)) & 3;
+		var depth = q_len(class);
+
+		// Deterministic RED: drop probability grows with depth between
+		// QLO and QHI; the persistent wred counter spreads drops.
+		var drop = 0;
+		if (depth >= QHI) {
+			drop = 1;
+		} else if (depth >= QLO) {
+			wred = wred + (depth - QLO) + 1;
+			if (wred >= QHI - QLO) {
+				wred = wred - (QHI - QLO);
+				drop = 1;
+			}
+		}
+		if (drop == 1) {
+			dropped = dropped + 1;
+			trace(-(class + 1));
+			pkt_drop();
+			continue;
+		}
+		accepted = accepted + 1;
+		q_put(class, (pkt_byte(6) << 8) | pkt_byte(7));
+		trace(class * 100 + (depth & 0xFF));
+		if ((accepted & 63) == 0) {
+			trace(accepted);
+			trace(dropped);
+		}
+		pkt_send(class);
+	}
+}
+`
+
+// TXSrc is the packet transmit stage: framing re-assembly, a short
+// integrity scan, and emission. Small, like RX.
+const TXSrc = `
+// NPF forwarding benchmarks: packet transmit (TX) PPS. Like RX, the wire
+// preparation over the fixed-size frame is unrolled straight-line code.
+const META_NEXTHOP = 4;
+const META_CLASS = 3;
+const META_COLOR = 6;
+
+pps TX {
+	loop {
+		var len = pkt_rx();
+		if (len < 0) { continue; }
+		var port = meta_get(META_NEXTHOP) & 3;
+		var class = meta_get(META_CLASS);
+		var color = meta_get(META_COLOR);
+
+		// Rebuild the POS framing.
+		pkt_setbyte(0, 0xFF);
+		pkt_setbyte(1, 0x03);
+
+		// Integrity scan before the wire (unrolled).
+		var a0 = pkt_byte(4);
+		var a1 = pkt_byte(5);
+		var a2 = pkt_byte(6);
+		var a3 = pkt_byte(7);
+		var a4 = pkt_byte(8);
+		var a5 = pkt_byte(9);
+		var a6 = pkt_byte(10);
+		var a7 = pkt_byte(11);
+		var acc = a0 ^ (a1 << 1) ^ (a2 << 2) ^ (a3 << 3)
+		        ^ a4 ^ (a5 << 1) ^ (a6 << 2) ^ (a7 << 3);
+		var stamp = csum_fold(acc + class);
+
+		// Frame check sequence over the trailer span.
+		var t0 = pkt_byte(12);
+		var t1 = pkt_byte(13);
+		var t2 = pkt_byte(14);
+		var t3 = pkt_byte(15);
+		var fcs = hash_crc((t0 << 24) | (t1 << 16) | (t2 << 8) | t3 ^ color);
+
+		// Egress shaping decision: color and class select the queue slot.
+		var slot = ((class & 7) + (color & 3)) & 3;
+		var out = port ^ (slot & 1);
+
+		pkt_setbyte(2, stamp >> 8);
+		pkt_setbyte(3, stamp & 0xFF);
+		trace(out * 16 + (fcs & 15));
+		pkt_send(out);
+	}
+}
+`
+
+// IPSrc is the IP forwarding stage of the NPF IP forwarding benchmark: a
+// protocol dispatch into separate IPv4 and IPv6 code paths. Both paths are
+// substantial, so the PPS keeps scaling with the pipelining degree for
+// either traffic class.
+const IPSrc = `
+// NPF IP forwarding benchmark: IP PPS (IPv4 + IPv6 code paths around a
+// shared prologue and egress epilogue, as in production forwarding code).
+const PPP_IPV4 = 0x0021;
+const PPP_IPV6 = 0x0057;
+const IPBASE = 4;
+const META_NEXTHOP = 4;
+const META_FLOW = 5;
+const META_CLASS = 3;
+const META_COLOR = 6;
+
+func v4hdr16(off) {
+	return (pkt_byte(IPBASE + off) << 8) | pkt_byte(IPBASE + off + 1);
+}
+
+func half_at(off) {
+	return (pkt_word(off) << 32) | pkt_word(off + 4);
+}
+
+pps IP {
+	loop {
+		var len = pkt_rx();
+		if (len < 24) { pkt_drop(); continue; }
+
+		// ---- Shared ingress prologue --------------------------------
+		if (pkt_byte(0) != 0xFF) { pkt_drop(); continue; }
+		if (pkt_byte(1) != 0x03) { pkt_drop(); continue; }
+		var proto = (pkt_byte(2) << 8) | pkt_byte(3);
+		var w0 = pkt_word(IPBASE);
+		var w1 = pkt_word(IPBASE + 4);
+		var color = hash_crc(w0 ^ (w1 >> 5) ^ len);
+		var police = csum_fold((w0 & 0xFFFF) + (w1 & 0xFFFF) + (color & 0xFF));
+
+		var nh = -1;
+		var flow = 0;
+		var class = 0;
+		var fam = 0;
+
+		if (proto == PPP_IPV4) {
+			// ---------------- IPv4 path ----------------
+			fam = 4;
+			var vihl = pkt_byte(IPBASE);
+			if (vihl >> 4 != 4) { pkt_drop(); continue; }
+			if ((vihl & 0x0F) < 5) { pkt_drop(); continue; }
+			var totlen = v4hdr16(2);
+			if (totlen < 20) { pkt_drop(); continue; }
+			if (totlen > len - 4) { pkt_drop(); continue; }
+
+			var sum = v4hdr16(0) + v4hdr16(2) + v4hdr16(4) + v4hdr16(6) + v4hdr16(8);
+			sum = sum + v4hdr16(10) + v4hdr16(12) + v4hdr16(14) + v4hdr16(16) + v4hdr16(18);
+			if (csum_fold(sum) != 0xFFFF) { pkt_drop(); continue; }
+
+			var ttl = pkt_byte(IPBASE + 8);
+			if (ttl <= 1) { trace(-11); pkt_drop(); continue; }
+			pkt_setbyte(IPBASE + 8, ttl - 1);
+			var cs = csum_fold(v4hdr16(10) + 0x0100);
+			pkt_setbyte(IPBASE + 10, cs >> 8);
+			pkt_setbyte(IPBASE + 11, cs & 0xFF);
+
+			var src = pkt_word(IPBASE + 12);
+			var dst = pkt_word(IPBASE + 16);
+			var srcA = src >> 24;
+			if (srcA == 127) { pkt_drop(); continue; }
+			if (srcA == 0) { pkt_drop(); continue; }
+			if (srcA >= 224 && srcA < 240) { pkt_drop(); continue; }
+
+			nh = rt_lookup(dst);
+			if (nh < 0) { trace(-12); pkt_drop(); continue; }
+			var rpf = rt_lookup(src);
+			var rpfok = rpf >= 0 ? 1 : 0;
+
+			var sport = (pkt_byte(IPBASE + 20) << 8) | pkt_byte(IPBASE + 21);
+			var dport = (pkt_byte(IPBASE + 22) << 8) | pkt_byte(IPBASE + 23);
+			var h1 = hash_crc(src ^ (dst << 1));
+			var h2 = hash_crc((sport << 16) | dport);
+			flow = hash_crc(h1 ^ (h2 >> 3));
+			nh = nh + ((flow & 1) & rpfok);
+
+			var dscp = pkt_byte(IPBASE + 1) >> 2;
+			switch (dscp >> 3) {
+			case 0: class = 0;
+			case 1: class = 1;
+			case 2: class = 1;
+			case 3: class = 2;
+			default: class = 3;
+			}
+		} else if (proto == PPP_IPV6) {
+			// ---------------- IPv6 path ----------------
+			fam = 6;
+			var vtc = pkt_byte(IPBASE);
+			if (vtc >> 4 != 6) { pkt_drop(); continue; }
+			var paylen = (pkt_byte(IPBASE + 4) << 8) | pkt_byte(IPBASE + 5);
+			if (paylen + 40 > len - 4) { pkt_drop(); continue; }
+
+			var nxt = pkt_byte(IPBASE + 6);
+			if (nxt == 0 || nxt == 43 || nxt == 60) { trace(-15); pkt_drop(); continue; }
+
+			var hop = pkt_byte(IPBASE + 7);
+			if (hop <= 1) { trace(-13); pkt_drop(); continue; }
+			pkt_setbyte(IPBASE + 7, hop - 1);
+
+			var shi = half_at(IPBASE + 8);
+			var slo = half_at(IPBASE + 16);
+			var dhi = half_at(IPBASE + 24);
+			var dlo = half_at(IPBASE + 32);
+
+			if (dhi == 0 && dlo == 1) { pkt_drop(); continue; }
+			if ((shi >> 56) == 0xFF) { pkt_drop(); continue; }
+			var linklocal = (dhi >> 54) == (0xFE80 >> 6) ? 1 : 0;
+
+			nh = rt6_lookup(dhi, dlo);
+			if (nh < 0) { trace(-14); pkt_drop(); continue; }
+			var rpf6 = rt6_lookup(shi, slo);
+			var rpf6ok = rpf6 >= 0 ? 1 : 0;
+
+			var flowlbl = ((pkt_byte(IPBASE + 1) & 0x0F) << 16)
+			            | (pkt_byte(IPBASE + 2) << 8) | pkt_byte(IPBASE + 3);
+			var tclass = ((pkt_byte(IPBASE) & 0x0F) << 4) | (pkt_byte(IPBASE + 1) >> 4);
+			switch (tclass >> 6) {
+			case 0: class = 0;
+			case 1: class = 1;
+			case 2: class = 2;
+			default: class = 3;
+			}
+			var fh1 = hash_crc(shi ^ slo);
+			var fh2 = hash_crc(dhi ^ dlo ^ flowlbl);
+			flow = hash_crc(fh1 ^ (fh2 << 1));
+			nh = nh + ((flow & 1) & rpf6ok & (1 - linklocal));
+		} else {
+			pkt_drop();
+			continue;
+		}
+
+		// ---- Shared egress epilogue ---------------------------------
+		// Policing: combine the ingress color with the flow hash; a
+		// deterministic marker byte is written back into the frame.
+		var token = hash_crc(flow ^ (color << 2) ^ police);
+		var mark = (token ^ (token >> 8) ^ (token >> 16)) & 0xFF;
+		pkt_setbyte(2, mark);
+
+		// Egress class shaping and port spreading.
+		var shaped = (class << 1) | (token & 1);
+		var port = (nh + (shaped >> 2)) & 3;
+		var ecn = (mark & 3) == 3 ? 1 : 0;
+		if (ecn == 1 && class == 3) { class = 2; }
+
+		meta_set(META_NEXTHOP, port);
+		meta_set(META_FLOW, flow & 0xFFFF);
+		meta_set(META_CLASS, class);
+		meta_set(META_COLOR, color & 0xFF);
+		trace(fam * 100 + port * 8 + class);
+		pkt_send(port);
+	}
+}
+`

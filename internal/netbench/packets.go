@@ -1,0 +1,154 @@
+package netbench
+
+// Packet construction: minimum-size (48-byte) Packet-over-SONET frames, the
+// worst case the paper measures ("the number of instructions required for
+// processing a minimum sized packet (48 bytes for Packet Over SONET)").
+//
+// Frame layout (simplified PPP/HDLC over SONET):
+//
+//	byte 0    0xFF   HDLC address
+//	byte 1    0x03   HDLC control
+//	bytes 2-3 PPP protocol (0x0021 IPv4, 0x0057 IPv6)
+//	bytes 4.. IP packet
+const (
+	POSFrameSize = 48
+	PPPIPv4      = 0x0021
+	PPPIPv6      = 0x0057
+	FrameHdrLen  = 4
+)
+
+// csum16 computes the one's-complement checksum of data (16-bit words,
+// big-endian), returning the value to store in the checksum field.
+func csum16(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// MinIPv4Packet returns a 48-byte POS frame carrying a valid minimal IPv4
+// packet. The destination address cycles deterministically with i so that
+// route lookups exercise different FIB entries; ttl lets tests build
+// expiring packets.
+func MinIPv4Packet(i int, ttl byte) []byte {
+	p := make([]byte, POSFrameSize)
+	p[0] = 0xFF
+	p[1] = 0x03
+	p[2] = byte(PPPIPv4 >> 8)
+	p[3] = byte(PPPIPv4 & 0xFF)
+	ip := p[FrameHdrLen:]
+	totalLen := POSFrameSize - FrameHdrLen
+	ip[0] = 0x45                    // version 4, IHL 5
+	ip[1] = byte((i * 8) % 64 << 2) // DSCP varies
+	ip[2] = byte(totalLen >> 8)
+	ip[3] = byte(totalLen & 0xFF)
+	ip[4] = byte(i >> 8) // identification
+	ip[5] = byte(i)
+	ip[6] = 0x00 // flags/fragment
+	ip[7] = 0x00
+	ip[8] = ttl
+	ip[9] = 17 // UDP
+	// Source 192.168.(i%8).(i%251)
+	ip[12], ip[13], ip[14], ip[15] = 192, 168, byte(i%8), byte(i%251)
+	// Destination cycles through the demo FIB space.
+	switch i % 3 {
+	case 0:
+		ip[16], ip[17], ip[18], ip[19] = byte(1+i%8), byte(i%13), byte(i%17), byte(i%251)
+	case 1:
+		ip[16], ip[17], ip[18], ip[19] = 10, byte(i%16), byte(i%29), byte(i%251)
+	default:
+		ip[16], ip[17], ip[18], ip[19] = 10, 1, byte(i%32), byte(i%251)
+	}
+	// Header checksum over the 20-byte header with checksum field zero.
+	ip[10], ip[11] = 0, 0
+	cs := csum16(ip[:20])
+	ip[10] = byte(cs >> 8)
+	ip[11] = byte(cs & 0xFF)
+	// UDP-ish payload: ports for flow hashing.
+	ip[20] = byte(i % 7)
+	ip[21] = byte(53 + i%11)
+	ip[22] = 0
+	ip[23] = byte(80 + i%5)
+	return p
+}
+
+// MinIPv6Packet returns a 48-byte POS frame carrying a (truncated-payload)
+// IPv6 header; the 40-byte header plus 4 payload bytes fill the frame.
+func MinIPv6Packet(i int, hopLimit byte) []byte {
+	p := make([]byte, POSFrameSize)
+	p[0] = 0xFF
+	p[1] = 0x03
+	p[2] = byte(PPPIPv6 >> 8)
+	p[3] = byte(PPPIPv6 & 0xFF)
+	ip := p[FrameHdrLen:]
+	ip[0] = 0x60              // version 6
+	ip[1] = byte(i % 16 << 4) // traffic class / flow label
+	ip[2] = byte(i % 251)
+	ip[3] = byte(i % 97)
+	// Payload length = 4.
+	ip[4] = 0
+	ip[5] = 4
+	ip[6] = 17 // next header UDP
+	ip[7] = hopLimit
+	// Source 2001:db8:ffff::i
+	ip[8], ip[9], ip[10], ip[11] = 0x20, 0x01, 0x0d, 0xb8
+	ip[12], ip[13] = 0xFF, 0xFF
+	ip[22] = byte(i >> 8)
+	ip[23] = byte(i)
+	// Destination 2001:db8:<i%8>:<i%16>::x
+	ip[24], ip[25], ip[26], ip[27] = 0x20, 0x01, 0x0d, 0xb8
+	ip[28] = 0
+	ip[29] = byte(i % 8)
+	ip[30] = 0
+	ip[31] = byte(i % 16)
+	ip[38] = byte(i >> 8)
+	ip[39] = byte(i)
+	return p
+}
+
+// IPv4Stream returns n minimum-size IPv4 frames with varied headers.
+func IPv4Stream(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		ttl := byte(64)
+		if i%17 == 0 {
+			ttl = 1 // occasional TTL expiry exercises the slow path
+		}
+		out[i] = MinIPv4Packet(i, ttl)
+	}
+	return out
+}
+
+// IPv6Stream returns n minimum-size IPv6 frames.
+func IPv6Stream(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		hl := byte(64)
+		if i%19 == 0 {
+			hl = 1
+		}
+		out[i] = MinIPv6Packet(i, hl)
+	}
+	return out
+}
+
+// MixedStream interleaves IPv4 and IPv6 frames (for the IP forwarding
+// benchmark, which handles both code paths).
+func MixedStream(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = MinIPv4Packet(i, 64)
+		} else {
+			out[i] = MinIPv6Packet(i, 64)
+		}
+	}
+	return out
+}

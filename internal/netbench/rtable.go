@@ -1,0 +1,157 @@
+// Package netbench reproduces the paper's evaluation workloads: the NPF
+// IPv4 forwarding benchmark (RX, IPv4, Scheduler, QM and TX packet
+// processing stages) and the NPF IP forwarding benchmark (RX, IP with
+// separate IPv4/IPv6 code paths, TX), written in PPC; plus the substrate
+// they need — longest-prefix-match route tables and deterministic
+// minimum-size POS packet generators.
+package netbench
+
+import "fmt"
+
+// RouteTable4 is a binary longest-prefix-match trie over IPv4 prefixes.
+type RouteTable4 struct {
+	root *trieNode
+	n    int
+}
+
+type trieNode struct {
+	child   [2]*trieNode
+	nextHop int64
+	valid   bool
+}
+
+// NewRouteTable4 returns an empty table.
+func NewRouteTable4() *RouteTable4 {
+	return &RouteTable4{root: &trieNode{}}
+}
+
+// Len returns the number of installed prefixes.
+func (t *RouteTable4) Len() int { return t.n }
+
+// Insert installs prefix/plen -> nextHop. plen must be 0..32.
+func (t *RouteTable4) Insert(prefix uint32, plen int, nextHop int64) error {
+	if plen < 0 || plen > 32 {
+		return fmt.Errorf("rtable: bad prefix length %d", plen)
+	}
+	node := t.root
+	for i := 0; i < plen; i++ {
+		bit := (prefix >> (31 - uint(i))) & 1
+		if node.child[bit] == nil {
+			node.child[bit] = &trieNode{}
+		}
+		node = node.child[bit]
+	}
+	if !node.valid {
+		t.n++
+	}
+	node.valid = true
+	node.nextHop = nextHop
+	return nil
+}
+
+// Lookup returns the next hop of the longest matching prefix, or -1.
+func (t *RouteTable4) Lookup(addr uint32) int64 {
+	best := int64(-1)
+	node := t.root
+	if node.valid {
+		best = node.nextHop
+	}
+	for i := 0; i < 32 && node != nil; i++ {
+		bit := (addr >> (31 - uint(i))) & 1
+		node = node.child[bit]
+		if node != nil && node.valid {
+			best = node.nextHop
+		}
+	}
+	return best
+}
+
+// RouteTable6 is an LPM trie over 128-bit IPv6 prefixes, addressed as two
+// 64-bit halves (hi, lo) to match the rt6_lookup intrinsic.
+type RouteTable6 struct {
+	root *trieNode
+	n    int
+}
+
+// NewRouteTable6 returns an empty table.
+func NewRouteTable6() *RouteTable6 {
+	return &RouteTable6{root: &trieNode{}}
+}
+
+// Len returns the number of installed prefixes.
+func (t *RouteTable6) Len() int { return t.n }
+
+func bit128(hi, lo uint64, i int) uint64 {
+	if i < 64 {
+		return (hi >> (63 - uint(i))) & 1
+	}
+	return (lo >> (127 - uint(i))) & 1
+}
+
+// Insert installs a prefix given as two halves and a length 0..128.
+func (t *RouteTable6) Insert(hi, lo uint64, plen int, nextHop int64) error {
+	if plen < 0 || plen > 128 {
+		return fmt.Errorf("rtable: bad prefix length %d", plen)
+	}
+	node := t.root
+	for i := 0; i < plen; i++ {
+		b := bit128(hi, lo, i)
+		if node.child[b] == nil {
+			node.child[b] = &trieNode{}
+		}
+		node = node.child[b]
+	}
+	if !node.valid {
+		t.n++
+	}
+	node.valid = true
+	node.nextHop = nextHop
+	return nil
+}
+
+// Lookup returns the next hop of the longest matching prefix, or -1.
+func (t *RouteTable6) Lookup(hi, lo uint64) int64 {
+	best := int64(-1)
+	node := t.root
+	if node.valid {
+		best = node.nextHop
+	}
+	for i := 0; i < 128 && node != nil; i++ {
+		node = node.child[bit128(hi, lo, i)]
+		if node != nil && node.valid {
+			best = node.nextHop
+		}
+	}
+	return best
+}
+
+// DemoFIB4 builds a deterministic IPv4 FIB with a default route, several
+// /8 and /16 aggregates, and a sprinkle of /24s — enough that lookups on
+// the generated traffic spread across next hops.
+func DemoFIB4() *RouteTable4 {
+	t := NewRouteTable4()
+	t.Insert(0, 0, 0) // default route -> port 0
+	for i := uint32(1); i <= 8; i++ {
+		t.Insert(i<<24, 8, int64(i%4)) // 1.0.0.0/8 .. 8.0.0.0/8
+	}
+	for i := uint32(0); i < 16; i++ {
+		t.Insert(10<<24|i<<16, 16, int64(1+i%3)) // 10.i.0.0/16
+	}
+	for i := uint32(0); i < 32; i++ {
+		t.Insert(10<<24|1<<16|i<<8, 24, int64(i%4)) // 10.1.i.0/24
+	}
+	return t
+}
+
+// DemoFIB6 builds a deterministic IPv6 FIB.
+func DemoFIB6() *RouteTable6 {
+	t := NewRouteTable6()
+	t.Insert(0, 0, 0, 0) // default
+	for i := uint64(0); i < 8; i++ {
+		t.Insert(0x2001_0db8_0000_0000|i<<16, 0, 48, int64(i%4))
+	}
+	for i := uint64(0); i < 16; i++ {
+		t.Insert(0x2001_0db8_0001_0000|i, 0, 64, int64(1+i%3))
+	}
+	return t
+}

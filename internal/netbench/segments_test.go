@@ -1,0 +1,114 @@
+package netbench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+func TestSegmentsCompileAndRun(t *testing.T) {
+	for _, p := range Segments() {
+		prog, err := p.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		trace, err := interp.RunSequential(prog, NewWorld(p.Traffic(30)), 30)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(trace) == 0 {
+			t.Errorf("%s: no observable behaviour", p.Name)
+		}
+	}
+}
+
+func TestSegmentsPipelineEquivalence(t *testing.T) {
+	for _, p := range Segments() {
+		prog, err := p.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		iters := 25
+		seq, err := interp.RunSequential(prog.Clone(), NewWorld(p.Traffic(iters)), iters)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		for _, d := range []int{2, 4, 7} {
+			res, err := core.Partition(prog, core.Options{Stages: d})
+			if err != nil {
+				t.Fatalf("%s D=%d: %v", p.Name, d, err)
+			}
+			pipe, err := interp.RunPipeline(res.Stages, NewWorld(p.Traffic(iters)), iters)
+			if err != nil {
+				t.Fatalf("%s D=%d: %v", p.Name, d, err)
+			}
+			if diff := interp.TraceEqual(seq, pipe); diff != "" {
+				t.Fatalf("%s D=%d: %s", p.Name, d, diff)
+			}
+		}
+	}
+}
+
+// TestFirewallPipelinesBetterThanPPPoE: the stateless filter has no flow
+// state and should out-scale the session-stateful access PPS.
+func TestFirewallPipelinesBetterThanPPPoE(t *testing.T) {
+	speedup := func(name string, d int) float64 {
+		var pps PPS
+		for _, p := range Segments() {
+			if p.Name == name {
+				pps = p
+			}
+		}
+		prog, err := pps.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Partition(prog, core.Options{Stages: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.Speedup
+	}
+	fw := speedup("Firewall", 6)
+	if fw < 1.5 {
+		t.Errorf("stateless firewall speedup = %.2f at 6 stages, want >= 1.5", fw)
+	}
+}
+
+// TestTunnelSequenceNumbersAreDense: the persistent sequence counter must
+// stamp consecutive values even when the PPS is pipelined.
+func TestTunnelSequenceNumbersAreDense(t *testing.T) {
+	var tunnel PPS
+	for _, p := range Segments() {
+		if p.Name == "Tunnel" {
+			tunnel = p
+		}
+	}
+	prog, err := tunnel.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Partition(prog, core.Options{Stages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := 20
+	world := NewWorld(tunnel.Traffic(iters))
+	trace, err := interp.RunPipeline(res.Stages, world, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1)
+	for _, e := range trace {
+		if e.Kind == interp.EvTrace {
+			if e.Val != want&0xFF {
+				t.Fatalf("sequence stamp = %d, want %d", e.Val, want&0xFF)
+			}
+			want++
+		}
+	}
+	if want == 1 {
+		t.Fatal("no sequence stamps observed")
+	}
+}

@@ -1,0 +1,179 @@
+// Package npsim is a deterministic, cycle-approximate simulator of an
+// IXP2800-style network processor running a software pipeline: one
+// processing engine (PE) per pipeline stage, eight zero-overhead hardware
+// threads per PE, and hardware rings between neighboring engines
+// (register-based nearest-neighbor rings, or scratch-memory rings).
+//
+// The model is a blocking tandem queue. Per-iteration service demand is
+// measured by functionally executing each stage (via the interpreter, which
+// also yields the observable trace for verification); hardware threads are
+// assumed to hide memory latency, so a PE retires roughly one instruction
+// per cycle and each stage behaves as a single server whose service time is
+// the iteration's executed instruction weight. A stage starts iteration i
+// when (a) the previous iteration has left it, (b) the live set for i has
+// arrived from upstream, and (c) there is space in its outgoing ring
+// (backpressure).
+package npsim
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Config shapes the simulated machine.
+type Config struct {
+	// ThreadsPerPE is kept for reporting; the timing model assumes it is
+	// large enough to hide memory latency (the IXP has 8).
+	ThreadsPerPE int
+	// RingCapacity is the entry count of each inter-stage ring.
+	RingCapacity int
+	// Channel picks the ring kind between neighboring engines.
+	Channel costmodel.ChannelKind
+	// Arch is the instruction cost model.
+	Arch *costmodel.Arch
+	// ArrivalInterval is the gap in cycles between packet arrivals at the
+	// first stage; 0 means packets are always available (the simulator
+	// then measures saturated pipeline throughput).
+	ArrivalInterval int64
+}
+
+// DefaultConfig returns the IXP2800-flavored configuration.
+func DefaultConfig() Config {
+	return Config{
+		ThreadsPerPE: 8,
+		RingCapacity: 8,
+		Channel:      costmodel.NNRing,
+		Arch:         costmodel.Default(),
+	}
+}
+
+// Result reports a simulation run.
+type Result struct {
+	Iterations int
+	// Makespan is the cycle at which the last iteration left the last
+	// stage.
+	Makespan int64
+	// CyclesPerPacket is the steady-state inter-departure interval at the
+	// last stage, measured over the second half of the run.
+	CyclesPerPacket float64
+	// Throughput is 1/CyclesPerPacket, in packets per cycle.
+	Throughput float64
+	// StageBusy[k] is the fraction of the makespan stage k spent serving.
+	StageBusy []float64
+	// StageService[k] is the mean service demand of stage k in cycles.
+	StageService []float64
+	// Trace is the observable event trace of the functional execution.
+	Trace []interp.Event
+}
+
+// Simulate runs iters iterations of the pipeline against world, measuring
+// both behaviour and timing. Stages share persistent state (as on hardware,
+// where flow state lives in shared SRAM but is touched by one stage only).
+func Simulate(stages []*ir.Program, world *interp.World, iters int, cfg Config) (*Result, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("npsim: empty pipeline")
+	}
+	if cfg.Arch == nil {
+		cfg.Arch = costmodel.Default()
+	}
+	if cfg.RingCapacity <= 0 {
+		cfg.RingCapacity = 8
+	}
+	D := len(stages)
+
+	// Functional execution with service metering.
+	runners := make([]*interp.Runner, D)
+	shared := interp.NewRunner(stages[0], world)
+	for k := range stages {
+		if k == 0 {
+			runners[0] = shared
+		} else {
+			runners[k] = interp.NewRunner(stages[k], world)
+			runners[k].SharePersistent(shared)
+		}
+	}
+	service := make([][]int64, D)
+	for k := range service {
+		service[k] = make([]int64, iters)
+	}
+	for i := 0; i < iters; i++ {
+		ctx := interp.NewIterCtx()
+		var slots []int64
+		for k, r := range runners {
+			var demand int64
+			r.OnInstr = func(in *ir.Instr) {
+				demand += int64(cfg.Arch.InstrWeightOn(in, cfg.Channel))
+			}
+			out, err := r.RunIteration(ctx, slots)
+			if err != nil {
+				return nil, fmt.Errorf("npsim: iteration %d stage %d: %w", i, k, err)
+			}
+			slots = out
+			service[k][i] = demand
+		}
+	}
+
+	// Blocking tandem-queue timing.
+	start := make([][]int64, D)
+	finish := make([][]int64, D)
+	for k := 0; k < D; k++ {
+		start[k] = make([]int64, iters)
+		finish[k] = make([]int64, iters)
+	}
+	for i := 0; i < iters; i++ {
+		for k := 0; k < D; k++ {
+			var t int64
+			if k == 0 {
+				t = cfg.ArrivalInterval * int64(i)
+			} else {
+				t = finish[k-1][i] // live set available
+			}
+			if i > 0 && finish[k][i-1] > t {
+				t = finish[k][i-1] // engine busy
+			}
+			// Backpressure: the outgoing ring must have space, i.e.
+			// iteration i-RingCapacity must have started downstream.
+			if k < D-1 && i >= cfg.RingCapacity {
+				if s := start[k+1][i-cfg.RingCapacity]; s > t {
+					t = s
+				}
+			}
+			start[k][i] = t
+			finish[k][i] = t + service[k][i]
+		}
+	}
+
+	res := &Result{
+		Iterations:   iters,
+		Makespan:     finish[D-1][iters-1],
+		StageBusy:    make([]float64, D),
+		StageService: make([]float64, D),
+		Trace:        world.Trace,
+	}
+	for k := 0; k < D; k++ {
+		var busy, total int64
+		for i := 0; i < iters; i++ {
+			busy += service[k][i]
+			total += service[k][i]
+		}
+		if res.Makespan > 0 {
+			res.StageBusy[k] = float64(busy) / float64(res.Makespan)
+		}
+		res.StageService[k] = float64(total) / float64(iters)
+	}
+	// Steady-state departure interval over the second half.
+	half := iters / 2
+	if half >= 1 && iters-half >= 2 {
+		span := finish[D-1][iters-1] - finish[D-1][half]
+		res.CyclesPerPacket = float64(span) / float64(iters-1-half)
+	} else {
+		res.CyclesPerPacket = float64(res.Makespan) / float64(iters)
+	}
+	if res.CyclesPerPacket > 0 {
+		res.Throughput = 1 / res.CyclesPerPacket
+	}
+	return res, nil
+}

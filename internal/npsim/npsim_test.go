@@ -1,0 +1,167 @@
+package npsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/interp"
+	"repro/internal/ppc"
+)
+
+const simSrc = `pps P { loop {
+	var n = pkt_rx();
+	var a = n * 3 + 1;
+	var b = a ^ 0x7F;
+	var c = b * b + a;
+	var d = c % 251;
+	trace(d);
+} }`
+
+func partition(t *testing.T, src string, d int) *core.Result {
+	t.Helper()
+	prog, err := ppc.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Partition(prog, core.Options{Stages: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func packets(n int) [][]byte {
+	ps := make([][]byte, n)
+	for i := range ps {
+		ps[i] = []byte{byte(i + 1), byte(i * 3), 0xAB}
+	}
+	return ps
+}
+
+func TestSimulateMatchesSequentialTrace(t *testing.T) {
+	res := partition(t, simSrc, 3)
+	prog, _ := ppc.Compile(simSrc)
+	iters := 20
+
+	w1 := interp.NewWorld(packets(iters))
+	seq, err := interp.RunSequential(prog, w1, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := interp.NewWorld(packets(iters))
+	sim, err := Simulate(res.Stages, w2, iters, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := interp.TraceEqual(seq, sim.Trace); diff != "" {
+		t.Fatalf("simulated behaviour differs: %s", diff)
+	}
+}
+
+func TestPipelineThroughputBeatsSequential(t *testing.T) {
+	iters := 200
+	res1 := partition(t, simSrc, 1)
+	res4 := partition(t, simSrc, 4)
+
+	s1, err := Simulate(res1.Stages, interp.NewWorld(packets(iters)), iters, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := Simulate(res4.Stages, interp.NewWorld(packets(iters)), iters, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4.CyclesPerPacket >= s1.CyclesPerPacket {
+		t.Errorf("4-stage pipeline (%.1f cyc/pkt) not faster than sequential (%.1f cyc/pkt)",
+			s4.CyclesPerPacket, s1.CyclesPerPacket)
+	}
+}
+
+func TestScratchRingSlowerThanNN(t *testing.T) {
+	iters := 100
+	res := partition(t, simSrc, 3)
+	nn := DefaultConfig()
+	scratch := DefaultConfig()
+	scratch.Channel = costmodel.ScratchRing
+
+	a, err := Simulate(res.Stages, interp.NewWorld(packets(iters)), iters, nn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(res.Stages, interp.NewWorld(packets(iters)), iters, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CyclesPerPacket <= a.CyclesPerPacket {
+		t.Errorf("scratch rings (%.1f) should cost more than NN rings (%.1f)",
+			b.CyclesPerPacket, a.CyclesPerPacket)
+	}
+}
+
+func TestArrivalIntervalLimitsThroughput(t *testing.T) {
+	iters := 100
+	res := partition(t, simSrc, 2)
+	cfg := DefaultConfig()
+	cfg.ArrivalInterval = 500 // far slower than the pipeline
+	s, err := Simulate(res.Stages, interp.NewWorld(packets(iters)), iters, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CyclesPerPacket < 450 || s.CyclesPerPacket > 550 {
+		t.Errorf("cycles/packet = %.1f, want about the 500-cycle arrival interval", s.CyclesPerPacket)
+	}
+}
+
+func TestBackpressureWithTinyRings(t *testing.T) {
+	iters := 100
+	res := partition(t, simSrc, 3)
+	small := DefaultConfig()
+	small.RingCapacity = 1
+	big := DefaultConfig()
+	big.RingCapacity = 64
+	a, err := Simulate(res.Stages, interp.NewWorld(packets(iters)), iters, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(res.Stages, interp.NewWorld(packets(iters)), iters, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CyclesPerPacket < b.CyclesPerPacket {
+		t.Errorf("tiny rings (%.2f cyc/pkt) should not beat big rings (%.2f cyc/pkt)",
+			a.CyclesPerPacket, b.CyclesPerPacket)
+	}
+	if a.Makespan < b.Makespan {
+		t.Error("backpressure should not shorten the makespan")
+	}
+}
+
+func TestStageMetrics(t *testing.T) {
+	iters := 50
+	res := partition(t, simSrc, 3)
+	s, err := Simulate(res.Stages, interp.NewWorld(packets(iters)), iters, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.StageBusy) != 3 || len(s.StageService) != 3 {
+		t.Fatal("per-stage metrics missing")
+	}
+	for k, b := range s.StageBusy {
+		if b < 0 || b > 1.0001 {
+			t.Errorf("stage %d busy fraction %f out of range", k, b)
+		}
+		if s.StageService[k] <= 0 {
+			t.Errorf("stage %d service time %f not positive", k, s.StageService[k])
+		}
+	}
+	if s.Makespan <= 0 || s.Throughput <= 0 {
+		t.Error("missing aggregate metrics")
+	}
+}
+
+func TestEmptyPipelineRejected(t *testing.T) {
+	if _, err := Simulate(nil, interp.NewWorld(nil), 1, DefaultConfig()); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+}

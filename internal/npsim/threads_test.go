@@ -1,0 +1,127 @@
+package npsim
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ppc"
+)
+
+// memHeavySrc has a high latency-to-instruction ratio: perfect terrain for
+// thread-level latency hiding.
+const memHeavySrc = `pps M { loop {
+	var n = pkt_rx();
+	var a = pkt_byte(0);
+	var b = pkt_byte(1);
+	var c = pkt_byte(2);
+	var d = pkt_byte(3);
+	trace(a + b + c + d + n);
+} }`
+
+func TestThreadSimMatchesBehaviour(t *testing.T) {
+	res := partition(t, memHeavySrc, 2)
+	prog, _ := ppc.Compile(memHeavySrc)
+	iters := 30
+
+	seq, err := interp.RunSequential(prog, interp.NewWorld(packets(iters)), iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := SimulateThreads(res.Stages, interp.NewWorld(packets(iters)), iters, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := interp.TraceEqual(seq, sim.Trace); diff != "" {
+		t.Fatalf("thread simulation changed behaviour: %s", diff)
+	}
+	if sim.Makespan <= 0 || sim.CyclesPerPacket <= 0 {
+		t.Error("missing timing results")
+	}
+}
+
+// TestThreadsHideLatency is the paper's premise: with eight threads per
+// engine, throughput approaches the instruction-issue bound even though
+// every packet waits on memory; with one thread, latency dominates.
+func TestThreadsHideLatency(t *testing.T) {
+	res := partition(t, memHeavySrc, 1)
+	iters := 200
+
+	one := DefaultConfig()
+	one.ThreadsPerPE = 1
+	eight := DefaultConfig()
+	eight.ThreadsPerPE = 8
+
+	s1, err := SimulateThreads(res.Stages, interp.NewWorld(packets(iters)), iters, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := SimulateThreads(res.Stages, interp.NewWorld(packets(iters)), iters, eight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s8.CyclesPerPacket >= s1.CyclesPerPacket/2 {
+		t.Errorf("8 threads (%.1f cyc/pkt) should be far faster than 1 thread (%.1f cyc/pkt)",
+			s8.CyclesPerPacket, s1.CyclesPerPacket)
+	}
+	// With one thread the engine idles during memory waits.
+	if s1.IssueBusy[0] > 0.5 {
+		t.Errorf("single-thread issue busy = %.2f; memory waits should dominate", s1.IssueBusy[0])
+	}
+	if s8.IssueBusy[0] < s1.IssueBusy[0] {
+		t.Error("more threads must not reduce issue utilization")
+	}
+	if s8.AvgThreadsBusy[0] <= 1.1 {
+		t.Errorf("average in-flight threads = %.2f; expected real overlap", s8.AvgThreadsBusy[0])
+	}
+}
+
+// TestThreadSimPipelineScales: pipelining still helps under the fine model.
+func TestThreadSimPipelineScales(t *testing.T) {
+	iters := 150
+	r1 := partition(t, simSrc, 1)
+	r3 := partition(t, simSrc, 3)
+	s1, err := SimulateThreads(r1.Stages, interp.NewWorld(packets(iters)), iters, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := SimulateThreads(r3.Stages, interp.NewWorld(packets(iters)), iters, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.CyclesPerPacket >= s1.CyclesPerPacket {
+		t.Errorf("3 stages (%.1f) not faster than 1 (%.1f)", s3.CyclesPerPacket, s1.CyclesPerPacket)
+	}
+}
+
+// TestThreadSimAgreesWithCoarseModel: for compute-bound code the coarse
+// single-server model and the thread model should roughly agree.
+func TestThreadSimAgreesWithCoarseModel(t *testing.T) {
+	const aluSrc = `pps A { loop {
+		var n = pkt_rx();
+		var x = n;
+		x = x * 3 + 1; x = x ^ 0x55; x = x * 5 + 7; x = x % 251;
+		x = x * 3 + 1; x = x ^ 0x66; x = x * 7 + 9; x = x % 241;
+		trace(x);
+	} }`
+	res := partition(t, aluSrc, 2)
+	iters := 200
+	coarse, err := Simulate(res.Stages, interp.NewWorld(packets(iters)), iters, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := SimulateThreads(res.Stages, interp.NewWorld(packets(iters)), iters, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := coarse.CyclesPerPacket*0.4, coarse.CyclesPerPacket*2.5
+	if fine.CyclesPerPacket < lo || fine.CyclesPerPacket > hi {
+		t.Errorf("models disagree wildly: coarse %.1f vs fine %.1f cyc/pkt",
+			coarse.CyclesPerPacket, fine.CyclesPerPacket)
+	}
+}
+
+func TestThreadSimEmptyPipeline(t *testing.T) {
+	if _, err := SimulateThreads(nil, interp.NewWorld(nil), 1, DefaultConfig()); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+}

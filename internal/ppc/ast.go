@@ -1,0 +1,222 @@
+package ppc
+
+// AST node definitions. All values are 64-bit integers; there is no type
+// syntax. Every node records the position of its first token.
+
+// Unit is a full compilation unit.
+type Unit struct {
+	Consts []*ConstDecl
+	Funcs  []*FuncDecl
+	PPS    *PPSDecl
+}
+
+// ConstDecl is `const NAME = <const-expr>;`.
+type ConstDecl struct {
+	Pos  Pos
+	Name string
+	Expr Expr
+}
+
+// FuncDecl is `func name(params) { ... }`. Functions always conceptually
+// return a value; falling off the end returns 0.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   *BlockStmt
+}
+
+// PPSDecl is the packet processing stage: flow-state declarations plus the
+// PPS loop.
+type PPSDecl struct {
+	Pos   Pos
+	Name  string
+	Decls []*VarDecl // pps-level: persistent scalars/arrays and local arrays
+	Loop  *BlockStmt
+}
+
+// VarDecl declares a scalar (`var x = e;`) or an array (`var x[N];`).
+// ArraySize < 0 means scalar. At pps level, Persistent marks flow state.
+type VarDecl struct {
+	Pos        Pos
+	Name       string
+	Persistent bool
+	ArraySize  int  // -1 for scalars
+	Init       Expr // scalar initializer (nil means 0); const-only at pps level
+}
+
+// Stmt is a statement.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is `{ stmts }`.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt wraps a local variable declaration.
+type DeclStmt struct{ Decl *VarDecl }
+
+// AssignStmt is `lhs = rhs;` (op-assigns are desugared by the parser).
+// If Index is non-nil the target is an array element.
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalar targets
+	Value Expr
+}
+
+// ExprStmt evaluates an expression for effect (a call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is `if (cond) { } else ...`.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is `while[bound] (cond) { }`.
+type WhileStmt struct {
+	Pos   Pos
+	Bound int // 0 means unannotated (cost model default applies)
+	Cond  Expr
+	Body  *BlockStmt
+}
+
+// DoStmt is `do { } while (cond);`.
+type DoStmt struct {
+	Pos   Pos
+	Bound int
+	Body  *BlockStmt
+	Cond  Expr
+}
+
+// ForStmt is `for[bound] (init; cond; post) { }`. Init/Post may be nil and
+// are restricted to assignments or declarations/expressions.
+type ForStmt struct {
+	Pos   Pos
+	Bound int
+	Init  Stmt // nil, *DeclStmt, *AssignStmt, or *ExprStmt
+	Cond  Expr // nil means true
+	Post  Stmt // nil, *AssignStmt, or *ExprStmt
+	Body  *BlockStmt
+}
+
+// SwitchStmt is a Go-style switch on an integer with implicit break.
+type SwitchStmt struct {
+	Pos     Pos
+	X       Expr
+	Cases   []*SwitchCase
+	Default []Stmt // nil if absent
+}
+
+// SwitchCase is one `case v:` arm. Values must be distinct const exprs.
+type SwitchCase struct {
+	Pos   Pos
+	Value Expr
+	Body  []Stmt
+}
+
+// BreakStmt breaks the innermost inner loop or does nothing in a switch
+// (implicit break semantics make explicit break in switch a no-op arm end).
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost inner loop; at PPS-loop level it
+// ends the current iteration.
+type ContinueStmt struct{ Pos Pos }
+
+// ReturnStmt returns from the enclosing function. Illegal directly in a
+// PPS loop (use continue).
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // nil means 0
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+
+// Expr is an expression.
+type Expr interface {
+	exprNode()
+	pos() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos_ Pos
+	Val  int64
+}
+
+// Ident references a variable or constant.
+type Ident struct {
+	Pos_ Pos
+	Name string
+}
+
+// IndexExpr is `name[idx]`.
+type IndexExpr struct {
+	Pos_  Pos
+	Name  string
+	Index Expr
+}
+
+// CallExpr calls an intrinsic or a user function.
+type CallExpr struct {
+	Pos_ Pos
+	Name string
+	Args []Expr
+}
+
+// UnaryExpr applies -, !, or ~.
+type UnaryExpr struct {
+	Pos_ Pos
+	Op   Kind
+	X    Expr
+}
+
+// BinaryExpr applies a binary operator. Short-circuit operators (&&, ||)
+// are lowered to control flow.
+type BinaryExpr struct {
+	Pos_ Pos
+	Op   Kind
+	X, Y Expr
+}
+
+// CondExpr is `c ? a : b`.
+type CondExpr struct {
+	Pos_ Pos
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+
+func (e *IntLit) pos() Pos     { return e.Pos_ }
+func (e *Ident) pos() Pos      { return e.Pos_ }
+func (e *IndexExpr) pos() Pos  { return e.Pos_ }
+func (e *CallExpr) pos() Pos   { return e.Pos_ }
+func (e *UnaryExpr) pos() Pos  { return e.Pos_ }
+func (e *BinaryExpr) pos() Pos { return e.Pos_ }
+func (e *CondExpr) pos() Pos   { return e.Pos_ }

@@ -1,0 +1,32 @@
+package ppc
+
+import "testing"
+
+// FuzzParse checks the front end never panics: arbitrary input must either
+// parse or produce a positioned error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"pps P { loop { trace(1); } }",
+		"const A = 1; func f(x) { return x; } pps P { loop { trace(f(A)); } }",
+		"pps P { persistent var s = 0; var a[4]; loop { while[3] (s < 2) { s = s + 1; } } }",
+		"pps P { loop { switch (1) { case 0: trace(0); default: trace(1); } } }",
+		"pps P { loop { var x = 1 ? 2 : 3; x += 4; a[x] = 5; } }",
+		"pps", "pps P {", "{}", ";;;", "0x", "var", "/* unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		unit, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Parsed units must format and re-parse.
+		formatted := Format(unit)
+		if _, err := Parse(formatted); err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\nsource: %q\nformatted: %q", err, src, formatted)
+		}
+		// Lowering may reject semantically (fine) but must not panic.
+		_, _ = Lower(unit)
+	})
+}

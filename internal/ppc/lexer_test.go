@@ -1,0 +1,89 @@
+package ppc
+
+import "testing"
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lexAll(`pps X { loop { var a = 0x1F; a = a + 42; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KwPPS, IDENT, LBrace, KwLoop, LBrace, KwVar, IDENT, Assign, INT, Semi,
+		IDENT, Assign, IDENT, Plus, INT, Semi, RBrace, RBrace, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+	if toks[8].Val != 0x1F {
+		t.Errorf("hex literal = %d, want 31", toks[8].Val)
+	}
+	if toks[14].Val != 42 {
+		t.Errorf("decimal literal = %d, want 42", toks[14].Val)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lexAll("a // line comment\n /* block\ncomment */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := lexAll("/* never ends"); err == nil {
+		t.Error("unterminated block comment accepted")
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	src := "|| && == != <= >= << >> += -= *= /= %="
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{OrOr, AndAnd, EqEq, NotEq, Le, Ge, Shl, Shr,
+		PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("second token at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexBadCharacter(t *testing.T) {
+	if _, err := lexAll("a $ b"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := lexAll("loop loops persistent persist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != KwLoop || toks[1].Kind != IDENT {
+		t.Error("keyword boundary detection wrong for loop/loops")
+	}
+	if toks[2].Kind != KwPersistent || toks[3].Kind != IDENT {
+		t.Error("keyword boundary detection wrong for persistent/persist")
+	}
+}

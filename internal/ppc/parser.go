@@ -1,0 +1,757 @@
+package ppc
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a PPC compilation unit.
+func Parse(src string) (*Unit, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.unit()
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos+1 < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.describe(p.cur()))
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) describe(t Token) string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INT:
+		return fmt.Sprintf("integer %d", t.Val)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}
+
+func (p *parser) unit() (*Unit, error) {
+	u := &Unit{}
+	for {
+		switch p.cur().Kind {
+		case EOF:
+			if u.PPS == nil {
+				return nil, errf(p.cur().Pos, "compilation unit has no pps declaration")
+			}
+			return u, nil
+		case KwConst:
+			c, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			u.Consts = append(u.Consts, c)
+		case KwFunc:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			u.Funcs = append(u.Funcs, f)
+		case KwPPS:
+			if u.PPS != nil {
+				return nil, errf(p.cur().Pos, "duplicate pps declaration")
+			}
+			d, err := p.ppsDecl()
+			if err != nil {
+				return nil, err
+			}
+			u.PPS = d
+		default:
+			return nil, errf(p.cur().Pos, "expected declaration, found %s", p.describe(p.cur()))
+		}
+	}
+}
+
+func (p *parser) constDecl() (*ConstDecl, error) {
+	kw := p.advance() // const
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Assign); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return &ConstDecl{Pos: kw.Pos, Name: name.Text, Expr: e}, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw := p.advance() // func
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	if p.cur().Kind != RParen {
+		for {
+			id, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, id.Text)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Pos: kw.Pos, Name: name.Text, Params: params, Body: body}, nil
+}
+
+func (p *parser) ppsDecl() (*PPSDecl, error) {
+	kw := p.advance() // pps
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	d := &PPSDecl{Pos: kw.Pos, Name: name.Text}
+	for {
+		switch p.cur().Kind {
+		case KwPersistent, KwVar:
+			v, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			d.Decls = append(d.Decls, v)
+		case KwLoop:
+			if d.Loop != nil {
+				return nil, errf(p.cur().Pos, "duplicate loop in pps %s", d.Name)
+			}
+			p.advance()
+			body, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			d.Loop = body
+		case RBrace:
+			p.advance()
+			if d.Loop == nil {
+				return nil, errf(kw.Pos, "pps %s has no loop", d.Name)
+			}
+			return d, nil
+		default:
+			return nil, errf(p.cur().Pos, "expected var, persistent, loop or }, found %s", p.describe(p.cur()))
+		}
+	}
+}
+
+// varDecl parses `[persistent] var name [N]? [= expr]? ;`.
+func (p *parser) varDecl() (*VarDecl, error) {
+	persistent := p.accept(KwPersistent)
+	kw, err := p.expect(KwVar)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	v := &VarDecl{Pos: kw.Pos, Name: name.Text, Persistent: persistent, ArraySize: -1}
+	if p.accept(LBrack) {
+		sz, err := p.expect(INT)
+		if err != nil {
+			return nil, err
+		}
+		if sz.Val <= 0 {
+			return nil, errf(sz.Pos, "array size must be positive")
+		}
+		v.ArraySize = int(sz.Val)
+		if _, err := p.expect(RBrack); err != nil {
+			return nil, err
+		}
+	} else if p.accept(Assign) {
+		v.Init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case LBrace:
+		return p.block()
+	case KwVar, KwPersistent:
+		v, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: v}, nil
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		return p.whileStmt()
+	case KwDo:
+		return p.doStmt()
+	case KwFor:
+		return p.forStmt()
+	case KwSwitch:
+		return p.switchStmt()
+	case KwBreak:
+		t := p.advance()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case KwContinue:
+		t := p.advance()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	case KwReturn:
+		t := p.advance()
+		var x Expr
+		if p.cur().Kind != Semi {
+			var err error
+			x, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: t.Pos, X: x}, nil
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// simpleStmt parses an assignment or expression statement (no semicolon).
+func (p *parser) simpleStmt() (Stmt, error) {
+	start := p.cur()
+	if start.Kind == IDENT {
+		// Lookahead to distinguish assignment from expression.
+		switch p.peek().Kind {
+		case Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign:
+			return p.assign(start.Text, nil)
+		case LBrack:
+			// Could be `a[i] = e` or an expression starting with an index.
+			save := p.pos
+			p.advance() // ident
+			p.advance() // [
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			switch p.cur().Kind {
+			case Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign:
+				return p.assignParsed(start, idx)
+			}
+			p.pos = save // plain expression; re-parse
+		}
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: start.Pos, X: x}, nil
+}
+
+// assign parses from the IDENT token onward: `name (op)= expr`.
+func (p *parser) assign(name string, _ Expr) (Stmt, error) {
+	id := p.advance() // ident
+	return p.assignParsed(id, nil)
+}
+
+// assignParsed handles the (op)= part once the target has been consumed.
+func (p *parser) assignParsed(id Token, idx Expr) (Stmt, error) {
+	opTok := p.advance()
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var binOp Kind
+	switch opTok.Kind {
+	case Assign:
+		return &AssignStmt{Pos: id.Pos, Name: id.Text, Index: idx, Value: rhs}, nil
+	case PlusAssign:
+		binOp = Plus
+	case MinusAssign:
+		binOp = Minus
+	case StarAssign:
+		binOp = Star
+	case SlashAssign:
+		binOp = Slash
+	case PercentAssign:
+		binOp = Percent
+	default:
+		return nil, errf(opTok.Pos, "expected assignment operator")
+	}
+	// Desugar `x op= e` to `x = x op e`. For array targets the index
+	// expression is shared; lowering evaluates it twice, which is safe
+	// because index expressions are pure in PPC (no assignment exprs) —
+	// calls inside indexes of op-assign are rejected for clarity.
+	if idx != nil && containsCall(idx) {
+		return nil, errf(opTok.Pos, "op-assignment with a call in the index is not supported; use a temporary")
+	}
+	var lhsExpr Expr
+	if idx != nil {
+		lhsExpr = &IndexExpr{Pos_: id.Pos, Name: id.Text, Index: idx}
+	} else {
+		lhsExpr = &Ident{Pos_: id.Pos, Name: id.Text}
+	}
+	return &AssignStmt{
+		Pos: id.Pos, Name: id.Text, Index: idx,
+		Value: &BinaryExpr{Pos_: opTok.Pos, Op: binOp, X: lhsExpr, Y: rhs},
+	}, nil
+}
+
+func containsCall(e Expr) bool {
+	switch x := e.(type) {
+	case *CallExpr:
+		return true
+	case *UnaryExpr:
+		return containsCall(x.X)
+	case *BinaryExpr:
+		return containsCall(x.X) || containsCall(x.Y)
+	case *CondExpr:
+		return containsCall(x.Cond) || containsCall(x.Then) || containsCall(x.Else)
+	case *IndexExpr:
+		return containsCall(x.Index)
+	}
+	return false
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw := p.advance()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: kw.Pos, Cond: cond, Then: then}
+	if p.accept(KwElse) {
+		if p.cur().Kind == KwIf {
+			st.Else, err = p.ifStmt()
+		} else {
+			st.Else, err = p.block()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// loopBound parses the optional `[N]` trip annotation after a loop keyword.
+func (p *parser) loopBound() (int, error) {
+	if !p.accept(LBrack) {
+		return 0, nil
+	}
+	n, err := p.expect(INT)
+	if err != nil {
+		return 0, err
+	}
+	if n.Val <= 0 {
+		return 0, errf(n.Pos, "loop bound must be positive")
+	}
+	if _, err := p.expect(RBrack); err != nil {
+		return 0, err
+	}
+	return int(n.Val), nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	kw := p.advance()
+	bound, err := p.loopBound()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: kw.Pos, Bound: bound, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) doStmt() (Stmt, error) {
+	kw := p.advance()
+	bound, err := p.loopBound()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return &DoStmt{Pos: kw.Pos, Bound: bound, Body: body, Cond: cond}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	kw := p.advance()
+	bound, err := p.loopBound()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: kw.Pos, Bound: bound}
+	if p.cur().Kind != Semi {
+		if p.cur().Kind == KwVar {
+			v, err := p.varDecl() // consumes the semicolon
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &DeclStmt{Decl: v}
+		} else {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = s
+			if _, err := p.expect(Semi); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.advance()
+	}
+	if p.cur().Kind != Semi {
+		st.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != RParen {
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = s
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	st.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) switchStmt() (Stmt, error) {
+	kw := p.advance()
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{Pos: kw.Pos, X: x}
+	for {
+		switch p.cur().Kind {
+		case KwCase:
+			c := p.advance()
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Cases = append(st.Cases, &SwitchCase{Pos: c.Pos, Value: v, Body: body})
+		case KwDefault:
+			d := p.advance()
+			if st.Default != nil {
+				return nil, errf(d.Pos, "duplicate default case")
+			}
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			if body == nil {
+				body = []Stmt{}
+			}
+			st.Default = body
+		case RBrace:
+			p.advance()
+			if len(st.Cases) == 0 && st.Default == nil {
+				return nil, errf(kw.Pos, "switch with no cases")
+			}
+			return st, nil
+		default:
+			return nil, errf(p.cur().Pos, "expected case, default or }, found %s", p.describe(p.cur()))
+		}
+	}
+}
+
+func (p *parser) caseBody() ([]Stmt, error) {
+	var body []Stmt
+	for {
+		switch p.cur().Kind {
+		case KwCase, KwDefault, RBrace:
+			return body, nil
+		case EOF:
+			return nil, errf(p.cur().Pos, "unterminated switch")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[Kind]int{
+	OrOr: 1, AndAnd: 2,
+	Pipe: 3, Caret: 4, Amp: 5,
+	EqEq: 6, NotEq: 6,
+	Lt: 7, Le: 7, Gt: 7, Ge: 7,
+	Shl: 8, Shr: 8,
+	Plus: 9, Minus: 9,
+	Star: 10, Slash: 10, Percent: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.condExpr() }
+
+func (p *parser) condExpr() (Expr, error) {
+	c, err := p.binExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(Question) {
+		return c, nil
+	}
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	els, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Pos_: c.pos(), Cond: c, Then: then, Else: els}, nil
+}
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.advance()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos_: op.Pos, Op: op.Kind, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	switch p.cur().Kind {
+	case Minus, Bang, Tilde:
+		op := p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos_: op.Pos, Op: op.Kind, X: x}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.advance()
+		return &IntLit{Pos_: t.Pos, Val: t.Val}, nil
+	case LParen:
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case IDENT:
+		p.advance()
+		switch p.cur().Kind {
+		case LParen:
+			p.advance()
+			var args []Expr
+			if p.cur().Kind != RParen {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return &CallExpr{Pos_: t.Pos, Name: t.Text, Args: args}, nil
+		case LBrack:
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos_: t.Pos, Name: t.Text, Index: idx}, nil
+		}
+		return &Ident{Pos_: t.Pos, Name: t.Text}, nil
+	default:
+		return nil, errf(t.Pos, "expected expression, found %s", p.describe(t))
+	}
+}

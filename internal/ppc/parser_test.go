@@ -1,0 +1,187 @@
+package ppc
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Unit {
+	t.Helper()
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return u
+}
+
+func wantParseError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("Parse accepted bad source:\n%s", src)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Errorf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestParseMinimalPPS(t *testing.T) {
+	u := mustParse(t, `pps P { loop { trace(1); } }`)
+	if u.PPS == nil || u.PPS.Name != "P" {
+		t.Fatal("pps not parsed")
+	}
+	if len(u.PPS.Loop.Stmts) != 1 {
+		t.Fatalf("loop has %d statements, want 1", len(u.PPS.Loop.Stmts))
+	}
+}
+
+func TestParseConstAndFunc(t *testing.T) {
+	u := mustParse(t, `
+		const N = 4 * 8;
+		func add(a, b) { return a + b; }
+		pps P { loop { trace(add(N, 1)); } }
+	`)
+	if len(u.Consts) != 1 || u.Consts[0].Name != "N" {
+		t.Error("const decl missing")
+	}
+	if len(u.Funcs) != 1 || len(u.Funcs[0].Params) != 2 {
+		t.Error("func decl missing or wrong params")
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	u := mustParse(t, `
+		pps P {
+			persistent var total = 7;
+			persistent var q[16];
+			var buf[64];
+			loop { trace(total); }
+		}
+	`)
+	d := u.PPS.Decls
+	if len(d) != 3 {
+		t.Fatalf("got %d pps decls, want 3", len(d))
+	}
+	if !d[0].Persistent || d[0].ArraySize != -1 || d[0].Init == nil {
+		t.Error("persistent scalar decl wrong")
+	}
+	if !d[1].Persistent || d[1].ArraySize != 16 {
+		t.Error("persistent array decl wrong")
+	}
+	if d[2].Persistent || d[2].ArraySize != 64 {
+		t.Error("local array decl wrong")
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	u := mustParse(t, `
+		pps P {
+			loop {
+				var i = 0;
+				while[16] (i < 10) { i = i + 1; }
+				do[4] { i = i - 1; } while (i > 0);
+				for[8] (var j = 0; j < 4; j = j + 1) { trace(j); }
+				if (i == 0) { trace(1); } else if (i == 1) { trace(2); } else { trace(3); }
+				switch (i) {
+				case 0:
+					trace(0);
+				case 1 + 1:
+					trace(2);
+				default:
+					trace(9);
+				}
+			}
+		}
+	`)
+	stmts := u.PPS.Loop.Stmts
+	if len(stmts) != 6 {
+		t.Fatalf("got %d statements, want 6", len(stmts))
+	}
+	w, ok := stmts[1].(*WhileStmt)
+	if !ok || w.Bound != 16 {
+		t.Errorf("while bound = %v, want 16", w)
+	}
+	d, ok := stmts[2].(*DoStmt)
+	if !ok || d.Bound != 4 {
+		t.Error("do statement wrong")
+	}
+	f, ok := stmts[3].(*ForStmt)
+	if !ok || f.Bound != 8 || f.Init == nil || f.Post == nil {
+		t.Error("for statement wrong")
+	}
+	sw, ok := stmts[5].(*SwitchStmt)
+	if !ok || len(sw.Cases) != 2 || sw.Default == nil {
+		t.Error("switch statement wrong")
+	}
+}
+
+func TestParseOpAssignDesugar(t *testing.T) {
+	u := mustParse(t, `pps P { loop { var a = 1; a += 2; } }`)
+	as, ok := u.PPS.Loop.Stmts[1].(*AssignStmt)
+	if !ok {
+		t.Fatal("op-assign did not produce AssignStmt")
+	}
+	bin, ok := as.Value.(*BinaryExpr)
+	if !ok || bin.Op != Plus {
+		t.Error("op-assign not desugared to binary expression")
+	}
+}
+
+func TestParseArrayAssignVsIndexExpr(t *testing.T) {
+	u := mustParse(t, `pps P { var a[4]; loop { a[1] = 2; trace(a[1]); } }`)
+	if _, ok := u.PPS.Loop.Stmts[0].(*AssignStmt); !ok {
+		t.Error("array element assignment not parsed as AssignStmt")
+	}
+	es, ok := u.PPS.Loop.Stmts[1].(*ExprStmt)
+	if !ok {
+		t.Fatal("trace call not an ExprStmt")
+	}
+	call := es.X.(*CallExpr)
+	if _, ok := call.Args[0].(*IndexExpr); !ok {
+		t.Error("index expression not parsed inside call")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	u := mustParse(t, `pps P { loop { var x = 1 + 2 * 3 == 7 && 1 | 0; } }`)
+	d := u.PPS.Loop.Stmts[0].(*DeclStmt)
+	top, ok := d.Decl.Init.(*BinaryExpr)
+	if !ok || top.Op != AndAnd {
+		t.Fatalf("top operator should be &&, got %T", d.Decl.Init)
+	}
+	left, ok := top.X.(*BinaryExpr)
+	if !ok || left.Op != EqEq {
+		t.Errorf("left of && should be ==, got %v", top.X)
+	}
+}
+
+func TestParseTernary(t *testing.T) {
+	u := mustParse(t, `pps P { loop { var x = 1 ? 2 : 3 ? 4 : 5; } }`)
+	d := u.PPS.Loop.Stmts[0].(*DeclStmt)
+	c, ok := d.Decl.Init.(*CondExpr)
+	if !ok {
+		t.Fatal("ternary not parsed")
+	}
+	if _, ok := c.Else.(*CondExpr); !ok {
+		t.Error("ternary should be right-associative")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	wantParseError(t, `func f() { }`, "no pps")
+	wantParseError(t, `pps P { }`, "no loop")
+	wantParseError(t, `pps P { loop { } } pps Q { loop { } }`, "duplicate pps")
+	wantParseError(t, `pps P { loop { } loop { } }`, "duplicate loop")
+	wantParseError(t, `pps P { var a[0]; loop { } }`, "positive")
+	wantParseError(t, `pps P { loop { switch (1) { } } }`, "no cases")
+	wantParseError(t, `pps P { loop { switch (1) { default: default: } } }`, "duplicate default")
+	wantParseError(t, `pps P { loop { while[0] (1) { } } }`, "positive")
+	wantParseError(t, `pps P { loop { var x = ; } }`, "expected expression")
+	wantParseError(t, `pps P { loop { if 1 { } } }`, "expected (")
+}
+
+func TestParseOpAssignIndexWithCallRejected(t *testing.T) {
+	wantParseError(t,
+		`pps P { var a[4]; loop { a[pkt_rx()] += 1; } }`,
+		"op-assignment with a call")
+}

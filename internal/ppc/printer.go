@@ -1,0 +1,236 @@
+package ppc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed unit back to canonical PPC source. The output
+// parses to an identical AST (modulo positions), which the round-trip tests
+// assert; it backs the ppcc -ast flag.
+func Format(u *Unit) string {
+	var p printer
+	for _, c := range u.Consts {
+		p.writef("const %s = %s;\n", c.Name, p.expr(c.Expr))
+	}
+	if len(u.Consts) > 0 {
+		p.writef("\n")
+	}
+	for _, fd := range u.Funcs {
+		p.writef("func %s(%s) ", fd.Name, strings.Join(fd.Params, ", "))
+		p.block(fd.Body)
+		p.writef("\n\n")
+	}
+	if u.PPS != nil {
+		p.writef("pps %s {\n", u.PPS.Name)
+		p.depth++
+		for _, d := range u.PPS.Decls {
+			p.indent()
+			p.varDecl(d)
+		}
+		p.indent()
+		p.writef("loop ")
+		p.block(u.PPS.Loop)
+		p.writef("\n")
+		p.depth--
+		p.writef("}\n")
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb    strings.Builder
+	depth int
+}
+
+func (p *printer) writef(format string, args ...interface{}) {
+	fmt.Fprintf(&p.sb, format, args...)
+}
+
+func (p *printer) indent() { p.sb.WriteString(strings.Repeat("\t", p.depth)) }
+
+func (p *printer) varDecl(d *VarDecl) {
+	if d.Persistent {
+		p.writef("persistent ")
+	}
+	if d.ArraySize >= 0 {
+		p.writef("var %s[%d];\n", d.Name, d.ArraySize)
+		return
+	}
+	if d.Init != nil {
+		p.writef("var %s = %s;\n", d.Name, p.expr(d.Init))
+		return
+	}
+	p.writef("var %s;\n", d.Name)
+}
+
+func (p *printer) block(b *BlockStmt) {
+	p.writef("{\n")
+	p.depth++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.depth--
+	p.indent()
+	p.writef("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		p.indent()
+		p.block(st)
+		p.writef("\n")
+	case *DeclStmt:
+		p.indent()
+		p.varDecl(st.Decl)
+	case *AssignStmt:
+		p.indent()
+		if st.Index != nil {
+			p.writef("%s[%s] = %s;\n", st.Name, p.expr(st.Index), p.expr(st.Value))
+		} else {
+			p.writef("%s = %s;\n", st.Name, p.expr(st.Value))
+		}
+	case *ExprStmt:
+		p.indent()
+		p.writef("%s;\n", p.expr(st.X))
+	case *IfStmt:
+		p.indent()
+		p.ifChain(st)
+		p.writef("\n")
+	case *WhileStmt:
+		p.indent()
+		p.writef("while%s (%s) ", bound(st.Bound), p.expr(st.Cond))
+		p.block(st.Body)
+		p.writef("\n")
+	case *DoStmt:
+		p.indent()
+		p.writef("do%s ", bound(st.Bound))
+		p.block(st.Body)
+		p.writef(" while (%s);\n", p.expr(st.Cond))
+	case *ForStmt:
+		p.indent()
+		p.writef("for%s (", bound(st.Bound))
+		p.simple(st.Init)
+		p.writef("; ")
+		if st.Cond != nil {
+			p.writef("%s", p.expr(st.Cond))
+		}
+		p.writef("; ")
+		p.simple(st.Post)
+		p.writef(") ")
+		p.block(st.Body)
+		p.writef("\n")
+	case *SwitchStmt:
+		p.indent()
+		p.writef("switch (%s) {\n", p.expr(st.X))
+		for _, c := range st.Cases {
+			p.indent()
+			p.writef("case %s:\n", p.expr(c.Value))
+			p.depth++
+			for _, cs := range c.Body {
+				p.stmt(cs)
+			}
+			p.depth--
+		}
+		if st.Default != nil {
+			p.indent()
+			p.writef("default:\n")
+			p.depth++
+			for _, cs := range st.Default {
+				p.stmt(cs)
+			}
+			p.depth--
+		}
+		p.indent()
+		p.writef("}\n")
+	case *BreakStmt:
+		p.indent()
+		p.writef("break;\n")
+	case *ContinueStmt:
+		p.indent()
+		p.writef("continue;\n")
+	case *ReturnStmt:
+		p.indent()
+		if st.X != nil {
+			p.writef("return %s;\n", p.expr(st.X))
+		} else {
+			p.writef("return;\n")
+		}
+	}
+}
+
+// simple renders a for-clause statement without indentation or semicolon.
+func (p *printer) simple(s Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *DeclStmt:
+		d := st.Decl
+		if d.Init != nil {
+			p.writef("var %s = %s", d.Name, p.expr(d.Init))
+		} else {
+			p.writef("var %s", d.Name)
+		}
+	case *AssignStmt:
+		if st.Index != nil {
+			p.writef("%s[%s] = %s", st.Name, p.expr(st.Index), p.expr(st.Value))
+		} else {
+			p.writef("%s = %s", st.Name, p.expr(st.Value))
+		}
+	case *ExprStmt:
+		p.writef("%s", p.expr(st.X))
+	}
+}
+
+func (p *printer) ifChain(st *IfStmt) {
+	p.writef("if (%s) ", p.expr(st.Cond))
+	p.block(st.Then)
+	switch e := st.Else.(type) {
+	case nil:
+	case *IfStmt:
+		p.writef(" else ")
+		p.ifChain(e)
+	case *BlockStmt:
+		p.writef(" else ")
+		p.block(e)
+	}
+}
+
+func bound(n int) string {
+	if n > 0 {
+		return fmt.Sprintf("[%d]", n)
+	}
+	return ""
+}
+
+var opText = map[Kind]string{
+	OrOr: "||", AndAnd: "&&", Pipe: "|", Caret: "^", Amp: "&",
+	EqEq: "==", NotEq: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	Shl: "<<", Shr: ">>", Plus: "+", Minus: "-", Star: "*",
+	Slash: "/", Percent: "%", Bang: "!", Tilde: "~",
+}
+
+// expr renders an expression fully parenthesized (precedence-safe).
+func (p *printer) expr(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", x.Val)
+	case *Ident:
+		return x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", x.Name, p.expr(x.Index))
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = p.expr(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	case *UnaryExpr:
+		return fmt.Sprintf("(%s%s)", opText[x.Op], p.expr(x.X))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", p.expr(x.X), opText[x.Op], p.expr(x.Y))
+	case *CondExpr:
+		return fmt.Sprintf("(%s ? %s : %s)", p.expr(x.Cond), p.expr(x.Then), p.expr(x.Else))
+	}
+	return "?"
+}

@@ -1,0 +1,92 @@
+package ppc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/randprog"
+)
+
+// reparse formats a unit and parses the result again.
+func reparse(t *testing.T, src string) (*Unit, string) {
+	t.Helper()
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	formatted := Format(u)
+	u2, err := Parse(formatted)
+	if err != nil {
+		t.Fatalf("formatted output does not parse: %v\n%s", err, formatted)
+	}
+	return u2, formatted
+}
+
+func TestFormatRoundTripFixed(t *testing.T) {
+	src := `
+		const K = 3;
+		func f(a, b) { return a * b + K; }
+		pps P {
+			persistent var total = 0;
+			var buf[8];
+			loop {
+				var n = pkt_rx();
+				if (n < 0) { continue; }
+				while[4] (n > 0) { n = n - 1; if (n == 2) { break; } }
+				do[2] { n = n + 1; } while (n < 1);
+				for[3] (var i = 0; i < 2; i = i + 1) { buf[i] = f(i, n); }
+				switch (n % 3) {
+				case 0:
+					trace(buf[0]);
+				default:
+					trace(-1);
+				}
+				total = total + n;
+				trace(total > 5 ? 1 : 0);
+				trace(!n);
+			}
+		}`
+	u2, formatted := reparse(t, src)
+	// Format must be a fixpoint: formatting the reparsed AST gives the
+	// same text.
+	if again := Format(u2); again != formatted {
+		t.Errorf("Format is not idempotent:\n--- first ---\n%s\n--- second ---\n%s", formatted, again)
+	}
+}
+
+// TestFormatRoundTripPreservesSemantics compiles original and formatted
+// sources and compares the lowered IR textually (positions aside, lowering
+// is deterministic, so identical ASTs give identical IR).
+func TestFormatRoundTripPreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		u, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		formatted := Format(u)
+		p1, err := Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p2, err := Compile(formatted)
+		if err != nil {
+			t.Fatalf("seed %d: formatted source does not compile: %v\n%s", seed, err, formatted)
+		}
+		if p1.Func.String() != p2.Func.String() {
+			t.Fatalf("seed %d: formatted program lowers differently\n--- source ---\n%s\n--- formatted ---\n%s",
+				seed, src, formatted)
+		}
+	}
+}
+
+func TestFormatMentionsAllConstructs(t *testing.T) {
+	src := `const A = 1; func g(x) { return x; }
+	pps P { persistent var s = 2; loop { trace(g(A) + s); } }`
+	_, formatted := reparse(t, src)
+	for _, want := range []string{"const A", "func g", "pps P", "persistent var s", "loop {"} {
+		if !strings.Contains(formatted, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, formatted)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package ppc implements the front end for PPC, the C-like packet
+// processing language accepted by the auto-pipelining compiler: lexer,
+// parser, and lowering (with function inlining) to the internal IR.
+//
+// A PPC compilation unit contains constant declarations, function
+// declarations, and exactly one `pps` declaration. The pps body declares
+// flow state (persistent variables/arrays) and per-packet storage, and a
+// single `loop { ... }` — the infinite PPS loop of the paper. Example:
+//
+//	const PORTS = 4;
+//
+//	func clamp(x, lo, hi) {
+//	    if (x < lo) { return lo; }
+//	    if (x > hi) { return hi; }
+//	    return x;
+//	}
+//
+//	pps Meter {
+//	    persistent var total = 0;
+//	    loop {
+//	        var n = pkt_rx();
+//	        if (n < 0) { continue; }
+//	        total = total + clamp(n, 0, 1500);
+//	        trace(total);
+//	    }
+//	}
+//
+// Every value is a 64-bit integer; conditions treat nonzero as true. Inner
+// loops may carry a worst-case trip annotation: `while[16] (c) { ... }`.
+package ppc
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+
+	// Keywords.
+	KwPPS
+	KwFunc
+	KwVar
+	KwConst
+	KwPersistent
+	KwLoop
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwReturn
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBrack
+	RBrack
+	Semi
+	Comma
+	Colon
+	Question
+	Assign
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	OrOr
+	AndAnd
+	Pipe
+	Caret
+	Amp
+	EqEq
+	NotEq
+	Lt
+	Le
+	Gt
+	Ge
+	Shl
+	Shr
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Bang
+	Tilde
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INT: "integer",
+	KwPPS: "pps", KwFunc: "func", KwVar: "var", KwConst: "const",
+	KwPersistent: "persistent", KwLoop: "loop", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwDo: "do", KwSwitch: "switch",
+	KwCase: "case", KwDefault: "default", KwBreak: "break",
+	KwContinue: "continue", KwReturn: "return",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBrack: "[",
+	RBrack: "]", Semi: ";", Comma: ",", Colon: ":", Question: "?",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PercentAssign: "%=",
+	OrOr: "||", AndAnd: "&&", Pipe: "|", Caret: "^", Amp: "&",
+	EqEq: "==", NotEq: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+	Shl: "<<", Shr: ">>", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", Bang: "!", Tilde: "~",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"pps": KwPPS, "func": KwFunc, "var": KwVar, "const": KwConst,
+	"persistent": KwPersistent, "loop": KwLoop, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "do": KwDo, "switch": KwSwitch,
+	"case": KwCase, "default": KwDefault, "break": KwBreak,
+	"continue": KwContinue, "return": KwReturn,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	Text string // identifier text
+	Val  int64  // integer value
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

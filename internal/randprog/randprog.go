@@ -1,0 +1,280 @@
+// Package randprog generates random but well-formed PPC programs for
+// property-based testing of the pipelining transformation: for any program
+// it emits, running the partitioned pipeline must reproduce the sequential
+// trace exactly.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated program shape.
+type Config struct {
+	MaxDepth      int // statement nesting depth
+	MaxStmts      int // statements per block
+	MaxExprDepth  int
+	PersistentVar bool // allow flow state
+	Queues        bool // allow q_put/q_get/q_len
+	PacketOps     bool // allow pkt_* intrinsics
+}
+
+// DefaultConfig is the standard shape used by the property tests.
+func DefaultConfig() Config {
+	return Config{
+		MaxDepth:      3,
+		MaxStmts:      5,
+		MaxExprDepth:  3,
+		PersistentVar: true,
+		Queues:        true,
+		PacketOps:     true,
+	}
+}
+
+// Generate returns the source text of a random PPC program.
+func Generate(seed int64, cfg Config) string {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	return g.program()
+}
+
+type gen struct {
+	rng    *rand.Rand
+	cfg    Config
+	nVars  int
+	nArrs  int
+	scopes [][]string // in-scope scalar names
+	arrs   []string   // in-scope array names
+}
+
+func (g *gen) program() string {
+	var sb strings.Builder
+	sb.WriteString("pps R {\n")
+	g.scopes = [][]string{{}}
+	// PPS-level declarations.
+	if g.cfg.PersistentVar && g.rng.Intn(2) == 0 {
+		name := g.freshVar()
+		fmt.Fprintf(&sb, "\tpersistent var %s = %d;\n", name, g.rng.Intn(100))
+		g.declare(name)
+	}
+	if g.rng.Intn(2) == 0 {
+		name := fmt.Sprintf("arr%d", g.nArrs)
+		g.nArrs++
+		kind := ""
+		if g.cfg.PersistentVar && g.rng.Intn(3) == 0 {
+			kind = "persistent "
+		}
+		fmt.Fprintf(&sb, "\t%svar %s[%d];\n", kind, name, 2+g.rng.Intn(8))
+		g.arrs = append(g.arrs, name)
+	}
+	sb.WriteString("\tloop {\n")
+	g.pushScope()
+	// Always bind the packet so traces observe input-dependent values.
+	if g.cfg.PacketOps {
+		sb.WriteString("\t\tvar pkt_n = pkt_rx();\n")
+		g.declare("pkt_n")
+	} else {
+		sb.WriteString("\t\tvar pkt_n = 1;\n")
+		g.declare("pkt_n")
+	}
+	n := 2 + g.rng.Intn(g.cfg.MaxStmts+2)
+	for i := 0; i < n; i++ {
+		sb.WriteString(g.stmt(2, g.cfg.MaxDepth))
+	}
+	// Final observation so dead-code elimination cannot trivialize the
+	// whole program.
+	fmt.Fprintf(&sb, "\t\ttrace(%s);\n", g.anyVar())
+	g.popScope()
+	sb.WriteString("\t}\n}\n")
+	return sb.String()
+}
+
+func (g *gen) pushScope() { g.scopes = append(g.scopes, nil) }
+func (g *gen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *gen) declare(name string) {
+	g.scopes[len(g.scopes)-1] = append(g.scopes[len(g.scopes)-1], name)
+}
+
+func (g *gen) freshVar() string {
+	name := fmt.Sprintf("v%d", g.nVars)
+	g.nVars++
+	return name
+}
+
+func (g *gen) anyVar() string {
+	var all []string
+	for _, s := range g.scopes {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		return "0"
+	}
+	return all[g.rng.Intn(len(all))]
+}
+
+func indent(depth int) string { return strings.Repeat("\t", depth) }
+
+// stmt emits one random statement at the given indentation depth with the
+// remaining nesting budget.
+func (g *gen) stmt(ind, depth int) string {
+	choices := []int{0, 0, 1, 1, 2, 3} // weight simple statements higher
+	if depth > 0 {
+		choices = append(choices, 4, 4, 5, 6, 7)
+	}
+	if len(g.arrs) > 0 {
+		choices = append(choices, 8, 8)
+	}
+	if g.cfg.Queues {
+		choices = append(choices, 9)
+	}
+	switch choices[g.rng.Intn(len(choices))] {
+	case 0: // declaration
+		name := g.freshVar()
+		s := fmt.Sprintf("%svar %s = %s;\n", indent(ind), name, g.expr(g.cfg.MaxExprDepth))
+		g.declare(name)
+		return s
+	case 1: // assignment
+		v := g.anyVar()
+		if v == "0" {
+			return fmt.Sprintf("%strace(%s);\n", indent(ind), g.expr(2))
+		}
+		return fmt.Sprintf("%s%s = %s;\n", indent(ind), v, g.expr(g.cfg.MaxExprDepth))
+	case 2: // trace
+		return fmt.Sprintf("%strace(%s);\n", indent(ind), g.expr(2))
+	case 3: // packet op
+		if !g.cfg.PacketOps {
+			return fmt.Sprintf("%strace(%s);\n", indent(ind), g.expr(2))
+		}
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%spkt_setbyte(%d, %s);\n", indent(ind), g.rng.Intn(8), g.expr(2))
+		case 1:
+			name := g.freshVar()
+			s := fmt.Sprintf("%svar %s = pkt_byte(%d);\n", indent(ind), name, g.rng.Intn(8))
+			g.declare(name)
+			return s
+		default:
+			return fmt.Sprintf("%strace(pkt_len());\n", indent(ind))
+		}
+	case 4: // if
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%sif (%s) {\n", indent(ind), g.expr(2))
+		g.pushScope()
+		for i := 0; i < 1+g.rng.Intn(g.cfg.MaxStmts); i++ {
+			sb.WriteString(g.stmt(ind+1, depth-1))
+		}
+		g.popScope()
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&sb, "%s} else {\n", indent(ind))
+			g.pushScope()
+			for i := 0; i < 1+g.rng.Intn(g.cfg.MaxStmts); i++ {
+				sb.WriteString(g.stmt(ind+1, depth-1))
+			}
+			g.popScope()
+		}
+		fmt.Fprintf(&sb, "%s}\n", indent(ind))
+		return sb.String()
+	case 5: // bounded while
+		// The counter is intentionally NOT declared in the generator's
+		// scope: nested statements must not reassign it, or the loop could
+		// stop terminating.
+		v := g.freshVar()
+		var sb strings.Builder
+		bound := 2 + g.rng.Intn(6)
+		fmt.Fprintf(&sb, "%svar %s = 0;\n", indent(ind), v)
+		fmt.Fprintf(&sb, "%swhile[%d] (%s < %d) {\n", indent(ind), bound+1, v, bound)
+		g.pushScope()
+		for i := 0; i < 1+g.rng.Intn(2); i++ {
+			sb.WriteString(g.stmt(ind+1, depth-1))
+		}
+		// Maybe break early.
+		if g.rng.Intn(3) == 0 {
+			fmt.Fprintf(&sb, "%sif (%s > %d) { break; }\n", indent(ind+1), v, g.rng.Intn(4))
+		}
+		g.popScope()
+		fmt.Fprintf(&sb, "%s%s = %s + 1;\n", indent(ind+1), v, v)
+		fmt.Fprintf(&sb, "%s}\n", indent(ind))
+		return sb.String()
+	case 6: // for (counter likewise protected from reassignment)
+		v := g.freshVar()
+		var sb strings.Builder
+		bound := 1 + g.rng.Intn(5)
+		fmt.Fprintf(&sb, "%sfor[%d] (var %s = 0; %s < %d; %s = %s + 1) {\n",
+			indent(ind), bound+1, v, v, bound, v, v)
+		g.pushScope()
+		for i := 0; i < 1+g.rng.Intn(2); i++ {
+			sb.WriteString(g.stmt(ind+1, depth-1))
+		}
+		g.popScope()
+		fmt.Fprintf(&sb, "%s}\n", indent(ind))
+		return sb.String()
+	case 7: // switch
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%sswitch (%s %% 4) {\n", indent(ind), g.expr(2))
+		used := g.rng.Perm(4)[:1+g.rng.Intn(3)]
+		for _, c := range used {
+			fmt.Fprintf(&sb, "%scase %d:\n", indent(ind), c)
+			g.pushScope()
+			for i := 0; i < 1+g.rng.Intn(2); i++ {
+				sb.WriteString(g.stmt(ind+1, depth-1))
+			}
+			g.popScope()
+		}
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&sb, "%sdefault:\n", indent(ind))
+			fmt.Fprintf(&sb, "%strace(%s);\n", indent(ind+1), g.expr(1))
+		}
+		fmt.Fprintf(&sb, "%s}\n", indent(ind))
+		return sb.String()
+	case 8: // array access
+		arr := g.arrs[g.rng.Intn(len(g.arrs))]
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s%s[%s] = %s;\n", indent(ind), arr, g.expr(1), g.expr(2))
+		}
+		name := g.freshVar()
+		s := fmt.Sprintf("%svar %s = %s[%s];\n", indent(ind), name, arr, g.expr(1))
+		g.declare(name)
+		return s
+	default: // queues
+		q := g.rng.Intn(3)
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%sq_put(%d, %s);\n", indent(ind), q, g.expr(2))
+		case 1:
+			name := g.freshVar()
+			s := fmt.Sprintf("%svar %s = q_get(%d);\n", indent(ind), name, q)
+			g.declare(name)
+			return s
+		default:
+			return fmt.Sprintf("%strace(q_len(%d));\n", indent(ind), q)
+		}
+	}
+}
+
+var binOps = []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+
+func (g *gen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.rng.Intn(64))
+		default:
+			return g.anyVar()
+		}
+	}
+	switch g.rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("(-%s)", g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(!%s)", g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s ? %s : %s)", g.expr(depth-1), g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("csum_fold(%s)", g.expr(depth-1))
+	default:
+		op := binOps[g.rng.Intn(len(binOps))]
+		// Shift amounts are masked by the semantics, so any operand is safe.
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+	}
+}

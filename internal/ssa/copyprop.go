@@ -1,0 +1,76 @@
+package ssa
+
+import "repro/internal/ir"
+
+// CopyProp eliminates copy chains in an SSA-form function: every use of
+// `b` where `b = copy a` is rewritten to use `a` (resolved transitively),
+// and the copy instructions are removed. In strict SSA this is always
+// sound: a's definition dominates b's definition, which dominates every use
+// of b. The PPC lowering introduces one copy per variable binding, so this
+// pass substantially shrinks both the unit count and the live sets the
+// pipeliner sees.
+func CopyProp(f *ir.Func) {
+	root := make([]int, f.NumRegs)
+	for i := range root {
+		root[i] = i
+	}
+	var find func(r int) int
+	find = func(r int) int {
+		for root[r] != r {
+			root[r] = root[root[r]]
+			r = root[r]
+		}
+		return r
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCopy {
+				root[in.Dst] = find(in.Args[0])
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCopy {
+				continue
+			}
+			for i, u := range in.Uses() {
+				in.Args[i] = find(u)
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+}
+
+// DeadCode removes pure SSA instructions (including phis) whose results
+// are never used, iterating to a fixed point so chains of dead code
+// disappear.
+func DeadCode(f *ir.Func) {
+	for {
+		used := make([]bool, f.NumRegs)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, u := range in.Uses() {
+					used[u] = true
+				}
+			}
+		}
+		changed := false
+		for _, b := range f.Blocks {
+			out := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if in.Op.IsPure() && in.Dst >= 0 && !used[in.Dst] {
+					changed = true
+					continue
+				}
+				out = append(out, in)
+			}
+			b.Instrs = out
+		}
+		if !changed {
+			return
+		}
+	}
+}

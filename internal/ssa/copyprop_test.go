@@ -1,0 +1,196 @@
+package ssa
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/ppc"
+)
+
+func countOp(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestCopyPropRemovesAllCopies(t *testing.T) {
+	prog, err := ppc.Compile(`pps P { loop {
+		var a = pkt_rx();
+		var b = a;
+		var c = b;
+		trace(c + b + a);
+	} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Build(prog.Func)
+	CopyProp(prog.Func)
+	if n := countOp(prog.Func, ir.OpCopy); n != 0 {
+		t.Errorf("%d copies remain after CopyProp", n)
+	}
+	if err := prog.Func.Verify(ir.VerifySSA); err != nil {
+		t.Fatalf("SSA broken: %v", err)
+	}
+}
+
+func TestCopyPropTransitiveChains(t *testing.T) {
+	// Build r0=const, r1=copy r0, r2=copy r1, use r2: use must point at r0.
+	f := ir.NewFunc("chain")
+	bl := ir.NewBuilder(f)
+	r0 := bl.Const(7)
+	r1 := bl.Copy(r0)
+	r2 := bl.Copy(r1)
+	bl.CallVoid("trace", r2)
+	bl.Ret()
+	CopyProp(f)
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.OpCall && in.Args[0] != r0 {
+			t.Errorf("trace arg = r%d, want r%d", in.Args[0], r0)
+		}
+	}
+}
+
+func TestCopyPropRewritesPhiOperands(t *testing.T) {
+	prog, err := ppc.Compile(`pps P { loop {
+		var n = pkt_rx();
+		var x = 0;
+		if (n > 0) { x = n; } else { x = 5; }
+		trace(x);
+	} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Build(prog.Func)
+	CopyProp(prog.Func)
+	// Phi operands must not reference removed copy destinations: every use
+	// must have a defining instruction.
+	defined := make([]bool, prog.Func.NumRegs)
+	for _, b := range prog.Func.Blocks {
+		for _, in := range b.Instrs {
+			for _, d := range in.Defines() {
+				defined[d] = true
+			}
+		}
+	}
+	for _, b := range prog.Func.Blocks {
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses() {
+				if !defined[u] {
+					t.Fatalf("%s uses undefined r%d after CopyProp", in, u)
+				}
+			}
+		}
+	}
+}
+
+func TestCopyPropPreservesSemantics(t *testing.T) {
+	srcs := []string{
+		`pps P { loop { var a = pkt_rx(); var b = a; a = 5; trace(a + b); } }`,
+		`pps P { loop {
+			var n = pkt_rx();
+			var acc = 0;
+			for[6] (var i = 0; i < 4; i = i + 1) { var t = acc; acc = t + i; }
+			trace(acc + n);
+		} }`,
+		`pps P { loop {
+			var n = pkt_rx();
+			var x = n;
+			if (x > 1) { var y = x; trace(y); } else { trace(x * 2); }
+		} }`,
+	}
+	packets := [][]byte{{1, 2}, {3}, {}}
+	for _, src := range srcs {
+		orig, err := ppc.Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trans := orig.Clone()
+		Build(trans.Func)
+		CopyProp(trans.Func)
+		DeadCode(trans.Func)
+		a, err := interp.RunSequential(orig, interp.NewWorld(packets), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := interp.RunSequential(trans, interp.NewWorld(packets), 3)
+		if err != nil {
+			t.Fatalf("after CopyProp: %v\n%s", err, trans.Func)
+		}
+		if diff := interp.TraceEqual(a, b); diff != "" {
+			t.Fatalf("CopyProp changed behaviour: %s\n%s", diff, trans.Func)
+		}
+	}
+}
+
+func TestDeadCodeRemovesChains(t *testing.T) {
+	f := ir.NewFunc("dead")
+	bl := ir.NewBuilder(f)
+	a := bl.Const(1)
+	b := bl.Const(2)
+	c := bl.Bin(ir.OpAdd, a, b) // c unused -> whole chain dead
+	_ = c
+	live := bl.Const(9)
+	bl.CallVoid("trace", live)
+	bl.Ret()
+	DeadCode(f)
+	// Only the live const, trace, and ret remain.
+	if got := len(f.Blocks[0].Instrs); got != 3 {
+		t.Errorf("after DeadCode %d instructions remain, want 3:\n%s", got, f)
+	}
+}
+
+func TestDeadCodeKeepsEffects(t *testing.T) {
+	prog, err := ppc.Compile(`pps P { var a[4]; loop {
+		var n = pkt_rx();
+		a[0] = n;
+		q_put(1, 5);
+		var unused = n * 99;
+	} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Build(prog.Func)
+	DeadCode(prog.Func)
+	if countOp(prog.Func, ir.OpStore) != 1 {
+		t.Error("DeadCode removed a store")
+	}
+	calls := 0
+	for _, b := range prog.Func.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				calls++
+			}
+		}
+	}
+	if calls != 2 {
+		t.Errorf("DeadCode touched effectful calls: %d remain, want 2", calls)
+	}
+	if countOp(prog.Func, ir.OpMul) != 0 {
+		t.Error("DeadCode kept the dead multiply")
+	}
+}
+
+func TestDeadCodeRemovesDeadPhis(t *testing.T) {
+	prog, err := ppc.Compile(`pps P { loop {
+		var n = pkt_rx();
+		var x = 0;
+		if (n > 0) { x = 1; } else { x = 2; }
+		trace(n);
+	} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Build(prog.Func)
+	// x's phi (if any survived pruning) is dead.
+	DeadCode(prog.Func)
+	if n := countOp(prog.Func, ir.OpPhi); n != 0 {
+		t.Errorf("%d dead phis remain", n)
+	}
+}

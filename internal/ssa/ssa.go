@@ -1,0 +1,176 @@
+// Package ssa converts mutable IR into static single assignment form and
+// back. The pipelining transformation requires SSA (paper step 1.1): with a
+// single definition point per value, each variable has exactly one
+// definition edge in the flow network, whose capacity models the cost of
+// transmitting the variable across a pipeline cut.
+package ssa
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// Build converts f (mutable form) into pruned SSA form in place.
+// Unreachable blocks are removed first.
+func Build(f *ir.Func) {
+	ir.RemoveUnreachable(f)
+	cfg := f.CFG()
+	dom := graph.Dominators(cfg, f.Entry)
+	df := dom.Frontier(cfg)
+	live := dataflow.ComputeLiveness(f)
+
+	nOrig := f.NumRegs
+
+	// Definition sites per original register.
+	defBlocks := make([][]int, nOrig)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, d := range in.Defines() {
+				defBlocks[d] = append(defBlocks[d], b.ID)
+			}
+		}
+	}
+
+	// Insert phi nodes at the iterated dominance frontier of each
+	// register's definition sites, pruned by liveness.
+	phiFor := make(map[int]map[int]*ir.Instr) // block ID -> orig reg -> phi
+	for v := 0; v < nOrig; v++ {
+		if len(defBlocks[v]) == 0 {
+			continue
+		}
+		work := append([]int(nil), defBlocks[v]...)
+		onWork := make(map[int]bool, len(work))
+		for _, b := range work {
+			onWork[b] = true
+		}
+		placed := make(map[int]bool)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, j := range df[b] {
+				if placed[j] || !live.In[j].Has(v) {
+					continue
+				}
+				placed[j] = true
+				preds := cfg.Preds(j)
+				phi := &ir.Instr{
+					Op:       ir.OpPhi,
+					Dst:      v, // renamed below
+					Args:     make([]int, len(preds)),
+					PhiPreds: append([]int(nil), preds...),
+				}
+				for i := range phi.Args {
+					phi.Args[i] = v // placeholder: original reg, renamed below
+				}
+				blk := f.Blocks[j]
+				blk.Instrs = append([]*ir.Instr{phi}, blk.Instrs...)
+				if phiFor[j] == nil {
+					phiFor[j] = make(map[int]*ir.Instr)
+				}
+				phiFor[j][v] = phi
+				if !onWork[j] {
+					onWork[j] = true
+					work = append(work, j)
+				}
+			}
+		}
+	}
+
+	// Rename along the dominator tree.
+	children := make([][]int, len(f.Blocks))
+	for b := 0; b < len(f.Blocks); b++ {
+		if b == f.Entry {
+			continue
+		}
+		if p := dom.Idom[b]; p >= 0 {
+			children[p] = append(children[p], b)
+		}
+	}
+
+	stacks := make([][]int, nOrig)
+	// origOf maps a phi instruction to the original register it merges,
+	// needed when filling phi operands from predecessors.
+	origOf := make(map[*ir.Instr]int)
+	for _, m := range phiFor {
+		for v, phi := range m {
+			origOf[phi] = v
+		}
+	}
+
+	var undefReg = -1 // lazily created "undefined" zero constant
+	getUndef := func() int {
+		if undefReg >= 0 {
+			return undefReg
+		}
+		undefReg = f.NewReg()
+		entry := f.Blocks[f.Entry]
+		c := &ir.Instr{Op: ir.OpConst, Dst: undefReg, Imm: 0}
+		// Insert after any phis at the entry (entry has no preds, so in
+		// practice at the very front).
+		entry.Instrs = append([]*ir.Instr{c}, entry.Instrs...)
+		return undefReg
+	}
+	top := func(v int) int {
+		s := stacks[v]
+		if len(s) == 0 {
+			return getUndef()
+		}
+		return s[len(s)-1]
+	}
+
+	var rename func(b int)
+	rename = func(b int) {
+		blk := f.Blocks[b]
+		var pushed []int
+		for _, in := range blk.Instrs {
+			if in.Op != ir.OpPhi {
+				args := in.Uses()
+				for i, u := range args {
+					if u < nOrig {
+						args[i] = top(u)
+					}
+				}
+			}
+			for i, d := range in.Defines() {
+				if d >= nOrig {
+					continue
+				}
+				nr := f.NewReg()
+				if name, ok := f.RegName[d]; ok {
+					f.RegName[nr] = name
+				}
+				stacks[d] = append(stacks[d], nr)
+				pushed = append(pushed, d)
+				in.SetDef(i, nr)
+			}
+		}
+		// Fill phi operands in CFG successors.
+		for _, s := range cfg.Succs(b) {
+			if phiFor[s] == nil {
+				continue
+			}
+			for _, phi := range f.Blocks[s].Instrs {
+				if phi.Op != ir.OpPhi {
+					break
+				}
+				v, ok := origOf[phi]
+				if !ok {
+					continue
+				}
+				for i, p := range phi.PhiPreds {
+					if p == b {
+						phi.Args[i] = top(v)
+					}
+				}
+			}
+		}
+		for _, c := range children[b] {
+			rename(c)
+		}
+		for _, v := range pushed {
+			stacks[v] = stacks[v][:len(stacks[v])-1]
+		}
+	}
+	rename(f.Entry)
+}

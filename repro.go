@@ -1,0 +1,140 @@
+// Package repro is an open-source reproduction of "Automatically
+// Partitioning Packet Processing Applications for Pipelined Architectures"
+// (Dai, Huang, Li, Harrison — PLDI 2005): a compiler that transforms a
+// sequential packet processing stage (PPS) into D coordinated pipeline
+// stages for an IXP-style network processor, selecting balanced
+// minimum-cost cuts on a flow-network model of the program and realizing
+// each stage with minimal, packed, unified live-set transmission.
+//
+// The typical flow:
+//
+//	prog, err := repro.Compile(src)            // PPC source -> IR
+//	res, err := repro.Partition(prog, repro.Options{Stages: 4})
+//	trace, err := repro.RunPipeline(res.Stages, repro.NewWorld(packets), n)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured results.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/npsim"
+	"repro/internal/ppc"
+)
+
+// Program is a compiled PPS: the one-iteration loop body plus its arrays.
+type Program = ir.Program
+
+// Options configures the pipelining transformation.
+type Options = core.Options
+
+// Result holds the realized pipeline stages and the measurement report.
+type Result = core.Result
+
+// Report aggregates per-stage costs, per-cut live sets, and the paper's
+// speedup/overhead metrics.
+type Report = core.Report
+
+// TxMode selects the live-set transmission strategy.
+type TxMode = core.TxMode
+
+// Transmission strategies (paper figures 10-16).
+const (
+	TxPacked            = core.TxPacked
+	TxNaiveUnified      = core.TxNaiveUnified
+	TxNaiveInterference = core.TxNaiveInterference
+)
+
+// Arch is the architecture cost model.
+type Arch = costmodel.Arch
+
+// ChannelKind selects the inter-stage ring type.
+type ChannelKind = costmodel.ChannelKind
+
+// Ring kinds of the IXP.
+const (
+	NNRing      = costmodel.NNRing
+	ScratchRing = costmodel.ScratchRing
+)
+
+// World is the execution environment: packet stream, route tables, queues,
+// and the observable event trace.
+type World = interp.World
+
+// Event is one observable action (trace, send, drop).
+type Event = interp.Event
+
+// SimConfig configures the cycle-approximate network-processor simulator.
+type SimConfig = npsim.Config
+
+// SimResult reports simulated pipeline timing.
+type SimResult = npsim.Result
+
+// Compile parses PPC source and lowers it to IR.
+func Compile(src string) (*Program, error) { return ppc.Compile(src) }
+
+// MustCompile is Compile for known-good sources; it panics on error.
+func MustCompile(src string) *Program { return ppc.MustCompile(src) }
+
+// Partition applies the automatic pipelining transformation.
+func Partition(prog *Program, opts Options) (*Result, error) {
+	return core.Partition(prog, opts)
+}
+
+// ExploreOptions configures Explore.
+type ExploreOptions = core.ExploreOptions
+
+// ExploreResult is Explore's selected configuration.
+type ExploreResult = core.ExploreResult
+
+// Explore selects the smallest pipelining degree whose statically
+// guaranteed worst-case stage cost meets a per-packet budget — the
+// compiler-driver behaviour the paper sketches in section 2.2.
+func Explore(prog *Program, opts ExploreOptions) (*ExploreResult, error) {
+	return core.Explore(prog, opts)
+}
+
+// DefaultArch returns the IXP2800-flavored cost model.
+func DefaultArch() *Arch { return costmodel.Default() }
+
+// NewWorld builds an execution environment over an input packet stream.
+func NewWorld(packets [][]byte) *World { return interp.NewWorld(packets) }
+
+// RunSequential executes iters iterations of a program and returns its
+// observable trace.
+func RunSequential(prog *Program, world *World, iters int) ([]Event, error) {
+	return interp.RunSequential(prog, world, iters)
+}
+
+// RunPipeline executes iters iterations through partitioned stages
+// (run-to-completion per iteration; the correctness oracle for Partition).
+func RunPipeline(stages []*Program, world *World, iters int) ([]Event, error) {
+	return interp.RunPipeline(stages, world, iters)
+}
+
+// TraceEqual compares two traces, returning a description of the first
+// difference or "".
+func TraceEqual(a, b []Event) string { return interp.TraceEqual(a, b) }
+
+// Simulate runs the pipeline on the cycle-approximate IXP-style simulator,
+// measuring throughput alongside behaviour.
+func Simulate(stages []*Program, world *World, iters int, cfg SimConfig) (*SimResult, error) {
+	return npsim.Simulate(stages, world, iters, cfg)
+}
+
+// DefaultSimConfig returns the IXP2800-flavored simulator configuration.
+func DefaultSimConfig() SimConfig { return npsim.DefaultConfig() }
+
+// ThreadSimResult reports thread-level simulated timing.
+type ThreadSimResult = npsim.ThreadSimResult
+
+// SimulateThreads runs the fine-grained simulator: every hardware thread
+// of every engine is modeled explicitly, so memory latency hiding (the
+// IXP's reason for choosing instruction count as the balance weight) is
+// directly observable.
+func SimulateThreads(stages []*Program, world *World, iters int, cfg SimConfig) (*ThreadSimResult, error) {
+	return npsim.SimulateThreads(stages, world, iters, cfg)
+}

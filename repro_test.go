@@ -1,0 +1,75 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+const facadeSrc = `pps Demo { loop {
+	var n = pkt_rx();
+	if (n < 0) { continue; }
+	var x = (n * 7 + 3) ^ 0x55;
+	trace(x);
+	pkt_send(x & 3);
+} }`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	prog, err := repro.Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Partition(prog, repro.Options{Stages: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 3 {
+		t.Fatalf("got %d stages", len(res.Stages))
+	}
+	packets := [][]byte{{1, 2}, {3}, {4, 5, 6}}
+	seq, err := repro.RunSequential(prog, repro.NewWorld(packets), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := repro.RunPipeline(res.Stages, repro.NewWorld(packets), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := repro.TraceEqual(seq, pipe); diff != "" {
+		t.Fatal(diff)
+	}
+	if res.Report.Speedup <= 0 {
+		t.Error("missing speedup in report")
+	}
+}
+
+func TestFacadeSimulator(t *testing.T) {
+	prog := repro.MustCompile(facadeSrc)
+	res, err := repro.Partition(prog, repro.Options{Stages: 2, Channel: repro.ScratchRing, Tx: repro.TxPacked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := repro.Simulate(res.Stages, repro.NewWorld([][]byte{{1}, {2}, {3}, {4}}), 4, repro.DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Makespan <= 0 || len(sim.Trace) == 0 {
+		t.Error("simulator produced no results")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic on bad source")
+		}
+	}()
+	repro.MustCompile("not a program")
+}
+
+func TestDefaultArch(t *testing.T) {
+	a := repro.DefaultArch()
+	if a.VCost <= 0 || a.CCost <= 0 {
+		t.Error("cost model incomplete")
+	}
+}

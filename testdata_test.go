@@ -1,0 +1,66 @@
+package repro_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+// TestTestdataPrograms compiles, partitions, and behaviourally verifies
+// every sample program shipped in testdata/.
+func TestTestdataPrograms(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.ppc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected at least three sample programs, found %d", len(files))
+	}
+	rng := rand.New(rand.NewSource(321))
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := repro.Compile(string(src))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			packets := make([][]byte, 24)
+			for i := range packets {
+				p := make([]byte, rng.Intn(40))
+				rng.Read(p)
+				// Sprinkle scanner-relevant bytes.
+				if len(p) > 3 && i%3 == 0 {
+					p[2] = 0x7F
+				}
+				packets[i] = p
+			}
+			seq, err := repro.RunSequential(prog, repro.NewWorld(packets), len(packets))
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			if len(seq) == 0 {
+				t.Fatal("sample program produced no observable events")
+			}
+			for _, d := range []int{2, 4, 8} {
+				res, err := repro.Partition(prog, repro.Options{Stages: d})
+				if err != nil {
+					t.Fatalf("D=%d: %v", d, err)
+				}
+				pipe, err := repro.RunPipeline(res.Stages, repro.NewWorld(packets), len(packets))
+				if err != nil {
+					t.Fatalf("D=%d: %v", d, err)
+				}
+				if diff := repro.TraceEqual(seq, pipe); diff != "" {
+					t.Fatalf("D=%d: %s", d, diff)
+				}
+			}
+		})
+	}
+}
