@@ -33,7 +33,7 @@ func BenchmarkFig19SpeedupIPv4Forwarding(b *testing.B) {
 	var series []experiments.Series
 	for i := 0; i < b.N; i++ {
 		var err error
-		series, err = experiments.Fig19SpeedupIPv4(0)
+		series, err = experiments.Fig19SpeedupIPv4(0, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +47,7 @@ func BenchmarkFig20SpeedupIPForwarding(b *testing.B) {
 	var series []experiments.Series
 	for i := 0; i < b.N; i++ {
 		var err error
-		series, err = experiments.Fig20SpeedupIP(0)
+		series, err = experiments.Fig20SpeedupIP(0, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +61,7 @@ func BenchmarkFig21OverheadIPv4Forwarding(b *testing.B) {
 	var series []experiments.Series
 	for i := 0; i < b.N; i++ {
 		var err error
-		series, err = experiments.Fig21OverheadIPv4(0)
+		series, err = experiments.Fig21OverheadIPv4(0, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +74,7 @@ func BenchmarkFig22OverheadIPForwarding(b *testing.B) {
 	var series []experiments.Series
 	for i := 0; i < b.N; i++ {
 		var err error
-		series, err = experiments.Fig22OverheadIP(0)
+		series, err = experiments.Fig22OverheadIP(0, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +88,7 @@ func BenchmarkAblationTransmissionModes(b *testing.B) {
 	var abl []experiments.TxAblation
 	for i := 0; i < b.N; i++ {
 		var err error
-		abl, err = experiments.AblationTransmission("IP(v4)", 4)
+		abl, err = experiments.AblationTransmission("IP(v4)", 4, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +105,7 @@ func BenchmarkAblationBalanceVariance(b *testing.B) {
 	var pts []experiments.EpsilonPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.AblationEpsilon("IPv4", 6, []float64{1.0 / 64, 1.0 / 16, 1.0 / 4, 0.5})
+		pts, err = experiments.AblationEpsilon("IPv4", 6, []float64{1.0 / 64, 1.0 / 16, 1.0 / 4, 0.5}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func BenchmarkAblationChannelKind(b *testing.B) {
 	var pts []experiments.ChannelPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.AblationChannel("IPv4", 6)
+		pts, err = experiments.AblationChannel("IPv4", 6, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +139,7 @@ func BenchmarkAblationWeightMode(b *testing.B) {
 	var pts []experiments.WeightModePoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.AblationWeightMode("IPv4", 6)
+		pts, err = experiments.AblationWeightMode("IPv4", 6, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,7 +198,7 @@ func BenchmarkSimThroughput(b *testing.B) {
 	var pts []experiments.ThroughputPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.SimThroughput("IPv4", []int{1, 2, 4, 8}, 200)
+		pts, err = experiments.SimThroughput("IPv4", []int{1, 2, 4, 8}, 200, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,9 +216,54 @@ func BenchmarkPartitionIPv4(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Partition(prog, core.Options{Stages: 9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeOnceCutMany measures the two-phase API the way the
+// experiment sweeps use it: one Analyze, then a full degree sweep of cheap
+// Partition calls against the shared analysis. Compare with
+// BenchmarkPartitionIPv4 (which re-analyzes on every call) for the payoff
+// of the phase split.
+func BenchmarkAnalyzeOnceCutMany(b *testing.B) {
+	p, _ := netbench.ByName("IPv4")
+	prog, err := p.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := core.Analyze(prog, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range experiments.Degrees {
+			if _, err := a.Partition(core.Options{Stages: d}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkExploreParallel measures the budget exploration with the degree
+// fan-out enabled (one worker per CPU; on a single-core machine this
+// coincides with the sequential path).
+func BenchmarkExploreParallel(b *testing.B) {
+	p, _ := netbench.ByName("IPv4")
+	prog, err := p.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Explore(prog, core.ExploreOptions{Budget: 200, Workers: 0}); err != nil {
 			b.Fatal(err)
 		}
 	}

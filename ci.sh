@@ -1,0 +1,20 @@
+#!/bin/sh
+# ci.sh — the repository's check gate. Run before committing:
+#
+#   ./ci.sh          # vet + race-enabled tests for every package
+#   ./ci.sh -short   # same, skipping the long sweeps
+#
+# The race detector matters here: the partition engine shares one immutable
+# core.Analysis across worker goroutines (degree exploration, experiment
+# sweeps, ablations), and the concurrency tests in internal/core exercise
+# exactly that sharing.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./... $*"
+go test -race "$@" ./...
+
+echo "ci.sh: all checks passed"

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim]
+//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim] [-j N]
+//
+// Every PPS is analyzed once and the independent (PPS × degree) and
+// ablation configurations are measured on -j worker goroutines (0, the
+// default, selects one per CPU; 1 reproduces the sequential seed driver).
+// The printed tables are byte-identical for every -j value.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 func main() {
 	which := flag.String("experiment", "all", "which experiment to run")
+	jobs := flag.Int("j", 0, "worker goroutines for independent configurations (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -31,7 +37,7 @@ func main() {
 	}
 
 	run("fig19", func() error {
-		s, err := experiments.Fig19SpeedupIPv4(0)
+		s, err := experiments.Fig19SpeedupIPv4(0, *jobs)
 		if err != nil {
 			return err
 		}
@@ -40,7 +46,7 @@ func main() {
 		return nil
 	})
 	run("fig20", func() error {
-		s, err := experiments.Fig20SpeedupIP(0)
+		s, err := experiments.Fig20SpeedupIP(0, *jobs)
 		if err != nil {
 			return err
 		}
@@ -49,7 +55,7 @@ func main() {
 		return nil
 	})
 	run("fig21", func() error {
-		s, err := experiments.Fig21OverheadIPv4(0)
+		s, err := experiments.Fig21OverheadIPv4(0, *jobs)
 		if err != nil {
 			return err
 		}
@@ -58,7 +64,7 @@ func main() {
 		return nil
 	})
 	run("fig22", func() error {
-		s, err := experiments.Fig22OverheadIP(0)
+		s, err := experiments.Fig22OverheadIP(0, *jobs)
 		if err != nil {
 			return err
 		}
@@ -67,7 +73,7 @@ func main() {
 		return nil
 	})
 	run("headline", func() error {
-		h, err := experiments.HeadlineClaim()
+		h, err := experiments.HeadlineClaim(*jobs)
 		if err != nil {
 			return err
 		}
@@ -80,7 +86,7 @@ func main() {
 	})
 	run("ablations", func() error {
 		fmt.Println("Ablation: transmission strategy (IP PPS, 4 stages)")
-		tx, err := experiments.AblationTransmission("IP(v4)", 4)
+		tx, err := experiments.AblationTransmission("IP(v4)", 4, *jobs)
 		if err != nil {
 			return err
 		}
@@ -92,7 +98,7 @@ func main() {
 
 		fmt.Println("Ablation: balance variance ε (IPv4 PPS, 6 stages)")
 		eps, err := experiments.AblationEpsilon("IPv4", 6,
-			[]float64{1.0 / 64, 1.0 / 16, 1.0 / 4, 0.5})
+			[]float64{1.0 / 64, 1.0 / 16, 1.0 / 4, 0.5}, *jobs)
 		if err != nil {
 			return err
 		}
@@ -103,7 +109,7 @@ func main() {
 		fmt.Println()
 
 		fmt.Println("Ablation: balance weight function (IPv4 PPS, 6 stages; paper §6 future work)")
-		wm, err := experiments.AblationWeightMode("IPv4", 6)
+		wm, err := experiments.AblationWeightMode("IPv4", 6, *jobs)
 		if err != nil {
 			return err
 		}
@@ -114,7 +120,7 @@ func main() {
 		fmt.Println()
 
 		fmt.Println("Ablation: inter-stage ring kind (IPv4 PPS, 6 stages)")
-		ch, err := experiments.AblationChannel("IPv4", 6)
+		ch, err := experiments.AblationChannel("IPv4", 6, *jobs)
 		if err != nil {
 			return err
 		}
@@ -126,7 +132,7 @@ func main() {
 	})
 	run("sim", func() error {
 		fmt.Println("Simulator throughput (IPv4 PPS, saturated arrivals)")
-		pts, err := experiments.SimThroughput("IPv4", []int{1, 2, 4, 6, 8, 10}, 300)
+		pts, err := experiments.SimThroughput("IPv4", []int{1, 2, 4, 6, 8, 10}, 300, *jobs)
 		if err != nil {
 			return err
 		}
@@ -137,7 +143,7 @@ func main() {
 		fmt.Println()
 
 		fmt.Println("Thread-level simulator: latency hiding (IPv4 PPS, 4 stages)")
-		tp, err := experiments.ThreadLatencyHiding("IPv4", 4, 200)
+		tp, err := experiments.ThreadLatencyHiding("IPv4", 4, 200, *jobs)
 		if err != nil {
 			return err
 		}

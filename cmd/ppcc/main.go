@@ -11,6 +11,10 @@
 //	-tx MODE     packed | naive-unified | naive-interference
 //	-ring KIND   nn | scratch
 //	-budget N    explore: smallest degree meeting an N-instruction budget
+//	-j N         worker goroutines for the -budget exploration: candidate
+//	             degrees share one analysis and are cut concurrently
+//	             (0 = one per CPU, 1 = sequential; the selected result is
+//	             identical either way)
 //	-ast         print the canonically formatted source and exit
 //	-dump        print the realized stage IR
 //	-verify N    run N iterations of zero-filled 48-byte packets through
@@ -33,6 +37,7 @@ func main() {
 	txMode := flag.String("tx", "packed", "transmission mode: packed|naive-unified|naive-interference")
 	ring := flag.String("ring", "nn", "inter-stage ring: nn|scratch")
 	budget := flag.Int64("budget", 0, "explore: pick the smallest degree meeting this per-packet instruction budget (overrides -d)")
+	jobs := flag.Int("j", 0, "worker goroutines for -budget exploration (0 = one per CPU, 1 = sequential)")
 	dump := flag.Bool("dump", false, "dump realized stage IR")
 	ast := flag.Bool("ast", false, "print the canonically formatted source and exit")
 	verify := flag.Int("verify", 0, "verify behaviour over N iterations")
@@ -82,7 +87,7 @@ func main() {
 
 	var res *repro.Result
 	if *budget > 0 {
-		ex, err := repro.Explore(prog, repro.ExploreOptions{Budget: *budget, Base: opts})
+		ex, err := repro.Explore(prog, repro.ExploreOptions{Budget: *budget, Workers: *jobs, Base: opts})
 		if err != nil {
 			fatal(err)
 		}

@@ -34,6 +34,18 @@ func (s *Set) Copy() *Set {
 	return c
 }
 
+// Reset clears every bit, keeping the capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// CopyFrom overwrites s with the contents of o (same capacity required).
+func (s *Set) CopyFrom(o *Set) {
+	copy(s.words, o.words)
+}
+
 // Union sets s = s ∪ o and reports whether s changed.
 func (s *Set) Union(o *Set) bool {
 	changed := false

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/dep"
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// Analysis is the immutable, reusable product of the degree-independent
+// front half of the pipelining compiler: normalized SSA form, the
+// dependence analysis (def–use chains, control and ordering dependences),
+// the unit dependence graph with its SCC condensation, per-component
+// balance weights, the flow-network skeleton, the interference-test
+// position tables, and the control-dependence closures.
+//
+// All of this is identical at every pipelining degree, transmission mode,
+// balance variance and ring kind, so the compiler driver builds it once per
+// program (Analyze) and then cuts many candidate configurations from it
+// (Partition). After Analyze returns, the Analysis is never mutated: any
+// number of Partition calls may run concurrently against one Analysis; the
+// per-candidate phase clones only the mutable flow/preflow state of the
+// network skeleton and the stage function bodies.
+type Analysis struct {
+	arch *costmodel.Arch
+	prog *ir.Program // analyzed private clone; realized stages share its Arrays
+	an   *dep.Analysis
+
+	ug          *graph.Digraph   // unit dependence graph
+	scc         *graph.SCCResult // its SCCs (the paper's DG components)
+	cg          *graph.Digraph   // component condensation DAG
+	topo        []int            // deterministic topological order of cg
+	compWeight  []int64          // balance weight per component
+	totalWeight int64
+
+	// net is the pristine flow-network skeleton (paper step 1.6); each cut
+	// search clones it, sharing topology and capacities.
+	net *netModel
+
+	// ps holds block reachability and instruction positions for the
+	// interference relation; closures maps each branch unit to its
+	// transitive control dependents.
+	ps       *positions
+	closures map[int][]int
+
+	// seq is the worst-case path cost of the unpartitioned program. The
+	// channel kind cannot affect it: channel costs apply only to the
+	// OpSendLS/OpRecvLS instructions that realization inserts later.
+	seq PathCost
+}
+
+// Analyze runs the degree-independent analysis phase on a PPS program
+// (whose Func must be the one-iteration loop body in mutable, pre-SSA
+// form). The input program is not modified; a nil arch selects
+// costmodel.Default(). The returned Analysis is immutable and safe for
+// concurrent Partition calls.
+func Analyze(orig *ir.Program, arch *costmodel.Arch) (*Analysis, error) {
+	if arch == nil {
+		arch = costmodel.Default()
+	}
+	prog := orig.Clone()
+	an, err := prepare(prog, arch)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &Analysis{arch: arch, prog: prog, an: an}
+	a.ug = an.UnitGraph()
+	a.scc = graph.SCC(a.ug)
+	nc := a.scc.NumComps()
+	a.compWeight = make([]int64, nc)
+	for _, u := range an.Units {
+		a.compWeight[a.scc.Comp[u.ID]] += u.Weight
+	}
+	for _, w := range a.compWeight {
+		a.totalWeight += w
+	}
+	a.cg = compDAG(an, a.scc)
+	a.topo = topoByProgramOrder(a.cg, a.scc)
+	a.net = buildNetwork(an, a.scc, a.cg, a.compWeight, arch)
+	a.ps = newPositions(an.F)
+	a.closures = ctrlClosures(an)
+	a.seq = FuncCost(an.F, arch, costmodel.NNRing)
+	return a, nil
+}
+
+// Arch returns the cost model the analysis is bound to.
+func (a *Analysis) Arch() *costmodel.Arch { return a.arch }
+
+// Seq returns the worst-case path cost of the unpartitioned program.
+func (a *Analysis) Seq() PathCost { return a.seq }
+
+// resolveOptions validates per-candidate options against the analysis. The
+// unit weights and flow-network capacities are baked into the analysis, so
+// a candidate cannot swap the cost model; everything else (degree, ε,
+// transmission mode, ring kind) is free per call.
+func (a *Analysis) resolveOptions(options Options) (Options, error) {
+	if options.Arch != nil && options.Arch != a.arch {
+		return Options{}, fmt.Errorf("core: options carry a different cost model than the analysis; call Analyze with that model instead")
+	}
+	options.Arch = a.arch
+	return options.withDefaults(), nil
+}
+
+// ctrlClosures precomputes the transitive control dependents of every
+// branch unit: everything directly control-dependent on it plus everything
+// dependent on branches inside its region. Precomputing (rather than
+// memoizing lazily, as partitionState once did) keeps the Analysis free of
+// mutable state, so concurrent Partition calls need no locking.
+func ctrlClosures(an *dep.Analysis) map[int][]int {
+	out := make(map[int][]int, len(an.Ctrl))
+	for u := range an.Ctrl {
+		seen := make(map[int]bool)
+		queue := append([]int(nil), an.Ctrl[u]...)
+		var c []int
+		for len(queue) > 0 {
+			w := queue[0]
+			queue = queue[1:]
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			c = append(c, w)
+			if nested, ok := an.Ctrl[w]; ok {
+				queue = append(queue, nested...)
+			}
+		}
+		out[u] = c
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/parallel"
 )
 
 // ExploreOptions configures the degree exploration.
@@ -15,6 +16,10 @@ type ExploreOptions struct {
 	Budget int64
 	// MaxPEs bounds the processing engines available (default 10).
 	MaxPEs int
+	// Workers bounds the goroutines evaluating candidate degrees:
+	// 0 selects one per CPU (runtime.GOMAXPROCS(0)), 1 runs sequentially.
+	// The selected result is identical for every worker count.
+	Workers int
 	// Base carries the remaining partitioning options.
 	Base Options
 }
@@ -28,7 +33,8 @@ type ExploreResult struct {
 	Met bool
 	// Result is the selected partition.
 	Result *Result
-	// Candidates records the longest-stage cost at every degree tried.
+	// Candidates records the longest-stage cost at every degree up to the
+	// selected one (all degrees when the budget cannot be met).
 	Candidates []CandidateCost
 }
 
@@ -47,23 +53,38 @@ type CandidateCost struct {
 // static evaluation of the performance and the performance requirements");
 // the full pipelining-versus-multiprocessing search of [7] remains out of
 // scope, as in the paper.
+//
+// The program is analyzed once; candidate degrees share the analysis and
+// are evaluated on opts.Workers goroutines.
 func Explore(prog *ir.Program, opts ExploreOptions) (*ExploreResult, error) {
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("explore: a positive per-packet budget is required")
+	}
+	a, err := Analyze(prog, opts.Base.Arch)
+	if err != nil {
+		return nil, err
+	}
+	return a.Explore(opts)
+}
+
+// Explore runs the degree exploration against an existing analysis. The
+// outcome is deterministic: whatever the worker count, the selected degree,
+// its Result, and the Candidates log are identical to a sequential
+// smallest-degree-first search.
+func (a *Analysis) Explore(opts ExploreOptions) (*ExploreResult, error) {
 	if opts.MaxPEs <= 0 {
 		opts.MaxPEs = 10
 	}
 	if opts.Budget <= 0 {
 		return nil, fmt.Errorf("explore: a positive per-packet budget is required")
 	}
-	ex := &ExploreResult{}
-	var best *Result
-	var bestCost int64
-	var bestDegree int
-	for d := 1; d <= opts.MaxPEs; d++ {
+
+	candidate := func(d int) (*Result, CandidateCost, error) {
 		o := opts.Base
 		o.Stages = d
-		res, err := Partition(prog, o)
+		res, err := a.Partition(o)
 		if err != nil {
-			return nil, fmt.Errorf("explore degree %d: %w", d, err)
+			return nil, CandidateCost{}, fmt.Errorf("explore degree %d: %w", d, err)
 		}
 		longest := res.Report.Stages[res.Report.LongestStage-1].Cost.Total
 		feasible := true
@@ -72,18 +93,65 @@ func Explore(prog *ir.Program, opts ExploreOptions) (*ExploreResult, error) {
 				feasible = false
 			}
 		}
-		ex.Candidates = append(ex.Candidates, CandidateCost{Degree: d, LongestStage: longest, Feasible: feasible})
-		if best == nil || longest < bestCost {
-			best, bestCost, bestDegree = res, longest, d
+		return res, CandidateCost{Degree: d, LongestStage: longest, Feasible: feasible}, nil
+	}
+
+	ex := &ExploreResult{}
+	results := make([]*Result, opts.MaxPEs)
+	costs := make([]CandidateCost, opts.MaxPEs)
+
+	if parallel.Workers(opts.Workers, opts.MaxPEs) == 1 {
+		// Sequential: evaluate ascending degrees, stopping at the first
+		// one that meets the budget (the seed driver's behaviour).
+		for d := 1; d <= opts.MaxPEs; d++ {
+			res, cc, err := candidate(d)
+			if err != nil {
+				return nil, err
+			}
+			results[d-1], costs[d-1] = res, cc
+			ex.Candidates = append(ex.Candidates, cc)
+			if cc.LongestStage <= opts.Budget {
+				ex.Degree = d
+				ex.Met = true
+				ex.Result = res
+				return ex, nil
+			}
 		}
-		if longest <= opts.Budget {
-			ex.Degree = d
-			ex.Met = true
-			ex.Result = res
-			return ex, nil
+	} else {
+		// Parallel: evaluate every degree concurrently, then select the
+		// smallest fitting one and truncate the candidate log so the
+		// observable result matches the sequential search exactly.
+		err := parallel.ForEach(opts.MaxPEs, opts.Workers, func(i int) error {
+			res, cc, err := candidate(i + 1)
+			if err != nil {
+				return err
+			}
+			results[i], costs[i] = res, cc
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for d := 1; d <= opts.MaxPEs; d++ {
+			ex.Candidates = append(ex.Candidates, costs[d-1])
+			if costs[d-1].LongestStage <= opts.Budget {
+				ex.Degree = d
+				ex.Met = true
+				ex.Result = results[d-1]
+				return ex, nil
+			}
 		}
 	}
-	ex.Degree = bestDegree
-	ex.Result = best
+
+	// Budget unmet anywhere: best effort — the cheapest longest stage,
+	// smallest degree on ties.
+	best := 0
+	for i := 1; i < opts.MaxPEs; i++ {
+		if costs[i].LongestStage < costs[best].LongestStage {
+			best = i
+		}
+	}
+	ex.Degree = best + 1
+	ex.Result = results[best]
 	return ex, nil
 }

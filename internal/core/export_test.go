@@ -1,0 +1,6 @@
+package core
+
+// AnalysisInfEdges exposes the flow-network skeleton's infinite-edge count
+// to the external test package (which can import netbench; this package
+// cannot, as netbench depends on core).
+func AnalysisInfEdges(a *Analysis) int { return a.net.nw.InfEdges() }

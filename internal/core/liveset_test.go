@@ -16,17 +16,16 @@ func preparePS(t *testing.T, src string, stages int) (*partitionState, *position
 		t.Fatal(err)
 	}
 	opts := (&Options{Stages: stages}).withDefaults()
-	clone := prog.Clone()
-	an, err := prepare(clone, opts)
+	a, err := Analyze(prog, opts.Arch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	stageOf, _, err := assignStages(an, opts)
+	stageOf, _, err := a.assignStages(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := &partitionState{opts: opts, an: an, stageOf: stageOf}
-	return st, newPositions(an.F)
+	st := &partitionState{opts: opts, a: a, an: a.an, stageOf: stageOf}
+	return st, a.ps
 }
 
 func TestPositionsReaches(t *testing.T) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/balance"
 	"repro/internal/costmodel"
@@ -72,56 +73,44 @@ func (o *Options) withDefaults() Options {
 	return opts
 }
 
-// partitionState carries everything the realization needs.
+// partitionState carries everything one candidate realization needs. It is
+// private to a single Partition call; everything shared between candidates
+// lives (immutably) on the Analysis.
 type partitionState struct {
 	opts Options
+	a    *Analysis
 	an   *dep.Analysis
 	// stageOf[unitID] is the 1-based stage assignment.
 	stageOf []int
 	// cutInfos[j] describes cut j+1 (between stage j+1 and j+2).
 	cuts []*cutInfo
-
-	closures map[int][]int // branch unit -> transitive control dependents
 }
 
 // ctrlClosure returns the transitive control dependents of branch unit u:
 // everything directly control-dependent on u plus everything dependent on
 // branches inside u's region. A stage containing any of these needs u's
-// control object to navigate its cloned control flow.
+// control object to navigate its cloned control flow. The closures are
+// precomputed by Analyze (they are degree-independent).
 func (st *partitionState) ctrlClosure(u int) []int {
-	if st.closures == nil {
-		st.closures = make(map[int][]int)
-	}
-	if c, ok := st.closures[u]; ok {
-		return c
-	}
-	seen := make(map[int]bool)
-	queue := append([]int(nil), st.an.Ctrl[u]...)
-	var out []int
-	for len(queue) > 0 {
-		w := queue[0]
-		queue = queue[1:]
-		if seen[w] {
-			continue
-		}
-		seen[w] = true
-		out = append(out, w)
-		if nested, ok := st.an.Ctrl[w]; ok {
-			queue = append(queue, nested...)
-		}
-	}
-	st.closures[u] = out
-	return out
+	return st.a.closures[u]
 }
 
-// netModel is the flow-network model of one program, rebuilt per cut so
-// that per-cut seeding never conflicts with earlier contractions.
+// netModel is the flow-network model of one program. The skeleton is built
+// once per analysis; each cut search clones it (sharing the immutable
+// topology, duplicating the mutable preflow state) so that per-cut seeding
+// never conflicts with earlier contractions.
 type netModel struct {
 	nw       *maxflow.Network
 	weight   []int64
 	nc       int
 	nNodes   int
 	compNode func(c int) int
+}
+
+// clone returns a netModel over a fresh mutable copy of the network. The
+// weight slice is shared: the cut search only reads it.
+func (m *netModel) clone() *netModel {
+	return &netModel{nw: m.nw.Clone(), weight: m.weight, nc: m.nc, nNodes: m.nNodes, compNode: m.compNode}
 }
 
 // buildNetwork constructs the flow network of paper step 1.6 over the
@@ -131,7 +120,13 @@ type netModel struct {
 // control dependents contributes a control node whose definition edge
 // carries CCost; use edges are infinite; and reverse-infinite edges enforce
 // that no dependence flows from the sink side to the source side.
-func buildNetwork(an *dep.Analysis, scc *graph.SCCResult, cg *graph.Digraph, compWeight []int64, opts Options) *netModel {
+//
+// The network is built exactly once per analysis and cloned per cut, so
+// node numbering and edge order must be deterministic: variable nodes are
+// assigned in register order and control nodes in branch-unit order (never
+// in map-iteration order, which would perturb the preflow schedule and
+// hence which of several equal-cost min cuts is found).
+func buildNetwork(an *dep.Analysis, scc *graph.SCCResult, cg *graph.Digraph, compWeight []int64, arch *costmodel.Arch) *netModel {
 	nc := len(compWeight)
 	const src, snk = 0, 1
 	compNode := func(c int) int { return 2 + c }
@@ -139,6 +134,7 @@ func buildNetwork(an *dep.Analysis, scc *graph.SCCResult, cg *graph.Digraph, com
 
 	varNode := make(map[int]int)  // SSA reg -> node
 	ctrlNode := make(map[int]int) // branch unit -> node
+	var extVars, extBranches []int
 	for r, def := range an.DataDef {
 		if def < 0 {
 			continue
@@ -146,15 +142,22 @@ func buildNetwork(an *dep.Analysis, scc *graph.SCCResult, cg *graph.Digraph, com
 		for _, use := range an.DataUses[r] {
 			if scc.Comp[use] != scc.Comp[def] {
 				varNode[r] = nNodes
+				extVars = append(extVars, r)
 				nNodes++
 				break
 			}
 		}
 	}
-	for b, deps := range an.Ctrl {
-		for _, d := range deps {
+	branches := make([]int, 0, len(an.Ctrl))
+	for b := range an.Ctrl {
+		branches = append(branches, b)
+	}
+	sort.Ints(branches)
+	for _, b := range branches {
+		for _, d := range an.Ctrl[b] {
 			if scc.Comp[d] != scc.Comp[b] {
 				ctrlNode[b] = nNodes
+				extBranches = append(extBranches, b)
 				nNodes++
 				break
 			}
@@ -167,9 +170,10 @@ func buildNetwork(an *dep.Analysis, scc *graph.SCCResult, cg *graph.Digraph, com
 		weight[compNode(c)] = compWeight[c]
 	}
 
-	for r, on := range varNode {
+	for _, r := range extVars {
+		on := varNode[r]
 		d := compNode(scc.Comp[an.DataDef[r]])
-		nw.AddEdge(d, on, opts.Arch.VCost)
+		nw.AddEdge(d, on, arch.VCost)
 		nw.AddEdge(on, d, maxflow.Inf)
 		seen := map[int]bool{}
 		for _, use := range an.DataUses[r] {
@@ -182,9 +186,10 @@ func buildNetwork(an *dep.Analysis, scc *graph.SCCResult, cg *graph.Digraph, com
 			nw.AddEdge(uc, d, maxflow.Inf)
 		}
 	}
-	for b, on := range ctrlNode {
+	for _, b := range extBranches {
+		on := ctrlNode[b]
 		d := compNode(scc.Comp[b])
-		nw.AddEdge(d, on, opts.Arch.CCost)
+		nw.AddEdge(d, on, arch.CCost)
 		nw.AddEdge(on, d, maxflow.Inf)
 		seen := map[int]bool{}
 		for _, depu := range an.Ctrl[b] {
@@ -219,6 +224,10 @@ func buildNetwork(an *dep.Analysis, scc *graph.SCCResult, cg *graph.Digraph, com
 			nw.AddEdge(compNode(c), snk, 0)
 		}
 	}
+	// Freeze the finished skeleton: it is about to be shared by every cut
+	// search of every concurrent Partition call, and Clone on a frozen
+	// network is write-free.
+	nw.Freeze()
 	return &netModel{nw: nw, weight: weight, nc: nc, nNodes: nNodes, compNode: compNode}
 }
 
@@ -303,29 +312,20 @@ func topoByProgramOrder(cg *graph.Digraph, scc *graph.SCCResult) []int {
 	return order
 }
 
-// assignStages runs the flow-network construction and the D-1 successive
-// balanced min cuts (paper sections 3.2-3.3), returning the per-unit stage
-// assignment. Each cut is found on a freshly built network seeded with the
-// previously assigned stages (collapsed into the source), a topological
-// prefix of the remaining components (source side) and a topological suffix
-// (sink side); the balanced min-cut heuristic then refines the boundary.
-func assignStages(an *dep.Analysis, opts Options) ([]int, []*balance.Result, error) {
-	units := an.Units
-	ug := an.UnitGraph()
-	scc := graph.SCC(ug)
+// assignStages runs the D-1 successive balanced min cuts (paper sections
+// 3.2-3.3) over the precomputed dependence structure, returning the
+// per-unit stage assignment. Each cut is found on a clone of the analysis's
+// flow-network skeleton seeded with the previously assigned stages
+// (collapsed into the source), a topological prefix of the remaining
+// components (source side) and a topological suffix (sink side); the
+// balanced min-cut heuristic then refines the boundary.
+func (a *Analysis) assignStages(opts Options) ([]int, []*balance.Result, error) {
+	units := a.an.Units
+	scc := a.scc
 	nc := scc.NumComps()
-
-	compWeight := make([]int64, nc)
-	for _, u := range units {
-		compWeight[scc.Comp[u.ID]] += u.Weight
-	}
-	var totalWeight int64
-	for _, w := range compWeight {
-		totalWeight += w
-	}
-
-	cg := compDAG(an, scc)
-	topo := topoByProgramOrder(cg, scc)
+	compWeight := a.compWeight
+	totalWeight := a.totalWeight
+	topo := a.topo
 
 	D := opts.Stages
 	stageOfComp := make([]int, nc)
@@ -342,7 +342,7 @@ func assignStages(an *dep.Analysis, opts Options) ([]int, []*balance.Result, err
 		tol := int64(opts.Epsilon * float64(slice))
 		lo, hi := collapsedW+slice-tol, collapsedW+slice+tol
 
-		m := buildNetwork(an, scc, cg, compWeight, opts)
+		m := a.net.clone()
 
 		// Pin previously assigned components plus a topological prefix of
 		// the remainder into the source, and a topological suffix into the
@@ -410,7 +410,7 @@ func assignStages(an *dep.Analysis, opts Options) ([]int, []*balance.Result, err
 
 	// Defensive validation: no dependence may flow backward.
 	for u := 0; u < len(units); u++ {
-		for _, v := range ug.Succs(u) {
+		for _, v := range a.ug.Succs(u) {
 			if scc.Comp[u] != scc.Comp[v] && stageOf[u] > stageOf[v] {
 				return nil, nil, fmt.Errorf("internal error: dependence %d->%d crosses backward (stage %d -> %d)", u, v, stageOf[u], stageOf[v])
 			}
@@ -422,12 +422,12 @@ func assignStages(an *dep.Analysis, opts Options) ([]int, []*balance.Result, err
 // prepare converts a program (clone) into analyzed, normalized SSA form:
 // SSA construction, critical-edge splitting, loop-exit landing pads, unique
 // exit, and dependence analysis.
-func prepare(prog *ir.Program, opts Options) (*dep.Analysis, error) {
+func prepare(prog *ir.Program, arch *costmodel.Arch) (*dep.Analysis, error) {
 	ssa.Build(prog.Func)
 	ssa.CopyProp(prog.Func)
 	ssa.DeadCode(prog.Func)
 	splitCriticalEdges(prog.Func)
 	splitLoopExits(prog.Func)
 	prog.Func.CanonicalizeExit()
-	return dep.Analyze(prog, opts.Arch)
+	return dep.Analyze(prog, arch)
 }

@@ -57,21 +57,42 @@ type Result struct {
 // program (whose Func must be the one-iteration loop body in mutable,
 // pre-SSA form, as produced by the PPC front end). The input program is not
 // modified.
+//
+// Partition is the one-shot convenience path: it runs the full
+// degree-independent analysis and then cuts a single configuration. Callers
+// evaluating several configurations of the same program (degree sweeps,
+// budget exploration, ablations) should call Analyze once and then
+// (*Analysis).Partition per configuration — the analysis phase dominates
+// the cost of a single Partition call.
 func Partition(orig *ir.Program, options Options) (*Result, error) {
 	opts := options.withDefaults()
-	prog := orig.Clone()
-
-	an, err := prepare(prog, opts)
+	a, err := Analyze(orig, opts.Arch)
 	if err != nil {
 		return nil, err
 	}
-	stageOf, balanceResults, err := assignStages(an, opts)
+	return a.Partition(opts)
+}
+
+// Partition runs the cheap per-configuration phase: the D-1 balanced min
+// cuts on clones of the flow-network skeleton, live-set computation and
+// packing, and stage realization. It never mutates the Analysis, so any
+// number of Partition calls may run concurrently on one receiver; for a
+// fixed Analysis and Options the result is deterministic (bit-identical
+// reports) regardless of how many run at once. The realized stage programs
+// share the analysis's array descriptors, which are immutable at run time
+// (array storage lives in the interpreter's World/Runner, not in the IR).
+func (a *Analysis) Partition(options Options) (*Result, error) {
+	opts, err := a.resolveOptions(options)
+	if err != nil {
+		return nil, err
+	}
+	stageOf, balanceResults, err := a.assignStages(opts)
 	if err != nil {
 		return nil, err
 	}
 
-	st := &partitionState{opts: opts, an: an, stageOf: stageOf}
-	ps := newPositions(an.F)
+	st := &partitionState{opts: opts, a: a, an: a.an, stageOf: stageOf}
+	ps := a.ps
 	var prev *cutInfo
 	for j := 1; j < opts.Stages; j++ {
 		ci := st.buildCut(j, ps, prev)
@@ -79,7 +100,7 @@ func Partition(orig *ir.Program, options Options) (*Result, error) {
 		prev = ci
 	}
 
-	rep := &Report{Seq: FuncCost(an.F, opts.Arch, opts.Channel)}
+	rep := &Report{Seq: a.seq}
 	res := &Result{Report: rep}
 	for k := 1; k <= opts.Stages; k++ {
 		sf, err := st.realizeStage(k)
@@ -87,8 +108,8 @@ func Partition(orig *ir.Program, options Options) (*Result, error) {
 			return nil, err
 		}
 		sp := &ir.Program{
-			Name:   fmt.Sprintf("%s.stage%d", prog.Name, k),
-			Arrays: prog.Arrays,
+			Name:   fmt.Sprintf("%s.stage%d", a.prog.Name, k),
+			Arrays: a.prog.Arrays,
 			Func:   sf,
 		}
 		res.Stages = append(res.Stages, sp)

@@ -73,22 +73,30 @@ func ComputeLiveness(f *ir.Func) *Liveness {
 	}
 
 	cfg := f.CFG()
+	post := f.Postorder()
+	// Two scratch sets serve every transfer-function evaluation: a changed
+	// block swaps its stored sets with the scratch pair instead of
+	// allocating fresh ones, so the fixpoint loop allocates nothing.
+	scratchOut := bitset.New(f.NumRegs)
+	scratchIn := bitset.New(f.NumRegs)
 	changed := true
 	for changed {
 		changed = false
 		// Iterate in postorder for fast convergence of a backward problem.
-		for _, b := range f.Postorder() {
-			out := bitset.New(f.NumRegs)
+		for _, b := range post {
+			out := scratchOut
+			out.Reset()
 			for _, s := range cfg.Succs(b.ID) {
 				out.Union(lv.In[s])
 			}
 			out.Union(phiUses[b.ID])
-			in := out.Copy()
+			in := scratchIn
+			in.CopyFrom(out)
 			in.Diff(kill[b.ID])
 			in.Union(gen[b.ID])
 			if !out.Equal(lv.Out[b.ID]) || !in.Equal(lv.In[b.ID]) {
-				lv.Out[b.ID] = out
-				lv.In[b.ID] = in
+				lv.Out[b.ID], scratchOut = out, lv.Out[b.ID]
+				lv.In[b.ID], scratchIn = in, lv.In[b.ID]
 				changed = true
 			}
 		}

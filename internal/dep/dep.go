@@ -15,6 +15,7 @@ package dep
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/costmodel"
 	"repro/internal/graph"
@@ -416,9 +417,20 @@ func (a *Analysis) buildOrderAndCarriedDeps() {
 		return reach[ux.SumNode][uy.SumNode]
 	}
 
+	// Iterate channels in sorted name order: the Order/Carried lists feed
+	// dependence-graph and flow-network construction, and a map-order walk
+	// here would make unit SCC numbering (and hence everything downstream,
+	// up to the cut reports) vary between runs of the same program.
+	chNames := make([]string, 0, len(channels))
+	for ch := range channels {
+		chNames = append(chNames, ch)
+	}
+	sort.Strings(chNames)
+
 	orderSeen := make(map[[2]int]bool)
 	carriedSeen := make(map[[2]int]bool)
-	for ch, accs := range channels {
+	for _, ch := range chNames {
+		accs := channels[ch]
 		carried := persistent[ch]
 		for i := 0; i < len(accs); i++ {
 			for j := i + 1; j < len(accs); j++ {

@@ -17,6 +17,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/netbench"
 	"repro/internal/npsim"
+	"repro/internal/parallel"
 )
 
 // Degrees is the pipelining-degree sweep used by the paper (1..10).
@@ -37,82 +38,137 @@ type Series struct {
 // enough that slow paths (TTL expiry, RED drops) occur.
 const MeasureIters = 60
 
+// sweepBase is the per-PPS state shared by every (PPS × degree) pair of a
+// sweep: the compiled program, its reusable degree-independent analysis,
+// and the sequential baseline (worst-iteration demand plus the reference
+// trace every partition is verified against).
+type sweepBase struct {
+	p        netbench.PPS
+	analysis *core.Analysis
+	seqD     StageDemand
+	seqTrace []interp.Event
+}
+
+// cell is one (PPS × degree) measurement of a sweep.
+type cell struct {
+	speedup  float64
+	overhead float64
+	slots    int
+}
+
 // sweep measures one PPS across all degrees. The metric follows the paper:
 // the dynamic instruction count of the longest stage when processing a
 // minimum-size packet of the given traffic, worst case over the stream.
 // Every partition is simultaneously verified against the sequential trace.
-func sweep(p netbench.PPS, iters int) (Series, error) {
-	if iters <= 0 {
-		iters = MeasureIters
-	}
-	prog, err := p.Compile()
+func sweep(p netbench.PPS, iters, workers int) (Series, error) {
+	out, err := sweepAll([]netbench.PPS{p}, iters, workers)
 	if err != nil {
 		return Series{}, err
 	}
-	s := Series{PPS: p.Name, App: p.App}
-	arch := costmodel.Default()
-
-	seqWorld := netbench.NewWorld(p.Traffic(iters))
-	seqD, err := MeasureDynamic([]*ir.Program{prog.Clone()}, seqWorld, iters, arch, costmodel.NNRing)
-	if err != nil {
-		return Series{}, fmt.Errorf("%s: sequential: %w", p.Name, err)
-	}
-	seqTrace := seqWorld.Trace
-
-	for _, d := range Degrees {
-		res, err := core.Partition(prog, core.Options{Stages: d})
-		if err != nil {
-			return Series{}, fmt.Errorf("%s D=%d: %w", p.Name, d, err)
-		}
-		pipeWorld := netbench.NewWorld(p.Traffic(iters))
-		demands, err := MeasureDynamic(res.Stages, pipeWorld, iters, arch, costmodel.NNRing)
-		if err != nil {
-			return Series{}, fmt.Errorf("%s D=%d: pipeline: %w", p.Name, d, err)
-		}
-		if diff := interp.TraceEqual(seqTrace, pipeWorld.Trace); diff != "" {
-			return Series{}, fmt.Errorf("%s D=%d: pipelined behaviour diverged: %s", p.Name, d, diff)
-		}
-		speedup, overhead, _ := DynamicSpeedup(seqD[0], demands)
-		slots := 0
-		for _, c := range res.Report.Cuts {
-			slots += c.Slots
-		}
-		s.Degrees = append(s.Degrees, d)
-		s.Speedup = append(s.Speedup, speedup)
-		s.Overhead = append(s.Overhead, overhead)
-		s.Slots = append(s.Slots, slots)
-		s.Verified = append(s.Verified, true)
-	}
-	return s, nil
+	return out[0], nil
 }
 
 // Fig19SpeedupIPv4 reproduces figure 19: speedup of the IPv4 forwarding
-// PPSes versus pipelining degree.
-func Fig19SpeedupIPv4(verifyIters int) ([]Series, error) {
-	return sweepAll(netbench.IPv4Forwarding(), verifyIters)
+// PPSes versus pipelining degree. workers bounds the goroutines measuring
+// (PPS × degree) pairs: 0 selects one per CPU, 1 runs sequentially; the
+// series are identical for every worker count.
+func Fig19SpeedupIPv4(verifyIters, workers int) ([]Series, error) {
+	return sweepAll(netbench.IPv4Forwarding(), verifyIters, workers)
 }
 
 // Fig20SpeedupIP reproduces figure 20: speedup of the IP forwarding PPSes
 // (IPv4 and IPv6 traffic measured separately for the IP PPS).
-func Fig20SpeedupIP(verifyIters int) ([]Series, error) {
-	return sweepAll(netbench.IPForwarding(), verifyIters)
+func Fig20SpeedupIP(verifyIters, workers int) ([]Series, error) {
+	return sweepAll(netbench.IPForwarding(), verifyIters, workers)
 }
 
 // Fig21OverheadIPv4 and Fig22OverheadIP share the same sweeps; the
 // overhead columns of the series carry figures 21/22.
-func Fig21OverheadIPv4(verifyIters int) ([]Series, error) { return Fig19SpeedupIPv4(verifyIters) }
+func Fig21OverheadIPv4(verifyIters, workers int) ([]Series, error) {
+	return Fig19SpeedupIPv4(verifyIters, workers)
+}
 
 // Fig22OverheadIP reproduces figure 22.
-func Fig22OverheadIP(verifyIters int) ([]Series, error) { return Fig20SpeedupIP(verifyIters) }
+func Fig22OverheadIP(verifyIters, workers int) ([]Series, error) {
+	return Fig20SpeedupIP(verifyIters, workers)
+}
 
-func sweepAll(ppses []netbench.PPS, verifyIters int) ([]Series, error) {
-	var out []Series
-	for _, p := range ppses {
-		s, err := sweep(p, verifyIters)
+// sweepAll measures every (PPS × degree) pair of the benchmark set. Each
+// PPS is compiled and analyzed once (phase 1, fanned out per PPS); the
+// pairs then share that analysis and fan out across workers (phase 2), each
+// pair cutting its own configuration, executing it on a private world and
+// verifying it against the PPS's sequential trace. Results land in
+// (PPS, degree) slots, so the series — and, via index-ordered error
+// selection, the first error — are those of a sequential nested loop.
+func sweepAll(ppses []netbench.PPS, verifyIters, workers int) ([]Series, error) {
+	iters := verifyIters
+	if iters <= 0 {
+		iters = MeasureIters
+	}
+	arch := costmodel.Default()
+
+	bases := make([]*sweepBase, len(ppses))
+	err := parallel.ForEach(len(ppses), workers, func(i int) error {
+		p := ppses[i]
+		prog, err := p.Compile()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, s)
+		a, err := core.Analyze(prog, arch)
+		if err != nil {
+			return fmt.Errorf("%s: analyze: %w", p.Name, err)
+		}
+		seqWorld := netbench.NewWorld(p.Traffic(iters))
+		seqD, err := MeasureDynamic([]*ir.Program{prog.Clone()}, seqWorld, iters, arch, costmodel.NNRing)
+		if err != nil {
+			return fmt.Errorf("%s: sequential: %w", p.Name, err)
+		}
+		bases[i] = &sweepBase{p: p, analysis: a, seqD: seqD[0], seqTrace: seqWorld.Trace}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make([]cell, len(ppses)*len(Degrees))
+	err = parallel.ForEach(len(cells), workers, func(t int) error {
+		b := bases[t/len(Degrees)]
+		d := Degrees[t%len(Degrees)]
+		res, err := b.analysis.Partition(core.Options{Stages: d})
+		if err != nil {
+			return fmt.Errorf("%s D=%d: %w", b.p.Name, d, err)
+		}
+		pipeWorld := netbench.NewWorld(b.p.Traffic(iters))
+		demands, err := MeasureDynamic(res.Stages, pipeWorld, iters, arch, costmodel.NNRing)
+		if err != nil {
+			return fmt.Errorf("%s D=%d: pipeline: %w", b.p.Name, d, err)
+		}
+		if diff := interp.TraceEqual(b.seqTrace, pipeWorld.Trace); diff != "" {
+			return fmt.Errorf("%s D=%d: pipelined behaviour diverged: %s", b.p.Name, d, diff)
+		}
+		c := &cells[t]
+		c.speedup, c.overhead, _ = DynamicSpeedup(b.seqD, demands)
+		for _, cr := range res.Report.Cuts {
+			c.slots += cr.Slots
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Series, len(ppses))
+	for i, b := range bases {
+		s := Series{PPS: b.p.Name, App: b.p.App}
+		for k, d := range Degrees {
+			c := cells[i*len(Degrees)+k]
+			s.Degrees = append(s.Degrees, d)
+			s.Speedup = append(s.Speedup, c.speedup)
+			s.Overhead = append(s.Overhead, c.overhead)
+			s.Slots = append(s.Slots, c.slots)
+			s.Verified = append(s.Verified, true)
+		}
+		out[i] = s
 	}
 	return out, nil
 }
@@ -158,9 +214,10 @@ type TxAblation struct {
 	Overhead float64
 }
 
-// AblationTransmission compares packed, naive-unified and
-// naive-interference transmission for the given PPS.
-func AblationTransmission(name string, degree int) ([]TxAblation, error) {
+// analyzeByName compiles and analyzes one benchmark PPS: the shared setup
+// of every ablation (all configurations of an ablation cut the same
+// analysis).
+func analyzeByName(name string) (*core.Analysis, error) {
 	p, ok := netbench.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown PPS %q", name)
@@ -169,18 +226,34 @@ func AblationTransmission(name string, degree int) ([]TxAblation, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []TxAblation
-	for _, mode := range []core.TxMode{core.TxPacked, core.TxNaiveInterference, core.TxNaiveUnified} {
-		res, err := core.Partition(prog, core.Options{Stages: degree, Tx: mode})
+	return core.Analyze(prog, costmodel.Default())
+}
+
+// AblationTransmission compares packed, naive-unified and
+// naive-interference transmission for the given PPS. The modes share one
+// analysis and fan out across workers (0 = one per CPU, 1 = sequential).
+func AblationTransmission(name string, degree, workers int) ([]TxAblation, error) {
+	a, err := analyzeByName(name)
+	if err != nil {
+		return nil, err
+	}
+	modes := []core.TxMode{core.TxPacked, core.TxNaiveInterference, core.TxNaiveUnified}
+	out := make([]TxAblation, len(modes))
+	err = parallel.ForEach(len(modes), workers, func(i int) error {
+		res, err := a.Partition(core.Options{Stages: degree, Tx: modes[i]})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		a := TxAblation{Mode: mode, Overhead: res.Report.Overhead}
+		t := TxAblation{Mode: modes[i], Overhead: res.Report.Overhead}
 		for _, c := range res.Report.Cuts {
-			a.Slots += c.Slots
-			a.Objects += c.Values + c.Ctrls
+			t.Slots += c.Slots
+			t.Objects += c.Values + c.Ctrls
 		}
-		out = append(out, a)
+		out[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -193,21 +266,19 @@ type EpsilonPoint struct {
 	Imbalance float64 // max stage cost / mean stage cost
 }
 
-// AblationEpsilon sweeps the balance variance for one PPS and degree.
-func AblationEpsilon(name string, degree int, epsilons []float64) ([]EpsilonPoint, error) {
-	p, ok := netbench.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("unknown PPS %q", name)
-	}
-	prog, err := p.Compile()
+// AblationEpsilon sweeps the balance variance for one PPS and degree,
+// fanning the ε values out across workers over a shared analysis.
+func AblationEpsilon(name string, degree int, epsilons []float64, workers int) ([]EpsilonPoint, error) {
+	a, err := analyzeByName(name)
 	if err != nil {
 		return nil, err
 	}
-	var out []EpsilonPoint
-	for _, eps := range epsilons {
-		res, err := core.Partition(prog, core.Options{Stages: degree, Epsilon: eps})
+	out := make([]EpsilonPoint, len(epsilons))
+	err = parallel.ForEach(len(epsilons), workers, func(i int) error {
+		eps := epsilons[i]
+		res, err := a.Partition(core.Options{Stages: degree, Epsilon: eps})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var cost int64
 		for _, c := range res.Report.Cuts {
@@ -224,7 +295,11 @@ func AblationEpsilon(name string, degree int, epsilons []float64) ([]EpsilonPoin
 		if total > 0 {
 			imb = float64(maxStage) * float64(degree) / float64(total)
 		}
-		out = append(out, EpsilonPoint{Epsilon: eps, Speedup: res.Report.Speedup, CutCost: cost, Imbalance: imb})
+		out[i] = EpsilonPoint{Epsilon: eps, Speedup: res.Report.Speedup, CutCost: cost, Imbalance: imb}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -236,23 +311,25 @@ type ChannelPoint struct {
 	Overhead float64
 }
 
-// AblationChannel compares NN and scratch rings for one PPS and degree.
-func AblationChannel(name string, degree int) ([]ChannelPoint, error) {
-	p, ok := netbench.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("unknown PPS %q", name)
-	}
-	prog, err := p.Compile()
+// AblationChannel compares NN and scratch rings for one PPS and degree,
+// fanning the ring kinds out across workers over a shared analysis.
+func AblationChannel(name string, degree, workers int) ([]ChannelPoint, error) {
+	a, err := analyzeByName(name)
 	if err != nil {
 		return nil, err
 	}
-	var out []ChannelPoint
-	for _, ch := range []costmodel.ChannelKind{costmodel.NNRing, costmodel.ScratchRing} {
-		res, err := core.Partition(prog, core.Options{Stages: degree, Channel: ch})
+	kinds := []costmodel.ChannelKind{costmodel.NNRing, costmodel.ScratchRing}
+	out := make([]ChannelPoint, len(kinds))
+	err = parallel.ForEach(len(kinds), workers, func(i int) error {
+		res, err := a.Partition(core.Options{Stages: degree, Channel: kinds[i]})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, ChannelPoint{Channel: ch, Speedup: res.Report.Speedup, Overhead: res.Report.Overhead})
+		out[i] = ChannelPoint{Channel: kinds[i], Speedup: res.Report.Speedup, Overhead: res.Report.Overhead}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -269,8 +346,11 @@ type WeightModePoint struct {
 }
 
 // AblationWeightMode partitions one PPS under both weight functions and
-// measures the distribution of IO latency over the stages.
-func AblationWeightMode(name string, degree int) ([]WeightModePoint, error) {
+// measures the distribution of IO latency over the stages. The weight
+// function is baked into the flow-network capacities, so unlike the other
+// ablations each mode runs its own analysis; the two configurations still
+// fan out across workers.
+func AblationWeightMode(name string, degree, workers int) ([]WeightModePoint, error) {
 	p, ok := netbench.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown PPS %q", name)
@@ -282,13 +362,15 @@ func AblationWeightMode(name string, degree int) ([]WeightModePoint, error) {
 	latencyArch := costmodel.Default()
 	latencyArch.Mode = costmodel.WeightLatency
 
-	var out []WeightModePoint
-	for _, mode := range []costmodel.WeightMode{costmodel.WeightInstrs, costmodel.WeightLatency} {
+	modes := []costmodel.WeightMode{costmodel.WeightInstrs, costmodel.WeightLatency}
+	out := make([]WeightModePoint, len(modes))
+	err = parallel.ForEach(len(modes), workers, func(i int) error {
+		mode := modes[i]
 		arch := costmodel.Default()
 		arch.Mode = mode
 		res, err := core.Partition(prog, core.Options{Stages: degree, Arch: arch})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Measure the latency distribution with the latency cost table,
 		// regardless of which mode drove the balance.
@@ -323,7 +405,11 @@ func AblationWeightMode(name string, degree int) ([]WeightModePoint, error) {
 		if maxStage > 0 {
 			pt.InstrSpeedup = float64(seq.Total) / float64(maxStage)
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -340,35 +426,43 @@ type ThroughputPoint struct {
 }
 
 // SimThroughput runs the cycle simulator across degrees for one PPS — the
-// dynamic counterpart of figures 19/20.
-func SimThroughput(name string, degrees []int, iters int) ([]ThroughputPoint, error) {
+// dynamic counterpart of figures 19/20. The degrees share one analysis and
+// fan out across workers; the dynamic speedup is normalized against the
+// first degree after all points land, so the curve is order-independent.
+func SimThroughput(name string, degrees []int, iters, workers int) ([]ThroughputPoint, error) {
 	p, ok := netbench.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown PPS %q", name)
 	}
-	prog, err := p.Compile()
+	if len(degrees) == 0 {
+		return nil, nil
+	}
+	a, err := analyzeByName(name)
 	if err != nil {
 		return nil, err
 	}
-	var base float64
-	var out []ThroughputPoint
-	for _, d := range degrees {
-		res, err := core.Partition(prog, core.Options{Stages: d})
+	out := make([]ThroughputPoint, len(degrees))
+	err = parallel.ForEach(len(degrees), workers, func(i int) error {
+		d := degrees[i]
+		res, err := a.Partition(core.Options{Stages: d})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sim, err := npsim.Simulate(res.Stages, netbench.NewWorld(p.Traffic(iters)), iters, npsim.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pt := ThroughputPoint{Degree: d, CyclesPerPacket: sim.CyclesPerPacket}
-		if d == degrees[0] {
-			base = sim.CyclesPerPacket
+		out[i] = ThroughputPoint{Degree: d, CyclesPerPacket: sim.CyclesPerPacket}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := out[0].CyclesPerPacket
+	for i := range out {
+		if out[i].CyclesPerPacket > 0 {
+			out[i].SpeedupDynamic = base / out[i].CyclesPerPacket
 		}
-		if pt.CyclesPerPacket > 0 {
-			pt.SpeedupDynamic = base / pt.CyclesPerPacket
-		}
-		out = append(out, pt)
 	}
 	return out, nil
 }
@@ -382,8 +476,10 @@ type ThreadPoint struct {
 
 // ThreadLatencyHiding sweeps hardware-thread counts on the fine-grained
 // simulator, demonstrating the premise behind the paper's instruction-count
-// weight function: memory latency is hidden by multithreading.
-func ThreadLatencyHiding(name string, degree, iters int) ([]ThreadPoint, error) {
+// weight function: memory latency is hidden by multithreading. The thread
+// configurations share one partition and fan out across workers, each
+// simulating on a private world.
+func ThreadLatencyHiding(name string, degree, iters, workers int) ([]ThreadPoint, error) {
 	p, ok := netbench.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown PPS %q", name)
@@ -396,51 +492,65 @@ func ThreadLatencyHiding(name string, degree, iters int) ([]ThreadPoint, error) 
 	if err != nil {
 		return nil, err
 	}
-	var out []ThreadPoint
-	for _, threads := range []int{1, 2, 4, 8} {
+	threadCounts := []int{1, 2, 4, 8}
+	out := make([]ThreadPoint, len(threadCounts))
+	err = parallel.ForEach(len(threadCounts), workers, func(i int) error {
 		cfg := npsim.DefaultConfig()
-		cfg.ThreadsPerPE = threads
+		cfg.ThreadsPerPE = threadCounts[i]
 		sim, err := npsim.SimulateThreads(res.Stages, netbench.NewWorld(p.Traffic(iters)), iters, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pt := ThreadPoint{Threads: threads, CyclesPerPacket: sim.CyclesPerPacket}
+		pt := ThreadPoint{Threads: threadCounts[i], CyclesPerPacket: sim.CyclesPerPacket}
 		if len(sim.IssueBusy) > 0 {
 			pt.IssueBusy = sim.IssueBusy[0]
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // HeadlineClaim checks the abstract's claim: >4x speedup at nine stages
 // for the IPv4 PPS and for the IP PPS under both traffics, using the
-// paper's dynamic instructions-per-minimum-size-packet metric.
-func HeadlineClaim() (map[string]float64, error) {
-	out := make(map[string]float64)
+// paper's dynamic instructions-per-minimum-size-packet metric. The three
+// PPSes fan out across workers.
+func HeadlineClaim(workers int) (map[string]float64, error) {
+	names := []string{"IPv4", "IP(v4)", "IP(v6)"}
+	speedups := make([]float64, len(names))
 	arch := costmodel.Default()
-	for _, name := range []string{"IPv4", "IP(v4)", "IP(v6)"} {
-		p, _ := netbench.ByName(name)
+	err := parallel.ForEach(len(names), workers, func(i int) error {
+		p, _ := netbench.ByName(names[i])
 		prog, err := p.Compile()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		seqD, err := MeasureDynamic([]*ir.Program{prog.Clone()},
 			netbench.NewWorld(p.Traffic(MeasureIters)), MeasureIters, arch, costmodel.NNRing)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.Partition(prog, core.Options{Stages: 9})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		demands, err := MeasureDynamic(res.Stages,
 			netbench.NewWorld(p.Traffic(MeasureIters)), MeasureIters, arch, costmodel.NNRing)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		speedup, _, _ := DynamicSpeedup(seqD[0], demands)
-		out[name] = speedup
+		speedups[i], _, _ = DynamicSpeedup(seqD[0], demands)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(names))
+	for i, name := range names {
+		out[name] = speedups[i]
 	}
 	return out, nil
 }

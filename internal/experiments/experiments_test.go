@@ -59,7 +59,7 @@ func TestSweepShapesOnePPS(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep")
 	}
-	s, err := sweep(netbench.IPv4Forwarding()[1], 30) // the IPv4 PPS
+	s, err := sweep(netbench.IPv4Forwarding()[1], 30, 0) // the IPv4 PPS
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,25 +98,25 @@ func TestTablesRender(t *testing.T) {
 }
 
 func TestAblationUnknownPPS(t *testing.T) {
-	if _, err := AblationTransmission("nope", 2); err == nil {
+	if _, err := AblationTransmission("nope", 2, 1); err == nil {
 		t.Error("unknown PPS accepted")
 	}
-	if _, err := AblationEpsilon("nope", 2, []float64{0.1}); err == nil {
+	if _, err := AblationEpsilon("nope", 2, []float64{0.1}, 1); err == nil {
 		t.Error("unknown PPS accepted")
 	}
-	if _, err := AblationChannel("nope", 2); err == nil {
+	if _, err := AblationChannel("nope", 2, 1); err == nil {
 		t.Error("unknown PPS accepted")
 	}
-	if _, err := AblationWeightMode("nope", 2); err == nil {
+	if _, err := AblationWeightMode("nope", 2, 1); err == nil {
 		t.Error("unknown PPS accepted")
 	}
-	if _, err := SimThroughput("nope", []int{1}, 5); err == nil {
+	if _, err := SimThroughput("nope", []int{1}, 5, 1); err == nil {
 		t.Error("unknown PPS accepted")
 	}
 }
 
 func TestAblationWeightModeImprovesLatencySkew(t *testing.T) {
-	pts, err := AblationWeightMode("IPv4", 6)
+	pts, err := AblationWeightMode("IPv4", 6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestAblationWeightModeImprovesLatencySkew(t *testing.T) {
 }
 
 func TestAblationChannelOrdering(t *testing.T) {
-	pts, err := AblationChannel("IPv4", 4)
+	pts, err := AblationChannel("IPv4", 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestAblationChannelOrdering(t *testing.T) {
 }
 
 func TestAblationEpsilonCutCostMonotone(t *testing.T) {
-	pts, err := AblationEpsilon("IPv4", 6, []float64{1.0 / 64, 1.0 / 2})
+	pts, err := AblationEpsilon("IPv4", 6, []float64{1.0 / 64, 1.0 / 2}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestAblationEpsilonCutCostMonotone(t *testing.T) {
 }
 
 func TestSimThroughputImproves(t *testing.T) {
-	pts, err := SimThroughput("IPv4", []int{1, 6}, 120)
+	pts, err := SimThroughput("IPv4", []int{1, 6}, 120, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestSimThroughputImproves(t *testing.T) {
 }
 
 func TestThreadLatencyHidingMonotone(t *testing.T) {
-	pts, err := ThreadLatencyHiding("IPv4", 2, 80)
+	pts, err := ThreadLatencyHiding("IPv4", 2, 80, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,11 +15,20 @@
 // (collapse into source) or reset to zero (collapse into sink).
 package maxflow
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
-// Inf is the capacity used for uncuttable edges. It is far from overflow
-// even when many infinite edges are summed.
-const Inf int64 = math.MaxInt64 / 1024
+// Inf is the capacity used for uncuttable edges. The divisor fixes the
+// headroom: sums over infinite edges (cut values, preflow excess) stay
+// below math.MaxInt64 as long as a network holds at most MaxInfEdges of
+// them, which AddEdge enforces explicitly rather than by comment.
+const Inf int64 = math.MaxInt64 / (1 << 20)
+
+// MaxInfEdges is the largest number of infinite-capacity edges a network
+// may hold before capacity sums could overflow int64.
+const MaxInfEdges = int(math.MaxInt64 / Inf)
 
 // Network is a flow network over nodes 0..n-1 with a designated source and
 // sink. Edges are added in pairs (edge, reverse edge); capacities are fixed
@@ -41,6 +50,22 @@ type Network struct {
 	excess []int64
 
 	ran bool
+
+	// infEdges counts edges with capacity >= Inf; AddEdge guards it
+	// against MaxInfEdges so capacity sums cannot overflow.
+	infEdges int
+
+	// frozen marks a network whose topology is shared with clones; adding
+	// edges to it would corrupt the shared adjacency lists.
+	frozen bool
+
+	// Reusable scratch for MaxFlow (the FIFO active queue) and SourceSide
+	// (the residual reachability walk). Lazily sized; contents are dead
+	// between calls.
+	scratchInQ   []bool
+	scratchQueue []int
+	scratchReach []bool
+	scratchStack []int
 }
 
 // New creates a network with n nodes.
@@ -64,9 +89,60 @@ func New(n, source, sink int) *Network {
 // Len returns the node count (including contracted nodes).
 func (nw *Network) Len() int { return nw.n }
 
+// Freeze permanently disables AddEdge on nw. Call it once, before sharing
+// the network across goroutines: from then on the topology is immutable,
+// so any number of goroutines may Clone it concurrently without
+// synchronization.
+func (nw *Network) Freeze() { nw.frozen = true }
+
+// Clone returns an independent network sharing the immutable topology
+// (edge endpoints, capacities, adjacency lists) with nw while carrying its
+// own mutable flow/preflow state (flow, contractions, labels, excess).
+// Both networks are frozen against AddEdge afterwards, since the shared
+// adjacency slices could otherwise alias. This is how the analysis phase
+// reuses one flow-network skeleton across many concurrent cut searches:
+// build the network once, Freeze it, Clone it per cut, contract and run
+// the clone. The conditional below writes only on the first Clone of an
+// unfrozen network — concurrent Clone calls are race-free provided the
+// network was frozen (or cloned once) beforehand.
+func (nw *Network) Clone() *Network {
+	if !nw.frozen {
+		nw.frozen = true
+	}
+	cl := &Network{
+		n:        nw.n,
+		Source:   nw.Source,
+		Sink:     nw.Sink,
+		head:     nw.head,
+		cap:      nw.cap,
+		first:    nw.first,
+		flow:     append([]int64(nil), nw.flow...),
+		parent:   append([]int(nil), nw.parent...),
+		live:     nw.live,
+		height:   append([]int(nil), nw.height...),
+		excess:   append([]int64(nil), nw.excess...),
+		ran:      nw.ran,
+		infEdges: nw.infEdges,
+		frozen:   true,
+	}
+	return cl
+}
+
 // AddEdge inserts a directed edge u -> v with the given capacity and its
 // zero-capacity reverse. It returns the edge id (the reverse is id^1).
+// AddEdge panics when the network's topology is frozen (it has been
+// cloned) or when adding another infinite edge could overflow capacity
+// sums; both are internal invariant violations, not runtime conditions.
 func (nw *Network) AddEdge(u, v int, capacity int64) int {
+	if nw.frozen {
+		panic("maxflow: AddEdge on a frozen (cloned) network")
+	}
+	if capacity >= Inf {
+		nw.infEdges++
+		if nw.infEdges > MaxInfEdges {
+			panic(fmt.Sprintf("maxflow: %d infinite-capacity edges exceed the overflow headroom (max %d)", nw.infEdges, MaxInfEdges))
+		}
+	}
 	id := len(nw.head)
 	nw.head = append(nw.head, v, u)
 	nw.cap = append(nw.cap, capacity, 0)
@@ -75,6 +151,10 @@ func (nw *Network) AddEdge(u, v int, capacity int64) int {
 	nw.first[v] = append(nw.first[v], id^1)
 	return id
 }
+
+// InfEdges returns the number of infinite-capacity edges in the network
+// (always <= MaxInfEdges, so capacity sums over them cannot overflow).
+func (nw *Network) InfEdges() int { return nw.infEdges }
 
 // ForEachEdge calls fn for every forward edge with its original endpoints.
 func (nw *Network) ForEachEdge(fn func(id, tail, head int, capacity int64)) {
@@ -188,8 +268,15 @@ func (nw *Network) MaxFlow() int64 {
 	}
 
 	// FIFO queue of active nodes (excess > 0, height below the horizon).
-	inQueue := make([]bool, nw.n)
-	var queue []int
+	// The queue buffers live on the network and are reused across the
+	// incremental re-runs of the balanced-cut search: every enqueued node
+	// is dequeued (clearing its inQueue bit), so the buffers need no
+	// clearing between calls.
+	if nw.scratchInQ == nil {
+		nw.scratchInQ = make([]bool, nw.n)
+	}
+	inQueue := nw.scratchInQ
+	queue := nw.scratchQueue[:0]
 	enqueue := func(u int) {
 		if !inQueue[u] && u != s && u != t {
 			inQueue[u] = true
@@ -202,15 +289,15 @@ func (nw *Network) MaxFlow() int64 {
 		}
 	}
 
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for qh := 0; qh < len(queue); qh++ {
+		u := queue[qh]
 		inQueue[u] = false
 		if nw.Find(u) != u {
 			continue
 		}
 		nw.discharge(u, enqueue)
 	}
+	nw.scratchQueue = queue[:0]
 
 	// Net flow into the sink group.
 	var value int64
@@ -283,8 +370,14 @@ func (nw *Network) discharge(u int, enqueue func(int)) {
 // representative's side).
 func (nw *Network) SourceSide() []bool {
 	t := nw.Find(nw.Sink)
-	canReach := make([]bool, nw.n)
-	var stack []int
+	if nw.scratchReach == nil {
+		nw.scratchReach = make([]bool, nw.n)
+	}
+	canReach := nw.scratchReach
+	for i := range canReach {
+		canReach[i] = false
+	}
+	stack := nw.scratchStack[:0]
 	push := func(u int) {
 		if !canReach[u] {
 			canReach[u] = true
@@ -308,6 +401,7 @@ func (nw *Network) SourceSide() []bool {
 			}
 		}
 	}
+	nw.scratchStack = stack[:0]
 	out := make([]bool, nw.n)
 	for u := 0; u < nw.n; u++ {
 		out[u] = !canReach[nw.Find(u)]

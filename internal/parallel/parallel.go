@@ -1,0 +1,78 @@
+// Package parallel provides the bounded worker pool used to fan
+// independent partitioning configurations out across cores: degrees in the
+// budget exploration, (PPS × degree) pairs in the experiment sweeps, and
+// ablation configs. Results are always delivered in task-index order and
+// the error reported is the one of the lowest-indexed failing task, so the
+// outcome is deterministic regardless of the worker count or scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting against a task count: n <= 0
+// means one worker per available CPU (runtime.GOMAXPROCS(0)); the result
+// never exceeds tasks and is at least 1.
+func Workers(n, tasks int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > tasks {
+		n = tasks
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS(0); workers == 1 runs sequentially on
+// the calling goroutine, in index order, stopping at the first error).
+//
+// In the parallel case every task is attempted even after a failure, and
+// the returned error is that of the lowest-indexed failing task — the same
+// error a sequential run would surface — so callers observe deterministic
+// first-error propagation under any scheduling.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if w := Workers(workers, n); w > 1 {
+		return forEachParallel(n, w, fn)
+	}
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func forEachParallel(n, workers int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct{ n, tasks, want int }{
+		{0, 100, min(procs, 100)},
+		{-3, 100, min(procs, 100)},
+		{1, 100, 1},
+		{8, 3, 3},
+		{8, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.n, c.tasks); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.n, c.tasks, got, c.want)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestForEachRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		const n = 100
+		var hits [n]atomic.Int32
+		err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+// TestForEachFirstError: whatever the worker count and scheduling, the
+// error surfaced is the lowest-indexed one — the error a sequential run
+// reports.
+func TestForEachFirstError(t *testing.T) {
+	for _, workers := range []int{1, 3, 0} {
+		err := ForEach(50, workers, func(i int) error {
+			if i == 7 || i == 31 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Errorf("workers=%d: err = %v, want task 7's error", workers, err)
+		}
+	}
+}
+
+func TestForEachSequentialStopsEarly(t *testing.T) {
+	ran := 0
+	sentinel := errors.New("stop")
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 3 {
+		t.Errorf("sequential run executed %d tasks after an error at index 2", ran)
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Error("zero tasks must not invoke fn")
+	}
+}

@@ -84,6 +84,18 @@ func Partition(prog *Program, opts Options) (*Result, error) {
 	return core.Partition(prog, opts)
 }
 
+// Analysis is the reusable degree-independent half of the compiler: build
+// it once with Analyze, then cut any number of configurations — sequentially
+// or from concurrent goroutines — with (*Analysis).Partition.
+type Analysis = core.Analysis
+
+// Analyze runs the degree-independent analysis phase (SSA, dependence
+// graph, SCC condensation, flow-network skeleton) on a compiled PPS. A nil
+// arch selects DefaultArch().
+func Analyze(prog *Program, arch *Arch) (*Analysis, error) {
+	return core.Analyze(prog, arch)
+}
+
 // ExploreOptions configures Explore.
 type ExploreOptions = core.ExploreOptions
 
