@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -178,15 +179,15 @@ func BenchmarkAblationInterference(b *testing.B) {
 	prog := repro.MustCompile(src)
 	var packed, naive int
 	for i := 0; i < b.N; i++ {
-		rp, err := repro.Partition(prog, repro.Options{Stages: 2, Tx: repro.TxPacked})
+		rp, err := repro.Partition(prog, repro.WithStages(2), repro.WithTxMode(repro.TxPacked))
 		if err != nil {
 			b.Fatal(err)
 		}
-		rn, err := repro.Partition(prog, repro.Options{Stages: 2, Tx: repro.TxNaiveUnified})
+		rn, err := repro.Partition(prog, repro.WithStages(2), repro.WithTxMode(repro.TxNaiveUnified))
 		if err != nil {
 			b.Fatal(err)
 		}
-		packed, naive = rp.Report.Cuts[0].Slots, rn.Report.Cuts[0].Slots
+		packed, naive = rp.Report().Cuts[0].Slots, rn.Report().Cuts[0].Slots
 	}
 	b.ReportMetric(float64(packed), "slots_packed")
 	b.ReportMetric(float64(naive), "slots_naive")
@@ -283,6 +284,48 @@ func BenchmarkInterpreter(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// benchmarkServe measures the host-native streaming runtime on the IPv4
+// PPS: packets per second through a D-stage goroutine pipeline.
+func benchmarkServe(b *testing.B, degree, batch int) {
+	p, _ := netbench.ByName("IPv4")
+	prog, err := p.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := repro.Partition(prog, repro.WithStages(degree))
+	if err != nil {
+		b.Fatal(err)
+	}
+	traffic := p.Traffic(256)
+	world := netbench.NewWorld(nil)
+	b.ResetTimer()
+	m, err := pipe.Serve(context.Background(), repro.RepeatSource(traffic, b.N),
+		repro.WithWorld(world), repro.WithBatch(batch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if m.Packets != int64(b.N) {
+		b.Fatalf("served %d packets, want %d", m.Packets, b.N)
+	}
+	b.ReportMetric(m.PacketsPerSecond(), "pkt/s")
+}
+
+// BenchmarkServeIPv4Sequential is the single-stage host baseline the
+// pipelined serve benchmarks are compared against.
+func BenchmarkServeIPv4Sequential(b *testing.B) { benchmarkServe(b, 1, 1) }
+
+// BenchmarkServeIPv4D2 serves through a 2-stage goroutine pipeline.
+func BenchmarkServeIPv4D2(b *testing.B) { benchmarkServe(b, 2, 1) }
+
+// BenchmarkServeIPv4D4 serves through a 4-stage goroutine pipeline — the
+// configuration EXPERIMENTS.md tabulates.
+func BenchmarkServeIPv4D4(b *testing.B) { benchmarkServe(b, 4, 1) }
+
+// BenchmarkServeIPv4D4Batch32 adds transmission batching, amortizing ring
+// synchronization over 32 iterations per ring entry.
+func BenchmarkServeIPv4D4Batch32(b *testing.B) { benchmarkServe(b, 4, 32) }
 
 // BenchmarkSimulator measures the npsim substrate end to end.
 func BenchmarkSimulator(b *testing.B) {

@@ -1,20 +1,35 @@
 #!/bin/sh
 # ci.sh — the repository's check gate. Run before committing:
 #
-#   ./ci.sh          # vet + race-enabled tests for every package
+#   ./ci.sh          # format + vet + race-enabled tests + serve benchmark
 #   ./ci.sh -short   # same, skipping the long sweeps
 #
-# The race detector matters here: the partition engine shares one immutable
-# core.Analysis across worker goroutines (degree exploration, experiment
-# sweeps, ablations), and the concurrency tests in internal/core exercise
-# exactly that sharing.
+# The race detector matters here twice over: the partition engine shares one
+# immutable core.Analysis across worker goroutines (degree exploration,
+# experiment sweeps, ablations), and the streaming runtime in
+# internal/runtime hands live-set tokens between one goroutine per pipeline
+# stage — its oracle-equivalence tests are only meaningful under -race.
 set -eu
 cd "$(dirname "$0")"
+
+echo "== gofmt -l"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: these files need formatting:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
 
+echo "== go test -race ./internal/runtime/..."
+go test -race ./internal/runtime/...
+
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
+
+echo "== pipebench serve -> BENCH_serve.json"
+go run ./cmd/pipebench -experiment serve -serve-packets 50000 -json BENCH_serve.json
 
 echo "ci.sh: all checks passed"

@@ -5,15 +5,22 @@
 //
 // Usage:
 //
-//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim] [-j N]
+//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim|serve] [-j N] [-json FILE]
 //
 // Every PPS is analyzed once and the independent (PPS × degree) and
 // ablation configurations are measured on -j worker goroutines (0, the
 // default, selects one per CPU; 1 reproduces the sequential seed driver).
 // The printed tables are byte-identical for every -j value.
+//
+// -experiment serve measures the host-native streaming runtime (wall-clock
+// packets per second through goroutine pipelines); -json FILE additionally
+// writes those points as JSON (CI emits BENCH_serve.json this way). serve
+// is excluded from -experiment all because its timing output is inherently
+// not byte-stable, while all's tables are.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +31,8 @@ import (
 func main() {
 	which := flag.String("experiment", "all", "which experiment to run")
 	jobs := flag.Int("j", 0, "worker goroutines for independent configurations (0 = one per CPU, 1 = sequential)")
+	jsonOut := flag.String("json", "", "write the serve experiment's points to this file as JSON")
+	servePkts := flag.Int("serve-packets", 200000, "packets streamed per serve configuration")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -128,6 +137,41 @@ func main() {
 			fmt.Printf("  %-8s speedup %.2fx  overhead %.3f\n", p.Channel, p.Speedup, p.Overhead)
 		}
 		fmt.Println()
+		return nil
+	})
+	// serve is opt-in only: unlike every table above, it prints measured
+	// wall-clock throughput, which would break the byte-identity invariant
+	// of `-experiment all` output.
+	runServe := func(fn func() error) {
+		if *which != "serve" {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	runServe(func() error {
+		fmt.Println("Host runtime throughput (IPv4 PPS, goroutine-per-stage serve)")
+		pts, err := experiments.ServeThroughput("IPv4", []int{1, 2, 4, 8}, []int{1, 32}, *servePkts)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			fmt.Printf("  %d stage(s), batch %2d: %12.0f pkt/s  (%.2fx vs sequential)\n",
+				p.Degree, p.Batch, p.PktPerS, p.Speedup)
+		}
+		fmt.Println()
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(pts, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
 		return nil
 	})
 	run("sim", func() error {

@@ -20,9 +20,12 @@
 //	-verify N    run N iterations of zero-filled 48-byte packets through
 //	             both the sequential program and the pipeline and compare
 //	             traces
+//	-serve N     stream N zero-filled 48-byte packets through the
+//	             goroutine-per-stage host runtime and print its metrics
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +44,7 @@ func main() {
 	dump := flag.Bool("dump", false, "dump realized stage IR")
 	ast := flag.Bool("ast", false, "print the canonically formatted source and exit")
 	verify := flag.Int("verify", 0, "verify behaviour over N iterations")
+	serve := flag.Int("serve", 0, "stream N packets through the host runtime")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -65,33 +69,37 @@ func main() {
 		fatal(err)
 	}
 
-	opts := repro.Options{Stages: *degree, Epsilon: *eps}
+	opts := []repro.Option{repro.WithStages(*degree), repro.WithEpsilon(*eps)}
 	switch *txMode {
 	case "packed":
-		opts.Tx = repro.TxPacked
+		opts = append(opts, repro.WithTxMode(repro.TxPacked))
 	case "naive-unified":
-		opts.Tx = repro.TxNaiveUnified
+		opts = append(opts, repro.WithTxMode(repro.TxNaiveUnified))
 	case "naive-interference":
-		opts.Tx = repro.TxNaiveInterference
+		opts = append(opts, repro.WithTxMode(repro.TxNaiveInterference))
 	default:
 		fatal(fmt.Errorf("unknown -tx mode %q", *txMode))
 	}
 	switch *ring {
 	case "nn":
-		opts.Channel = repro.NNRing
+		opts = append(opts, repro.WithRing(repro.NNRing, 0))
 	case "scratch":
-		opts.Channel = repro.ScratchRing
+		opts = append(opts, repro.WithRing(repro.ScratchRing, 0))
 	default:
 		fatal(fmt.Errorf("unknown -ring kind %q", *ring))
 	}
 
-	var res *repro.Result
+	var pipe *repro.Pipeline
 	if *budget > 0 {
-		ex, err := repro.Explore(prog, repro.ExploreOptions{Budget: *budget, Workers: *jobs, Base: opts})
+		a, err := repro.Analyze(prog, opts...)
 		if err != nil {
 			fatal(err)
 		}
-		res = ex.Result
+		ex, err := a.Explore(repro.WithBudget(*budget), repro.WithWorkers(*jobs))
+		if err != nil {
+			fatal(err)
+		}
+		pipe = ex.Pipeline
 		*degree = ex.Degree
 		status := "meets"
 		if !ex.Met {
@@ -102,8 +110,7 @@ func main() {
 			fmt.Printf("  degree %2d: longest stage %4d\n", c.Degree, c.LongestStage)
 		}
 	} else {
-		var err error
-		res, err = repro.Partition(prog, opts)
+		pipe, err = repro.Partition(prog, opts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -111,33 +118,45 @@ func main() {
 
 	fmt.Printf("pps %s: %d stages (tx=%s, ring=%s, eps=%.4f)\n",
 		prog.Name, *degree, *txMode, *ring, *eps)
-	fmt.Print(res.Report)
+	fmt.Print(pipe.Report())
 
 	if *dump {
-		for _, s := range res.Stages {
+		for _, s := range pipe.Stages() {
 			fmt.Println()
 			fmt.Print(s.Func.String())
 		}
 	}
 	if *verify > 0 {
-		packets := make([][]byte, *verify)
-		for i := range packets {
-			packets[i] = make([]byte, 48)
-			packets[i][0] = byte(i)
-		}
+		packets := testPackets(*verify)
 		seq, err := repro.RunSequential(prog, repro.NewWorld(packets), *verify)
 		if err != nil {
 			fatal(err)
 		}
-		pipe, err := repro.RunPipeline(res.Stages, repro.NewWorld(packets), *verify)
+		got, err := pipe.Run(context.Background(), repro.NewWorld(packets))
 		if err != nil {
 			fatal(err)
 		}
-		if diff := repro.TraceEqual(seq, pipe); diff != "" {
+		if diff := repro.TraceEqual(seq, got); diff != "" {
 			fatal(fmt.Errorf("verification FAILED: %s", diff))
 		}
 		fmt.Printf("verification passed: %d iterations, %d events\n", *verify, len(seq))
 	}
+	if *serve > 0 {
+		m, err := pipe.Serve(context.Background(), repro.PacketSource(testPackets(*serve)))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(m)
+	}
+}
+
+func testPackets(n int) [][]byte {
+	packets := make([][]byte, n)
+	for i := range packets {
+		packets[i] = make([]byte, 48)
+		packets[i][0] = byte(i)
+	}
+	return packets
 }
 
 func fatal(err error) {

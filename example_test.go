@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -32,22 +33,54 @@ func ExamplePartition() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := repro.Partition(prog, repro.Options{Stages: 2})
+	pipe, err := repro.Partition(prog, repro.WithStages(2))
 	if err != nil {
 		panic(err)
 	}
 
 	packets := [][]byte{{1, 2, 3}, {}}
 	seq, _ := repro.RunSequential(prog, repro.NewWorld(packets), 2)
-	pipe, _ := repro.RunPipeline(res.Stages, repro.NewWorld(packets), 2)
+	got, _ := pipe.Run(context.Background(), repro.NewWorld(packets))
 
-	fmt.Println("stages:", len(res.Stages))
-	fmt.Println("equivalent:", repro.TraceEqual(seq, pipe) == "")
-	fmt.Println("events:", len(pipe))
+	fmt.Println("stages:", pipe.Degree())
+	fmt.Println("equivalent:", repro.TraceEqual(seq, got) == "")
+	fmt.Println("events:", len(got))
 	// Output:
 	// stages: 2
 	// equivalent: true
 	// events: 2
+}
+
+// ExamplePipeline_Serve streams packets through the concurrent host
+// runtime: one goroutine per stage, bounded rings between neighbors, exact
+// sequential behaviour.
+func ExamplePipeline_Serve() {
+	prog := repro.MustCompile(`pps Fwd { loop {
+		var n = pkt_rx();
+		if (n < 0) { continue; }
+		trace(hash_crc(n) & 0xFF);
+		pkt_send(n & 1);
+	} }`)
+	pipe, err := repro.Partition(prog, repro.WithStages(2))
+	if err != nil {
+		panic(err)
+	}
+
+	packets := [][]byte{{10}, {20, 21}, {30, 31, 32}}
+	m, err := pipe.Serve(context.Background(), repro.PacketSource(packets),
+		repro.WithRing(repro.NNRing, 8))
+	if err != nil {
+		panic(err)
+	}
+	seq, _ := repro.RunSequential(prog, repro.NewWorld(packets), len(packets))
+
+	fmt.Println("packets:", m.Packets)
+	fmt.Println("stages measured:", len(m.Stages))
+	fmt.Println("oracle order:", repro.TraceEqual(seq, m.Trace) == "")
+	// Output:
+	// packets: 3
+	// stages measured: 2
+	// oracle order: true
 }
 
 // ExampleCompile shows the diagnostics the PPC front end produces.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,16 +26,21 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", pps.Name, err)
 		}
+		a, err := repro.Analyze(prog)
+		if err != nil {
+			log.Fatalf("%s: %v", pps.Name, err)
+		}
 		fmt.Printf("%s:\n", pps.Name)
 		for _, budget := range budgets {
-			ex, err := repro.Explore(prog, repro.ExploreOptions{Budget: budget, MaxPEs: 10})
+			ex, err := a.Explore(repro.WithBudget(budget), repro.WithMaxPEs(10))
 			if err != nil {
 				log.Fatal(err)
 			}
 			if ex.Met {
 				fmt.Printf("  budget %4d instr/pkt -> %d PE(s)\n", budget, ex.Degree)
 			} else {
-				longest := ex.Result.Report.Stages[ex.Result.Report.LongestStage-1].Cost.Total
+				rep := ex.Pipeline.Report()
+				longest := rep.Stages[rep.LongestStage-1].Cost.Total
 				fmt.Printf("  budget %4d instr/pkt -> unreachable (best %d instr at %d PEs)\n",
 					budget, longest, ex.Degree)
 				continue
@@ -43,8 +49,8 @@ func main() {
 			// Confirm the selected pipeline behaves and flows on the
 			// thread-level simulator.
 			iters := 60
-			sim, err := repro.SimulateThreads(ex.Result.Stages,
-				netbench.NewWorld(pps.Traffic(iters)), iters, repro.DefaultSimConfig())
+			sim, err := ex.Pipeline.SimulateThreads(context.Background(),
+				netbench.NewWorld(pps.Traffic(iters)))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -107,11 +108,11 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, d := range []int{2, 4, 6} {
-		res, err := repro.Partition(prog, repro.Options{Stages: d})
+		pipe, err := repro.Partition(prog, repro.WithStages(d))
 		if err != nil {
 			log.Fatal(err)
 		}
-		sim, err := repro.Simulate(res.Stages, repro.NewWorld(tiles), len(tiles), repro.DefaultSimConfig())
+		sim, err := pipe.Simulate(context.Background(), repro.NewWorld(tiles))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -119,6 +120,6 @@ func main() {
 			log.Fatalf("D=%d: behaviour diverged: %s", d, diff)
 		}
 		fmt.Printf("%d stages: verified on %d tiles, %6.1f cycles/tile, static speedup %.2fx\n",
-			d, len(tiles), sim.CyclesPerPacket, res.Report.Speedup)
+			d, len(tiles), sim.CyclesPerPacket, pipe.Report().Speedup)
 	}
 }

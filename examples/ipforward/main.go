@@ -40,12 +40,12 @@ func main() {
 		fmt.Printf("%s: %d instructions per minimum-size packet sequentially\n",
 			traffic.name, seqD[0].MaxTotal)
 		for _, d := range []int{2, 5, 9} {
-			res, err := repro.Partition(prog, repro.Options{Stages: d})
+			pipe, err := repro.Partition(prog, repro.WithStages(d))
 			if err != nil {
 				log.Fatal(err)
 			}
 			world := netbench.NewWorld(traffic.gen(packets))
-			demands, err := experiments.MeasureDynamic(res.Stages, world, packets, arch, costmodel.NNRing)
+			demands, err := experiments.MeasureDynamic(pipe.Stages(), world, packets, arch, costmodel.NNRing)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", pps.Name, err)
 		}
-		res, err := repro.Partition(prog, repro.Options{Stages: degree})
+		pipe, err := repro.Partition(prog, repro.WithStages(degree))
 		if err != nil {
 			log.Fatalf("%s: %v", pps.Name, err)
 		}
@@ -31,7 +32,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", pps.Name, err)
 		}
-		sim, err := repro.Simulate(res.Stages, netbench.NewWorld(traffic), packets, repro.DefaultSimConfig())
+		sim, err := pipe.Simulate(context.Background(), netbench.NewWorld(traffic))
 		if err != nil {
 			log.Fatalf("%s: %v", pps.Name, err)
 		}

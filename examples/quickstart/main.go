@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 	}
 
 	// Partition into a 3-stage pipeline.
-	res, err := repro.Partition(prog, repro.Options{Stages: 3})
+	pipe, err := repro.Partition(prog, repro.WithStages(3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,18 +63,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipe, err := repro.RunPipeline(res.Stages, repro.NewWorld(packets), iters)
+	got, err := pipe.Run(context.Background(), repro.NewWorld(packets))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if diff := repro.TraceEqual(seq, pipe); diff != "" {
+	if diff := repro.TraceEqual(seq, got); diff != "" {
 		log.Fatalf("pipelining changed behaviour: %s", diff)
 	}
 
 	fmt.Println("pipelined 3 ways; behaviour identical to the sequential PPS")
 	fmt.Printf("events: %v\n\n", seq)
 
-	rep := res.Report
+	rep := pipe.Report()
 	fmt.Printf("sequential worst-case path: %d instructions\n", rep.Seq.Total)
 	for _, s := range rep.Stages {
 		fmt.Printf("  stage %d: worst path %3d instructions (%d for live-set transmission)\n",

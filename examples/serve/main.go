@@ -1,0 +1,73 @@
+// Host-native streaming: partition the NPF IPv4 forwarding PPS and serve a
+// live packet stream through the goroutine-per-stage runtime — one
+// goroutine per pipeline stage, bounded rings between neighbors, the packed
+// live set of each cut travelling through the ring exactly as the compiler
+// realized it. The served trace is byte-identical to the sequential
+// program's, and the metrics show where the stream spent its time.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+	"repro/internal/netbench"
+)
+
+func main() {
+	const degree = 4
+	const packets = 50000
+
+	pps, _ := netbench.ByName("IPv4")
+	prog, err := pps.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := repro.Partition(prog, repro.WithStages(degree))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A saturated source: minimum-size POS traffic, recycled until the
+	// packet budget is spent. A context bounds the run defensively.
+	traffic := pps.Traffic(256)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	world := netbench.NewWorld(nil)
+	m, err := pipe.Serve(ctx, repro.RepeatSource(traffic, packets),
+		repro.WithWorld(world), repro.WithRing(repro.NNRing, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The oracle check: replay the same stream sequentially.
+	verify := pps.Traffic(256)
+	seqWorld := netbench.NewWorld(nil)
+	seqWorld.Packets = repeatTo(verify, packets)
+	seq, err := repro.RunSequential(prog.Clone(), seqWorld, packets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if diff := repro.TraceEqual(seq, m.Trace); diff != "" {
+		log.Fatalf("served trace diverged from the sequential oracle: %s", diff)
+	}
+
+	fmt.Printf("served %d packets through %d stages in %v (%.0f pkt/s), trace verified\n\n",
+		m.Packets, degree, m.Elapsed.Round(time.Millisecond), m.PacketsPerSecond())
+	for _, s := range m.Stages {
+		fmt.Printf("  stage %d: in %6d  out %6d  ring-full stalls %6d  mean occupancy %.2f  %5.0f ns/iter\n",
+			s.Stage, s.In, s.Out, s.Stalls, s.MeanOccupancy(), s.NsPerIteration())
+	}
+}
+
+// repeatTo cycles pkts into a stream of exactly n packets.
+func repeatTo(pkts [][]byte, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = pkts[i%len(pkts)]
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/dep"
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/ir"
 )
@@ -57,6 +58,9 @@ type Analysis struct {
 // costmodel.Default(). The returned Analysis is immutable and safe for
 // concurrent Partition calls.
 func Analyze(orig *ir.Program, arch *costmodel.Arch) (*Analysis, error) {
+	if orig == nil || orig.Func == nil {
+		return nil, fmt.Errorf("core: %w", errs.ErrNilProgram)
+	}
 	if arch == nil {
 		arch = costmodel.Default()
 	}
@@ -97,8 +101,11 @@ func (a *Analysis) Seq() PathCost { return a.seq }
 // a candidate cannot swap the cost model; everything else (degree, ε,
 // transmission mode, ring kind) is free per call.
 func (a *Analysis) resolveOptions(options Options) (Options, error) {
+	if err := options.validate(); err != nil {
+		return Options{}, err
+	}
 	if options.Arch != nil && options.Arch != a.arch {
-		return Options{}, fmt.Errorf("core: options carry a different cost model than the analysis; call Analyze with that model instead")
+		return Options{}, fmt.Errorf("core: %w; call Analyze with that model instead", errs.ErrArchMismatch)
 	}
 	options.Arch = a.arch
 	return options.withDefaults(), nil

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/errs"
 	"repro/internal/ir"
 	"repro/internal/parallel"
 )
@@ -58,7 +59,7 @@ type CandidateCost struct {
 // are evaluated on opts.Workers goroutines.
 func Explore(prog *ir.Program, opts ExploreOptions) (*ExploreResult, error) {
 	if opts.Budget <= 0 {
-		return nil, fmt.Errorf("explore: a positive per-packet budget is required")
+		return nil, fmt.Errorf("explore: %w: %d", errs.ErrBadBudget, opts.Budget)
 	}
 	a, err := Analyze(prog, opts.Base.Arch)
 	if err != nil {
@@ -76,7 +77,7 @@ func (a *Analysis) Explore(opts ExploreOptions) (*ExploreResult, error) {
 		opts.MaxPEs = 10
 	}
 	if opts.Budget <= 0 {
-		return nil, fmt.Errorf("explore: a positive per-packet budget is required")
+		return nil, fmt.Errorf("explore: %w: %d", errs.ErrBadBudget, opts.Budget)
 	}
 
 	candidate := func(d int) (*Result, CandidateCost, error) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/balance"
 	"repro/internal/costmodel"
 	"repro/internal/dep"
+	"repro/internal/errs"
 	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/maxflow"
@@ -57,6 +58,23 @@ type Options struct {
 	Channel costmodel.ChannelKind
 	// Tx selects the transmission strategy (default TxPacked).
 	Tx TxMode
+}
+
+// MaxStages bounds the accepted pipelining degree; the IXP2800 has 16
+// microengines, and beyond that the balanced-cut bands collapse anyway.
+const MaxStages = 64
+
+// validate rejects nonsensical options with the shared typed errors. A
+// zero Stages or Epsilon still means "use the default" (filled in by
+// withDefaults); only actively wrong values fail.
+func (o *Options) validate() error {
+	if o.Stages < 0 || o.Stages > MaxStages {
+		return fmt.Errorf("core: %w: %d (want 1..%d)", errs.ErrBadDegree, o.Stages, MaxStages)
+	}
+	if o.Epsilon < 0 || o.Epsilon > 1 {
+		return fmt.Errorf("core: %w: %g (want (0, 1])", errs.ErrBadEpsilon, o.Epsilon)
+	}
+	return nil
 }
 
 func (o *Options) withDefaults() Options {
@@ -387,7 +405,7 @@ func (a *Analysis) assignStages(opts Options) ([]int, []*balance.Result, error) 
 
 		res := balance.MinCut(m.nw, m.weight, lo, hi, collapsedW)
 		if res.Cost >= maxflow.Inf/2 {
-			return nil, nil, fmt.Errorf("cut %d: no finite cut found (cost %d)", i, res.Cost)
+			return nil, nil, fmt.Errorf("cut %d: %w at degree %d (cost %d)", i, errs.ErrUnbalanced, D, res.Cost)
 		}
 		results = append(results, res)
 

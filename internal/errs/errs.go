@@ -1,0 +1,57 @@
+// Package errs defines the sentinel errors shared by the compiler core,
+// the simulators, and the host runtime. Every user-facing entry point
+// validates its inputs against these (wrapped with context via %w) instead
+// of panicking or returning ad-hoc fmt.Errorf strings, so callers can
+// errors.Is-match failures across the whole API surface. The root repro
+// package re-exports them.
+package errs
+
+import "errors"
+
+var (
+	// ErrNilProgram reports a nil *ir.Program where a compiled PPS was
+	// required (Analyze, Partition, RunSequential).
+	ErrNilProgram = errors.New("nil program")
+
+	// ErrBadDegree reports a pipelining degree outside 1..MaxStages.
+	ErrBadDegree = errors.New("bad pipelining degree")
+
+	// ErrBadEpsilon reports a balance variance outside (0, 1].
+	ErrBadEpsilon = errors.New("bad balance variance")
+
+	// ErrUnbalanced reports that no finite balanced cut exists for the
+	// requested degree and variance.
+	ErrUnbalanced = errors.New("no balanced cut")
+
+	// ErrBadBudget reports a non-positive per-packet budget for Explore.
+	ErrBadBudget = errors.New("bad per-packet budget")
+
+	// ErrArchMismatch reports options carrying a different cost model than
+	// the analysis they are applied to.
+	ErrArchMismatch = errors.New("cost model differs from analysis")
+
+	// ErrNoStages reports an empty pipeline where stage programs were
+	// required (Run, Simulate, Serve).
+	ErrNoStages = errors.New("empty pipeline")
+
+	// ErrNilStage reports a nil entry in a stage list.
+	ErrNilStage = errors.New("nil stage program")
+
+	// ErrNilWorld reports a nil execution environment.
+	ErrNilWorld = errors.New("nil world")
+
+	// ErrNilSource reports a nil packet source for Serve.
+	ErrNilSource = errors.New("nil packet source")
+
+	// ErrBadRing reports a non-positive inter-stage ring capacity.
+	ErrBadRing = errors.New("bad ring capacity")
+
+	// ErrBadBatch reports a non-positive serve batch size.
+	ErrBadBatch = errors.New("bad batch size")
+
+	// ErrNotServable reports a pipeline the streaming runtime cannot host:
+	// the stages must contain exactly one pkt_rx site (it paces the packet
+	// stream) and each persistent channel (queues, persistent arrays) must
+	// be confined to a single stage.
+	ErrNotServable = errors.New("pipeline not servable")
+)

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/netbench"
+	"repro/internal/runtime"
+)
+
+// ServePoint is one host-throughput measurement: a PPS partitioned Degree
+// ways, streamed through the goroutine-per-stage runtime with Batch
+// iterations per ring entry.
+type ServePoint struct {
+	PPS     string  `json:"pps"`
+	Degree  int     `json:"degree"`
+	Batch   int     `json:"batch"`
+	Packets int64   `json:"packets"`
+	NsTotal int64   `json:"ns_total"`
+	PktPerS float64 `json:"pkt_per_s"`
+	// Speedup is measured throughput relative to the Degree=1, Batch=1
+	// point of the same PPS (the single-goroutine host baseline).
+	Speedup float64 `json:"speedup_vs_seq"`
+}
+
+// ServeThroughput measures the host-native streaming runtime: the named
+// PPS is partitioned at every degree in degrees and served packets
+// minimum-size packets at every batch size in batches. The Degree=1,
+// Batch=1 configuration anchors the Speedup column, so degrees should
+// include 1. Points are verified against the sequential oracle before
+// being timed.
+func ServeThroughput(name string, degrees, batches []int, packets int) ([]ServePoint, error) {
+	pps, ok := netbench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown PPS %q", name)
+	}
+	prog, err := pps.Compile()
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Analyze(prog, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	traffic := pps.Traffic(256)
+	verify := pps.Traffic(64)
+	seq, err := interp.RunSequential(prog.Clone(), netbench.NewWorld(verify), len(verify))
+	if err != nil {
+		return nil, err
+	}
+
+	var pts []ServePoint
+	var base float64
+	for _, d := range degrees {
+		res, err := a.Partition(core.Options{Stages: d})
+		if err != nil {
+			return nil, err
+		}
+		for _, batch := range batches {
+			cfg := runtime.Config{Batch: batch}
+
+			// Behaviour first: the timed configuration must match the oracle.
+			vw := netbench.NewWorld(nil)
+			vm, err := runtime.Serve(context.Background(), res.Stages, vw, runtime.Packets(verify), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s D=%d batch=%d: %w", name, d, batch, err)
+			}
+			if diff := interp.TraceEqual(seq, vm.Trace); diff != "" {
+				return nil, fmt.Errorf("%s D=%d batch=%d diverged: %s", name, d, batch, diff)
+			}
+
+			m, err := runtime.Serve(context.Background(), res.Stages, netbench.NewWorld(nil),
+				runtime.Repeat(traffic, packets), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s D=%d batch=%d: %w", name, d, batch, err)
+			}
+			p := ServePoint{
+				PPS:     name,
+				Degree:  d,
+				Batch:   batch,
+				Packets: m.Packets,
+				NsTotal: m.Elapsed.Nanoseconds(),
+				PktPerS: m.PacketsPerSecond(),
+			}
+			if d == 1 && batch == batches[0] {
+				base = p.PktPerS
+			}
+			if base > 0 {
+				p.Speedup = p.PktPerS / base
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts, nil
+}

@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 
+	"repro/internal/errs"
 	"repro/internal/ir"
 )
 
@@ -21,7 +22,21 @@ type Runner struct {
 	// demand.
 	OnInstr func(in *ir.Instr)
 
+	// RxFromCtx restricts pkt_rx to the iteration context's pre-pulled
+	// packet: with it set, a pkt_rx that finds no pending packet reports
+	// stream exhaustion instead of consuming from the shared World. The
+	// streaming runtime sets it on every stage runner so concurrent stages
+	// never race on the World's packet cursor.
+	RxFromCtx bool
+
 	persistent map[int][]int64 // array ID -> storage
+
+	// regs and phiVals are per-runner scratch buffers reused across
+	// iterations (a Runner executes one iteration at a time). They make
+	// RunIteration allocation-free on the hot path, which the host
+	// streaming runtime depends on for throughput.
+	regs    []int64
+	phiVals []int64
 }
 
 // NewRunner creates a runner with freshly initialized persistent state.
@@ -41,6 +56,43 @@ func NewRunner(prog *ir.Program, world *World) *Runner {
 // stages of one original program share the program's flow state (the
 // partitioner guarantees each persistent array is touched by one stage only).
 func (r *Runner) SharePersistent(other *Runner) { r.persistent = other.persistent }
+
+// NewStageRunners builds one Runner per pipeline stage, all sharing one
+// fully pre-populated persistent store. Pre-population matters for the
+// concurrent runtime: with every persistent array materialized up front,
+// stage goroutines only ever read the shared map (each array's storage is
+// touched by exactly one stage, per the partitioning invariant), so no
+// locking is needed.
+func NewStageRunners(stages []*ir.Program, world *World) []*Runner {
+	shared := make(map[int][]int64)
+	for _, s := range stages {
+		for _, a := range s.Arrays {
+			if a.Persistent {
+				if _, ok := shared[a.ID]; !ok {
+					st := make([]int64, a.Size)
+					copy(st, a.Init)
+					shared[a.ID] = st
+				}
+			}
+		}
+	}
+	runners := make([]*Runner, len(stages))
+	for i, s := range stages {
+		runners[i] = &Runner{Prog: s, World: world, persistent: shared}
+	}
+	return runners
+}
+
+// emit routes an observable event: into the iteration's deferred buffer
+// when the context asks for it (concurrent stage execution), else straight
+// onto the shared World trace (sequential oracle paths).
+func (r *Runner) emit(ctx *IterCtx, e Event) {
+	if ctx.DeferEvents {
+		ctx.Events = append(ctx.Events, e)
+		return
+	}
+	r.World.emit(e)
+}
 
 // array returns the storage for arr in the given iteration context.
 func (r *Runner) array(ctx *IterCtx, arr *ir.Array) []int64 {
@@ -75,7 +127,11 @@ func wrapIndex(i int64, size int) int {
 // OpSendLS are returned.
 func (r *Runner) RunIteration(ctx *IterCtx, recv []int64) (sent []int64, err error) {
 	f := r.Prog.Func
-	regs := make([]int64, f.NumRegs)
+	if cap(r.regs) < f.NumRegs {
+		r.regs = make([]int64, f.NumRegs)
+	}
+	regs := r.regs[:f.NumRegs]
+	clear(regs)
 	cur := f.Blocks[f.Entry]
 	prev := -1
 	steps := 0
@@ -90,7 +146,10 @@ func (r *Runner) RunIteration(ctx *IterCtx, recv []int64) (sent []int64, err err
 			nPhi++
 		}
 		if nPhi > 0 {
-			vals := make([]int64, nPhi)
+			if cap(r.phiVals) < nPhi {
+				r.phiVals = make([]int64, nPhi)
+			}
+			vals := r.phiVals[:nPhi]
 			for i := 0; i < nPhi; i++ {
 				in := cur.Instrs[i]
 				found := false
@@ -265,7 +324,14 @@ func (r *Runner) intrinsic(ctx *IterCtx, in *ir.Instr, regs []int64) (int64, err
 	w := r.World
 	switch in.Call {
 	case "pkt_rx":
-		p := w.rx()
+		var p []byte
+		if ctx.HasPending {
+			// The runtime pre-pulled this iteration's packet at the head
+			// stage; consume it without touching the shared stream.
+			p, ctx.Pending, ctx.HasPending = ctx.Pending, nil, false
+		} else if !r.RxFromCtx {
+			p = w.rx()
+		}
 		if p == nil {
 			ctx.Pkt, ctx.HasPkt = nil, false
 			return -1, nil
@@ -309,10 +375,10 @@ func (r *Runner) intrinsic(ctx *IterCtx, in *ir.Instr, regs []int64) (int64, err
 	case "pkt_send":
 		pkt := make([]byte, len(ctx.Pkt))
 		copy(pkt, ctx.Pkt)
-		w.emit(Event{Kind: EvSend, Val: arg(0), Pkt: pkt})
+		r.emit(ctx, Event{Kind: EvSend, Val: arg(0), Pkt: pkt})
 		return 0, nil
 	case "pkt_drop":
-		w.emit(Event{Kind: EvDrop})
+		r.emit(ctx, Event{Kind: EvDrop})
 		return 0, nil
 	case "meta_get":
 		return ctx.Meta[wrapIndex(arg(0), len(ctx.Meta))], nil
@@ -357,7 +423,7 @@ func (r *Runner) intrinsic(ctx *IterCtx, in *ir.Instr, regs []int64) (int64, err
 	case "q_len":
 		return int64(len(w.Queues[arg(0)])), nil
 	case "trace":
-		w.emit(Event{Kind: EvTrace, Val: arg(0)})
+		r.emit(ctx, Event{Kind: EvTrace, Val: arg(0)})
 		return 0, nil
 	}
 	return 0, fmt.Errorf("unknown intrinsic %q", in.Call)
@@ -366,11 +432,19 @@ func (r *Runner) intrinsic(ctx *IterCtx, in *ir.Instr, regs []int64) (int64, err
 // RunSequential executes iters iterations of prog against world and returns
 // the observable trace.
 func RunSequential(prog *ir.Program, world *World, iters int) ([]Event, error) {
+	if prog == nil {
+		return nil, errs.ErrNilProgram
+	}
+	if world == nil {
+		return nil, errs.ErrNilWorld
+	}
 	r := NewRunner(prog, world)
+	ctx := NewIterCtx()
 	for i := 0; i < iters; i++ {
-		if _, err := r.RunIteration(NewIterCtx(), nil); err != nil {
+		if _, err := r.RunIteration(ctx, nil); err != nil {
 			return nil, fmt.Errorf("iteration %d: %w", i, err)
 		}
+		ctx.Reset()
 	}
 	return world.Trace, nil
 }
@@ -378,32 +452,22 @@ func RunSequential(prog *ir.Program, world *World, iters int) ([]Event, error) {
 // RunPipeline executes iters iterations through the given pipeline stages
 // (run to completion per iteration, which preserves the sequential trace
 // order and is therefore the correctness oracle for partitioning). All
-// stages share the world and the persistent state of the first stage.
+// stages share the world and one pre-populated persistent store.
 func RunPipeline(stages []*ir.Program, world *World, iters int) ([]Event, error) {
 	if len(stages) == 0 {
-		return nil, fmt.Errorf("empty pipeline")
+		return nil, errs.ErrNoStages
 	}
-	runners := make([]*Runner, len(stages))
 	for i, s := range stages {
-		runners[i] = &Runner{Prog: s, World: world, persistent: nil}
-	}
-	shared := make(map[int][]int64)
-	for _, s := range stages {
-		for _, a := range s.Arrays {
-			if a.Persistent {
-				if _, ok := shared[a.ID]; !ok {
-					st := make([]int64, a.Size)
-					copy(st, a.Init)
-					shared[a.ID] = st
-				}
-			}
+		if s == nil {
+			return nil, fmt.Errorf("stage %d: %w", i, errs.ErrNilStage)
 		}
 	}
-	for _, r := range runners {
-		r.persistent = shared
+	if world == nil {
+		return nil, errs.ErrNilWorld
 	}
+	runners := NewStageRunners(stages, world)
+	ctx := NewIterCtx()
 	for i := 0; i < iters; i++ {
-		ctx := NewIterCtx()
 		var slots []int64
 		for k, r := range runners {
 			out, err := r.RunIteration(ctx, slots)
@@ -412,6 +476,7 @@ func RunPipeline(stages []*ir.Program, world *World, iters int) ([]Event, error)
 			}
 			slots = out
 		}
+		ctx.Reset()
 	}
 	return world.Trace, nil
 }

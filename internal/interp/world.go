@@ -126,15 +126,43 @@ func (w *World) rx() []byte {
 // packet descriptor (metadata words), and the per-iteration local array
 // storage. On real hardware this state lives in DRAM/SRAM, indexed by a
 // packet handle that flows down the pipeline; here the context flows with
-// the iteration.
+// the iteration — including, for the concurrent host runtime, the
+// iteration's input packet and its observable events, so that stages
+// running in different goroutines never contend on the shared World.
 type IterCtx struct {
 	Pkt    []byte // nil when pkt_rx found no packet
 	HasPkt bool
 	Meta   [16]int64
 	locals map[int][]int64 // array ID -> storage
+
+	// Pending, when HasPending is set, is the input packet pre-pulled for
+	// this iteration: the first pkt_rx consumes it instead of the World's
+	// stream. The streaming runtime attaches one packet per iteration at
+	// the head stage so a downstream rx stage never touches shared state.
+	Pending    []byte
+	HasPending bool
+
+	// DeferEvents redirects this iteration's observable events (trace,
+	// send, drop) into Events instead of the World's shared Trace. The
+	// streaming runtime sets it and merges Events in iteration order at
+	// the pipeline sink, reconstructing the sequential trace exactly.
+	DeferEvents bool
+	Events      []Event
 }
 
 // NewIterCtx returns an empty per-iteration context.
 func NewIterCtx() *IterCtx {
 	return &IterCtx{locals: make(map[int][]int64)}
+}
+
+// Reset clears the context for reuse by a fresh iteration, retaining
+// allocated capacity (the locals map and the event buffer).
+func (c *IterCtx) Reset() {
+	c.Pkt, c.HasPkt = nil, false
+	c.Meta = [16]int64{}
+	for id := range c.locals {
+		delete(c.locals, id)
+	}
+	c.Pending, c.HasPending = nil, false
+	c.Events = c.Events[:0]
 }

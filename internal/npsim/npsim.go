@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/costmodel"
+	"repro/internal/errs"
 	"repro/internal/interp"
 	"repro/internal/ir"
 )
@@ -38,6 +39,22 @@ type Config struct {
 	// first stage; 0 means packets are always available (the simulator
 	// then measures saturated pipeline throughput).
 	ArrivalInterval int64
+}
+
+// validate checks the stage list and world shared by both simulators.
+func validate(stages []*ir.Program, world *interp.World) error {
+	if len(stages) == 0 {
+		return fmt.Errorf("npsim: %w", errs.ErrNoStages)
+	}
+	for i, s := range stages {
+		if s == nil {
+			return fmt.Errorf("npsim: stage %d: %w", i, errs.ErrNilStage)
+		}
+	}
+	if world == nil {
+		return fmt.Errorf("npsim: %w", errs.ErrNilWorld)
+	}
+	return nil
 }
 
 // DefaultConfig returns the IXP2800-flavored configuration.
@@ -73,8 +90,8 @@ type Result struct {
 // both behaviour and timing. Stages share persistent state (as on hardware,
 // where flow state lives in shared SRAM but is touched by one stage only).
 func Simulate(stages []*ir.Program, world *interp.World, iters int, cfg Config) (*Result, error) {
-	if len(stages) == 0 {
-		return nil, fmt.Errorf("npsim: empty pipeline")
+	if err := validate(stages, world); err != nil {
+		return nil, err
 	}
 	if cfg.Arch == nil {
 		cfg.Arch = costmodel.Default()

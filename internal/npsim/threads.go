@@ -48,8 +48,8 @@ type ThreadSimResult struct {
 // number of iterations in flight between adjacent engines; ThreadsPerPE
 // bounds the iterations in flight inside one engine.
 func SimulateThreads(stages []*ir.Program, world *interp.World, iters int, cfg Config) (*ThreadSimResult, error) {
-	if len(stages) == 0 {
-		return nil, fmt.Errorf("npsim: empty pipeline")
+	if err := validate(stages, world); err != nil {
+		return nil, err
 	}
 	if cfg.Arch == nil {
 		cfg.Arch = costmodel.Default()

@@ -1,0 +1,81 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/interp"
+)
+
+// StageStats are the counters one stage goroutine maintains. Each stage
+// writes its own stats only; Serve assembles the snapshot after every
+// goroutine has been joined, so the fields need no atomics.
+type StageStats struct {
+	// Stage is the 1-based stage index.
+	Stage int
+	// In and Out count iterations received from upstream and forwarded
+	// downstream. For the head stage, In counts packets pulled from the
+	// Source; for the sink stage, Out counts iterations retired.
+	In, Out int64
+	// Stalls counts ring-full backpressure events: sends that found the
+	// outgoing ring at capacity and had to wait for the consumer.
+	Stalls int64
+	// Busy is the time spent executing iterations (the ns/stage counter),
+	// excluding ring waits.
+	Busy time.Duration
+	// occupancy sampling of the inbound ring, taken at each receive.
+	occSum, occSamples int64
+}
+
+// MeanOccupancy is the average inbound-ring occupancy (entries queued
+// behind the one being received) sampled at each receive; 0 for the head
+// stage, which has no inbound ring.
+func (s *StageStats) MeanOccupancy() float64 {
+	if s.occSamples == 0 {
+		return 0
+	}
+	return float64(s.occSum) / float64(s.occSamples)
+}
+
+// NsPerIteration is the mean busy time per retired iteration.
+func (s *StageStats) NsPerIteration() float64 {
+	if s.In == 0 {
+		return 0
+	}
+	return float64(s.Busy.Nanoseconds()) / float64(s.In)
+}
+
+// Metrics is the snapshot Serve returns: end-to-end throughput, the
+// observable trace (in exact sequential order), and per-stage counters.
+type Metrics struct {
+	// Packets is the number of iterations that retired at the sink stage.
+	Packets int64
+	// Elapsed is the wall-clock duration of the serve run.
+	Elapsed time.Duration
+	// Stages holds one entry per pipeline stage.
+	Stages []StageStats
+	// Trace is the observable event stream, merged from the per-iteration
+	// buffers in iteration order — byte-identical to the sequential oracle.
+	Trace []interp.Event
+}
+
+// PacketsPerSecond is the end-to-end throughput of the run.
+func (m *Metrics) PacketsPerSecond() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Packets) / m.Elapsed.Seconds()
+}
+
+// String renders a compact human-readable summary.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "served %d packets in %v (%.0f pkt/s)\n",
+		m.Packets, m.Elapsed.Round(time.Microsecond), m.PacketsPerSecond())
+	for _, s := range m.Stages {
+		fmt.Fprintf(&b, "  stage %d: in %d out %d  stalls %d  busy %v  occ %.2f\n",
+			s.Stage, s.In, s.Out, s.Stalls, s.Busy.Round(time.Microsecond), s.MeanOccupancy())
+	}
+	return b.String()
+}

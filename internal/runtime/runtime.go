@@ -1,0 +1,401 @@
+// Package runtime is the host-native streaming executor for partitioned
+// pipelines: one goroutine per stage, connected by bounded rings, serving
+// a packet stream. Where internal/npsim *predicts* pipeline timing on a
+// model of the IXP, this package *measures* it on the host — each stage
+// really runs concurrently, inter-stage rings really exert backpressure,
+// and throughput comes from the wall clock.
+//
+// Correctness model: every iteration owns an interp.IterCtx that flows
+// down the pipeline inside a token. The head stage pulls one packet per
+// iteration from the Source and attaches it to the token; the iteration's
+// observable events are buffered on the token (IterCtx.DeferEvents) and
+// merged at the sink in iteration order. Because each ring has exactly one
+// producer and one consumer, tokens retire in iteration order and the
+// merged trace is byte-identical to the sequential oracle's — there is no
+// cross-stage reordering to normalize away.
+//
+// Shared state discipline (what makes the concurrency safe):
+//
+//   - the packet stream is pre-pulled at the head stage (Runner.RxFromCtx),
+//     so no stage touches the World's packet cursor;
+//   - persistent arrays and queues are each confined to a single stage
+//     (the partitioning invariant, re-checked by Validate), and the shared
+//     persistent store is fully materialized before any goroutine starts;
+//   - route tables are read-only;
+//   - per-stage counters are goroutine-local and snapshotted after join.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/errs"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Config shapes the streaming executor.
+type Config struct {
+	// Channel is the ring kind the pipeline was partitioned for; it picks
+	// the default ring capacity (nearest-neighbor rings are small on-chip
+	// buffers, scratch rings are deeper).
+	Channel costmodel.ChannelKind
+	// RingCapacity overrides the per-ring entry count (batches, not
+	// packets). 0 selects the Channel default: 8 for NN, 64 for scratch.
+	RingCapacity int
+	// Batch is the number of iterations carried per ring entry; batching
+	// amortizes ring synchronization over several packets. 0 means 1.
+	Batch int
+}
+
+// DefaultConfig returns the nearest-neighbor-ring configuration.
+func DefaultConfig() Config { return Config{Channel: costmodel.NNRing} }
+
+// defaultRingCapacity mirrors the relative depths of the IXP's channel
+// kinds: registers buffer little, scratch memory buffers more.
+func defaultRingCapacity(ch costmodel.ChannelKind) int {
+	if ch == costmodel.ScratchRing {
+		return 64
+	}
+	return 8
+}
+
+func (c Config) validate() error {
+	if c.RingCapacity < 0 {
+		return fmt.Errorf("%w: %d", errs.ErrBadRing, c.RingCapacity)
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("%w: %d", errs.ErrBadBatch, c.Batch)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingCapacity == 0 {
+		c.RingCapacity = defaultRingCapacity(c.Channel)
+	}
+	if c.Batch == 0 {
+		c.Batch = 1
+	}
+	return c
+}
+
+// Validate checks the servability contract of a stage list: stages exist
+// and are non-nil; exactly one pkt_rx site exists across the pipeline (it
+// is the pacing point — one packet enters per iteration); and every
+// persistent channel (queues) and persistent array is confined to a single
+// stage, which is what lets stage goroutines touch them without locks. The
+// partitioner guarantees the confinement for its own output; Validate
+// re-checks it so hand-built stage lists fail loudly instead of racing.
+func Validate(stages []*ir.Program) error {
+	if len(stages) == 0 {
+		return errs.ErrNoStages
+	}
+	for i, s := range stages {
+		if s == nil || s.Func == nil {
+			return fmt.Errorf("stage %d: %w", i+1, errs.ErrNilStage)
+		}
+	}
+	rxSites := 0
+	chanStage := map[string]int{} // persistent intrinsic channel -> stage
+	arrStage := map[int]int{}     // persistent array ID -> stage
+	for k, s := range stages {
+		for _, b := range s.Func.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpCall:
+					if in.Call == "pkt_rx" {
+						rxSites++
+					}
+					if intr, ok := costmodel.Intrinsics[in.Call]; ok {
+						for _, ef := range intr.Effects {
+							if !ef.Persistent {
+								continue
+							}
+							if prev, ok := chanStage[ef.Channel]; ok && prev != k {
+								return fmt.Errorf("%w: persistent channel %q used by stages %d and %d",
+									errs.ErrNotServable, ef.Channel, prev+1, k+1)
+							}
+							chanStage[ef.Channel] = k
+						}
+					}
+				case ir.OpLoad, ir.OpStore:
+					if in.Arr != nil && in.Arr.Persistent {
+						if prev, ok := arrStage[in.Arr.ID]; ok && prev != k {
+							return fmt.Errorf("%w: persistent array %s used by stages %d and %d",
+								errs.ErrNotServable, in.Arr.Name, prev+1, k+1)
+						}
+						arrStage[in.Arr.ID] = k
+					}
+				}
+			}
+		}
+	}
+	if rxSites != 1 {
+		return fmt.Errorf("%w: need exactly one pkt_rx site to pace the stream, found %d",
+			errs.ErrNotServable, rxSites)
+	}
+	return nil
+}
+
+// token carries one in-flight iteration: its context (packet, metadata,
+// locals, buffered events) and the live-set slots realized for the next
+// cut, exactly as OpSendLS packed them.
+type token struct {
+	ctx   *interp.IterCtx
+	slots []int64
+}
+
+// engine is the per-Serve state shared by the stage goroutines.
+type engine struct {
+	ictx    context.Context
+	cancel  context.CancelFunc
+	cfg     Config
+	src     Source
+	runners []*interp.Runner
+	rings   []chan []*token
+	m       *Metrics
+
+	tokPool   sync.Pool
+	batchPool sync.Pool
+
+	errOnce  sync.Once
+	firstErr error
+}
+
+func (e *engine) fail(err error) {
+	e.errOnce.Do(func() {
+		e.firstErr = err
+		e.cancel()
+	})
+}
+
+func (e *engine) getToken() *token {
+	t := e.tokPool.Get().(*token)
+	t.ctx.DeferEvents = true
+	return t
+}
+
+func (e *engine) putToken(t *token) {
+	t.ctx.Reset()
+	t.slots = nil
+	e.tokPool.Put(t)
+}
+
+func (e *engine) getBatch() []*token {
+	return e.batchPool.Get().([]*token)[:0]
+}
+
+func (e *engine) putBatch(b []*token) {
+	e.batchPool.Put(b[:0]) //nolint:staticcheck // slices are pooled by header
+}
+
+// send forwards a batch on out, counting a stall when the ring is full.
+// It returns false when the run was canceled mid-wait.
+func (e *engine) send(out chan []*token, b []*token, st *StageStats) bool {
+	select {
+	case out <- b:
+	default:
+		st.Stalls++
+		select {
+		case out <- b:
+		case <-e.ictx.Done():
+			return false
+		}
+	}
+	st.Out += int64(len(b))
+	return true
+}
+
+// retire merges a finished batch's events into the trace in iteration
+// order and recycles the tokens.
+func (e *engine) retire(b []*token, st *StageStats) {
+	for _, t := range b {
+		e.m.Trace = append(e.m.Trace, t.ctx.Events...)
+		e.putToken(t)
+	}
+	e.m.Packets += int64(len(b))
+	st.Out += int64(len(b))
+	e.putBatch(b)
+}
+
+// head is the stage-1 goroutine: it paces the pipeline by pulling one
+// packet per iteration from the Source, executes the first stage, and
+// forwards batches downstream (or retires them directly when D == 1).
+func (e *engine) head() {
+	st := &e.m.Stages[0]
+	run := e.runners[0]
+	var out chan []*token
+	if len(e.rings) > 0 {
+		out = e.rings[0]
+		defer close(out)
+	}
+	for {
+		select {
+		case <-e.ictx.Done():
+			return
+		default:
+		}
+		// Pull and execute up to one batch of iterations.
+		b := e.getBatch()
+		t0 := time.Now()
+		for len(b) < e.cfg.Batch {
+			p, ok := e.src.Next()
+			if !ok {
+				break
+			}
+			t := e.getToken()
+			t.ctx.Pending, t.ctx.HasPending = p, true
+			sent, err := run.RunIteration(t.ctx, nil)
+			if err != nil {
+				st.Busy += time.Since(t0)
+				e.fail(fmt.Errorf("stage 1: %w", err))
+				return
+			}
+			t.slots = sent
+			b = append(b, t)
+		}
+		st.Busy += time.Since(t0)
+		st.In += int64(len(b))
+		exhausted := len(b) < e.cfg.Batch
+		if len(b) > 0 {
+			if out == nil {
+				e.retire(b, st)
+			} else if !e.send(out, b, st) {
+				return
+			}
+		} else {
+			e.putBatch(b)
+		}
+		if exhausted {
+			return
+		}
+	}
+}
+
+// stage is the goroutine for stages 2..D: receive a batch, run each
+// iteration with the live-set slots its predecessor packed, and forward
+// (or retire, at the sink).
+func (e *engine) stage(k int) {
+	st := &e.m.Stages[k]
+	run := e.runners[k]
+	in := e.rings[k-1]
+	var out chan []*token
+	if k < len(e.rings) {
+		out = e.rings[k]
+		defer close(out)
+	}
+	for {
+		var b []*token
+		var ok bool
+		select {
+		case <-e.ictx.Done():
+			return
+		case b, ok = <-in:
+			if !ok {
+				return
+			}
+		}
+		st.occSum += int64(len(in))
+		st.occSamples++
+		t0 := time.Now()
+		for _, t := range b {
+			sent, err := run.RunIteration(t.ctx, t.slots)
+			if err != nil {
+				st.Busy += time.Since(t0)
+				e.fail(fmt.Errorf("stage %d: %w", k+1, err))
+				return
+			}
+			t.slots = sent
+		}
+		st.Busy += time.Since(t0)
+		st.In += int64(len(b))
+		if out == nil {
+			e.retire(b, st)
+		} else if !e.send(out, b, st) {
+			return
+		}
+	}
+}
+
+// Serve runs the partitioned stages concurrently — one goroutine per
+// stage, bounded rings between neighbors — against the packet stream of
+// src, with world supplying route tables and persistent state. It returns
+// when the source is exhausted and the pipeline has drained, or when ctx
+// is canceled (in-flight iterations are then discarded; the returned
+// error is the context's).
+//
+// The returned Metrics hold the merged observable trace in exact
+// sequential-oracle order plus per-stage counters. On normal completion
+// the trace is also appended to world.Trace, matching the convention of
+// the oracle paths.
+func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src Source, cfg Config) (*Metrics, error) {
+	if err := Validate(stages); err != nil {
+		return nil, err
+	}
+	if world == nil {
+		return nil, errs.ErrNilWorld
+	}
+	if src == nil {
+		return nil, errs.ErrNilSource
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	D := len(stages)
+	runners := interp.NewStageRunners(stages, world)
+	for _, r := range runners {
+		r.RxFromCtx = true
+	}
+
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e := &engine{
+		ictx:    ictx,
+		cancel:  cancel,
+		cfg:     cfg,
+		src:     src,
+		runners: runners,
+		rings:   make([]chan []*token, D-1),
+		m:       &Metrics{Stages: make([]StageStats, D)},
+	}
+	e.tokPool.New = func() any { return &token{ctx: interp.NewIterCtx()} }
+	e.batchPool.New = func() any { return make([]*token, 0, cfg.Batch) }
+	for i := range e.rings {
+		e.rings[i] = make(chan []*token, cfg.RingCapacity)
+	}
+	for k := range e.m.Stages {
+		e.m.Stages[k].Stage = k + 1
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(D)
+	go func() {
+		defer wg.Done()
+		e.head()
+	}()
+	for k := 1; k < D; k++ {
+		k := k
+		go func() {
+			defer wg.Done()
+			e.stage(k)
+		}()
+	}
+	wg.Wait()
+	e.m.Elapsed = time.Since(start)
+
+	if e.firstErr != nil {
+		return nil, e.firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return e.m, err
+	}
+	world.Trace = append(world.Trace, e.m.Trace...)
+	return e.m, nil
+}

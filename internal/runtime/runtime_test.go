@@ -1,0 +1,247 @@
+package runtime_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	gort "runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/errs"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/netbench"
+	"repro/internal/runtime"
+)
+
+// allApps returns every netbench PPS (deduplicated by name).
+func allApps() []netbench.PPS {
+	seen := map[string]bool{}
+	var out []netbench.PPS
+	for _, p := range append(netbench.IPv4Forwarding(), netbench.IPForwarding()...) {
+		if !seen[p.Name] {
+			seen[p.Name] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestServeMatchesOracle is the tentpole correctness check: for every
+// benchmark PPS, at D in {2,4,8}, batched and unbatched, the concurrently
+// served trace must be byte-identical to the sequential oracle's.
+func TestServeMatchesOracle(t *testing.T) {
+	const n = 48
+	for _, pps := range allApps() {
+		prog, err := pps.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", pps.Name, err)
+		}
+		a, err := core.Analyze(prog, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", pps.Name, err)
+		}
+		traffic := pps.Traffic(n)
+		seq, err := interp.RunSequential(prog, netbench.NewWorld(traffic), n)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", pps.Name, err)
+		}
+		for _, d := range []int{2, 4, 8} {
+			res, err := a.Partition(core.Options{Stages: d})
+			if err != nil {
+				t.Fatalf("%s D=%d: %v", pps.Name, d, err)
+			}
+			for _, batch := range []int{1, 8} {
+				name := fmt.Sprintf("%s/D=%d/batch=%d", pps.Name, d, batch)
+				world := netbench.NewWorld(nil)
+				cfg := runtime.DefaultConfig()
+				cfg.Batch = batch
+				m, err := runtime.Serve(context.Background(), res.Stages, world, runtime.Packets(traffic), cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if m.Packets != n {
+					t.Errorf("%s: served %d packets, want %d", name, m.Packets, n)
+				}
+				if diff := interp.TraceEqual(seq, m.Trace); diff != "" {
+					t.Errorf("%s: trace diverges from oracle: %s", name, diff)
+				}
+				if diff := interp.TraceEqual(seq, world.Trace); diff != "" {
+					t.Errorf("%s: world trace diverges: %s", name, diff)
+				}
+				for _, s := range m.Stages {
+					if s.In != n || s.Out != n {
+						t.Errorf("%s: stage %d counters in=%d out=%d, want %d",
+							name, s.Stage, s.In, s.Out, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestServeBackpressure squeezes the rings to a single entry so upstream
+// stages must repeatedly wait on downstream ones; behaviour must be
+// unaffected and the counters consistent.
+func TestServeBackpressure(t *testing.T) {
+	const n = 200
+	pps, _ := netbench.ByName("IPv4")
+	prog, err := pps.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Partition(prog, core.Options{Stages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := pps.Traffic(n)
+	seq, err := interp.RunSequential(prog, netbench.NewWorld(traffic), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := runtime.Config{RingCapacity: 1, Batch: 1}
+	m, err := runtime.Serve(context.Background(), res.Stages, netbench.NewWorld(nil), runtime.Packets(traffic), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := interp.TraceEqual(seq, m.Trace); diff != "" {
+		t.Fatalf("trace diverges under backpressure: %s", diff)
+	}
+	if m.Packets != n {
+		t.Fatalf("served %d packets, want %d", m.Packets, n)
+	}
+}
+
+// TestServeCancelDrainsCleanly cancels a serve mid-stream and checks that
+// Serve returns the context error promptly and leaks no goroutines.
+func TestServeCancelDrainsCleanly(t *testing.T) {
+	pps, _ := netbench.ByName("IPv4")
+	prog, err := pps.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Partition(prog, core.Options{Stages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := gort.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		// Cancel once the pipeline is demonstrably mid-stream.
+		<-done
+		cancel()
+	}()
+	served := 0
+	src := runtime.SourceFunc(func() ([]byte, bool) {
+		served++
+		if served == 500 {
+			close(done)
+		}
+		return netbench.IPv4Stream(1)[0], true // endless stream
+	})
+	m, err := runtime.Serve(ctx, res.Stages, netbench.NewWorld(nil), src, runtime.DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m == nil {
+		t.Fatal("expected partial metrics on cancellation")
+	}
+	// All stage goroutines must be gone (allow the scheduler a moment).
+	deadline := time.Now().Add(2 * time.Second)
+	for gort.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := gort.NumGoroutine(); g > before {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutine leak after cancel: %d > %d\n%s", g, before, buf[:gort.Stack(buf, true)])
+	}
+}
+
+// TestValidateRejectsUnservable covers the servability contract.
+func TestValidateRejectsUnservable(t *testing.T) {
+	pps, _ := netbench.ByName("IPv4")
+	prog, err := pps.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Partition(prog, core.Options{Stages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := netbench.NewWorld(nil)
+	src := runtime.Packets(nil)
+	cases := []struct {
+		name   string
+		stages []*ir.Program
+		world  *interp.World
+		src    runtime.Source
+		cfg    runtime.Config
+		want   error
+	}{
+		{"no stages", nil, world, src, runtime.Config{}, errs.ErrNoStages},
+		{"nil stage", []*ir.Program{nil}, world, src, runtime.Config{}, errs.ErrNilStage},
+		{"two rx sites", []*ir.Program{res.Stages[0], res.Stages[0]}, world, src, runtime.Config{}, errs.ErrNotServable},
+		{"nil world", res.Stages, nil, src, runtime.Config{}, errs.ErrNilWorld},
+		{"nil source", res.Stages, world, nil, runtime.Config{}, errs.ErrNilSource},
+		{"bad ring", res.Stages, world, src, runtime.Config{RingCapacity: -1}, errs.ErrBadRing},
+		{"bad batch", res.Stages, world, src, runtime.Config{Batch: -1}, errs.ErrBadBatch},
+	}
+	for _, c := range cases {
+		if _, err := runtime.Serve(context.Background(), c.stages, c.world, c.src, c.cfg); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+
+	// A stage list with no pkt_rx at all cannot pace the stream.
+	norx, err := core.Partition(mustCompile(t, `pps NoRx { loop { trace(1); } }`), core.Options{Stages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runtime.Validate(norx.Stages); !errors.Is(err, errs.ErrNotServable) {
+		t.Errorf("no-rx pipeline: err = %v, want ErrNotServable", err)
+	}
+}
+
+func mustCompile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	pps := netbench.PPS{Name: "test", Source: src}
+	prog, err := pps.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestServeSourceExhaustionDrains checks the graceful-shutdown path: a
+// source shorter than one batch still drains fully.
+func TestServeSourceExhaustionDrains(t *testing.T) {
+	pps, _ := netbench.ByName("RX")
+	prog, err := pps.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Partition(prog, core.Options{Stages: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := pps.Traffic(5)
+	cfg := runtime.DefaultConfig()
+	cfg.Batch = 32 // much larger than the stream
+	m, err := runtime.Serve(context.Background(), res.Stages, netbench.NewWorld(nil), runtime.Packets(traffic), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Packets != 5 {
+		t.Fatalf("served %d packets, want 5", m.Packets)
+	}
+	seq, err := interp.RunSequential(prog, netbench.NewWorld(traffic), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := interp.TraceEqual(seq, m.Trace); diff != "" {
+		t.Fatal(diff)
+	}
+}

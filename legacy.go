@@ -1,0 +1,91 @@
+package repro
+
+// This file is the deprecated pre-Pipeline API surface, kept as thin
+// wrappers so existing call sites keep compiling. New code should use the
+// *Pipeline handle returned by Partition and the functional options; the
+// struct-to-option mapping is tabulated in DESIGN.md.
+
+import (
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/npsim"
+)
+
+// Options configures the pipelining transformation.
+//
+// Deprecated: use functional options (WithStages, WithEpsilon, WithArch,
+// WithRing, WithTxMode), or bridge with WithOptions during migration.
+type Options = core.Options
+
+// Result holds the realized pipeline stages and the measurement report.
+//
+// Deprecated: use the *Pipeline handle (Stages, Report) instead.
+type Result = core.Result
+
+// SimConfig configures the cycle-approximate network-processor simulator.
+//
+// Deprecated: use SimOptions on Pipeline.Simulate (WithRing, WithThreads,
+// WithArrivalInterval, WithArch).
+type SimConfig = npsim.Config
+
+// ExploreOptions configures Explore.
+//
+// Deprecated: use (*Analysis).Explore with WithBudget, WithMaxPEs,
+// WithWorkers.
+type ExploreOptions = core.ExploreOptions
+
+// ExploreResult is Explore's selected configuration.
+//
+// Deprecated: use Exploration, which carries a *Pipeline handle.
+type ExploreResult = core.ExploreResult
+
+// PartitionResult applies the pipelining transformation with the
+// struct-based configuration and returns the bare stage/report result.
+//
+// Deprecated: use Partition, which returns an executable *Pipeline.
+func PartitionResult(prog *Program, opts Options) (*Result, error) {
+	return core.Partition(prog, opts)
+}
+
+// Explore selects the smallest pipelining degree whose statically
+// guaranteed worst-case stage cost meets a per-packet budget.
+//
+// Deprecated: use (*Analysis).Explore, which returns an Exploration with a
+// *Pipeline handle.
+func Explore(prog *Program, opts ExploreOptions) (*ExploreResult, error) {
+	return core.Explore(prog, opts)
+}
+
+// RunSequential executes iters iterations of a program and returns its
+// observable trace. It remains the reference behaviour every execution
+// path is compared against.
+func RunSequential(prog *Program, world *World, iters int) ([]Event, error) {
+	return interp.RunSequential(prog, world, iters)
+}
+
+// RunPipeline executes iters iterations through partitioned stages
+// (run-to-completion per iteration; the correctness oracle).
+//
+// Deprecated: use (*Pipeline).Run.
+func RunPipeline(stages []*Program, world *World, iters int) ([]Event, error) {
+	return interp.RunPipeline(stages, world, iters)
+}
+
+// Simulate runs a stage list on the cycle-approximate IXP-style simulator.
+//
+// Deprecated: use (*Pipeline).Simulate.
+func Simulate(stages []*Program, world *World, iters int, cfg SimConfig) (*SimResult, error) {
+	return npsim.Simulate(stages, world, iters, cfg)
+}
+
+// SimulateThreads runs a stage list on the thread-level simulator.
+//
+// Deprecated: use (*Pipeline).SimulateThreads.
+func SimulateThreads(stages []*Program, world *World, iters int, cfg SimConfig) (*ThreadSimResult, error) {
+	return npsim.SimulateThreads(stages, world, iters, cfg)
+}
+
+// DefaultSimConfig returns the IXP2800-flavored simulator configuration.
+//
+// Deprecated: Pipeline.Simulate applies these defaults itself.
+func DefaultSimConfig() SimConfig { return npsim.DefaultConfig() }

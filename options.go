@@ -1,0 +1,228 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/errs"
+	"repro/internal/npsim"
+	"repro/internal/runtime"
+)
+
+// Typed errors every entry point validates against. Match with errors.Is;
+// returned errors wrap these with context.
+var (
+	// ErrNilProgram: a nil compiled program was passed to Analyze/Partition.
+	ErrNilProgram = errs.ErrNilProgram
+	// ErrBadDegree: WithStages outside 1..MaxStages.
+	ErrBadDegree = errs.ErrBadDegree
+	// ErrBadEpsilon: WithEpsilon outside (0, 1].
+	ErrBadEpsilon = errs.ErrBadEpsilon
+	// ErrUnbalanced: no finite balanced cut exists at the requested degree.
+	ErrUnbalanced = errs.ErrUnbalanced
+	// ErrBadBudget: Explore without a positive WithBudget.
+	ErrBadBudget = errs.ErrBadBudget
+	// ErrArchMismatch: options carry a different cost model than the analysis.
+	ErrArchMismatch = errs.ErrArchMismatch
+	// ErrNoStages: an execution path was given an empty stage list.
+	ErrNoStages = errs.ErrNoStages
+	// ErrNilStage: a nil entry in a stage list.
+	ErrNilStage = errs.ErrNilStage
+	// ErrNilWorld: a nil execution environment.
+	ErrNilWorld = errs.ErrNilWorld
+	// ErrNilSource: Serve without a packet source.
+	ErrNilSource = errs.ErrNilSource
+	// ErrBadRing: WithRing capacity below zero.
+	ErrBadRing = errs.ErrBadRing
+	// ErrBadBatch: WithBatch below zero.
+	ErrBadBatch = errs.ErrBadBatch
+	// ErrNotServable: the stage list violates the streaming runtime's
+	// contract (exactly one pkt_rx site; persistent state confined to
+	// single stages).
+	ErrNotServable = errs.ErrNotServable
+)
+
+// MaxStages bounds the accepted pipelining degree.
+const MaxStages = core.MaxStages
+
+// config is the one configuration record behind every entry point. The
+// deprecated Options/ExploreOptions/SimConfig structs each mapped onto a
+// disjoint slice of it; the functional options cover it uniformly (the
+// mapping is tabulated in DESIGN.md). Zero values mean "use the default".
+type config struct {
+	// partitioning
+	stages  int
+	epsilon float64
+	arch    *Arch
+	channel ChannelKind
+	tx      TxMode
+	// exploration
+	budget  int64
+	maxPEs  int
+	workers int
+	// execution (simulate / serve)
+	ringCap int
+	threads int
+	arrival int64
+	iters   int
+	batch   int
+	world   *World
+}
+
+// Option configures any repro entry point. Each option merely records a
+// value; validation happens centrally (against the typed errors above)
+// when the entry point assembles its configuration, so an invalid value
+// surfaces no matter which call style delivered it.
+type Option func(*config)
+
+// SimOption configures Pipeline.Simulate; every Option is accepted.
+type SimOption = Option
+
+// ServeOption configures Pipeline.Serve; every Option is accepted.
+type ServeOption = Option
+
+// WithStages sets the pipelining degree D.
+func WithStages(d int) Option { return func(c *config) { c.stages = d } }
+
+// WithEpsilon sets the balance variance ε of the paper (default 1/16).
+func WithEpsilon(eps float64) Option { return func(c *config) { c.epsilon = eps } }
+
+// WithArch selects the architecture cost model (default DefaultArch).
+func WithArch(a *Arch) Option { return func(c *config) { c.arch = a } }
+
+// WithTxMode selects the live-set transmission strategy (default TxPacked).
+func WithTxMode(m TxMode) Option { return func(c *config) { c.tx = m } }
+
+// WithRing selects the inter-stage ring kind and its capacity; capacity 0
+// keeps the kind's default depth (8 entries for NN rings, 64 for scratch).
+func WithRing(kind ChannelKind, capacity int) Option {
+	return func(c *config) { c.channel, c.ringCap = kind, capacity }
+}
+
+// WithBudget sets the per-packet worst-case budget Explore must meet.
+func WithBudget(b int64) Option { return func(c *config) { c.budget = b } }
+
+// WithMaxPEs bounds the processing engines Explore may use (default 10).
+func WithMaxPEs(n int) Option { return func(c *config) { c.maxPEs = n } }
+
+// WithWorkers bounds the goroutines fanning out independent candidate
+// configurations: 0 selects one per CPU, 1 runs sequentially.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithThreads sets the simulated hardware threads per engine (default 8).
+func WithThreads(n int) Option { return func(c *config) { c.threads = n } }
+
+// WithArrivalInterval sets the simulated gap in cycles between packet
+// arrivals; 0 means saturated arrivals.
+func WithArrivalInterval(cycles int64) Option { return func(c *config) { c.arrival = cycles } }
+
+// WithIterations overrides the iteration count of Run and Simulate, which
+// default to one iteration per input packet.
+func WithIterations(n int) Option { return func(c *config) { c.iters = n } }
+
+// WithBatch sets the iterations carried per serve-path ring entry
+// (default 1); batching amortizes ring synchronization.
+func WithBatch(n int) Option { return func(c *config) { c.batch = n } }
+
+// WithWorld supplies the execution environment (route tables, queues) a
+// served pipeline runs in; the default is an empty NewWorld(nil).
+func WithWorld(w *World) Option { return func(c *config) { c.world = w } }
+
+// WithOptions imports a deprecated Options struct into the functional
+// style, easing migration call site by call site.
+func WithOptions(o Options) Option {
+	return func(c *config) {
+		c.stages, c.epsilon, c.arch, c.channel, c.tx = o.Stages, o.Epsilon, o.Arch, o.Channel, o.Tx
+	}
+}
+
+// validate is the central gate: every entry point funnels its assembled
+// config through here, so each invalid value maps to one typed error
+// regardless of which option (or legacy struct) delivered it.
+func (c *config) validate() error {
+	if c.stages < 0 || c.stages > MaxStages {
+		return fmt.Errorf("repro: %w: %d (want 1..%d)", ErrBadDegree, c.stages, MaxStages)
+	}
+	if c.epsilon < 0 || c.epsilon > 1 {
+		return fmt.Errorf("repro: %w: %g (want (0, 1])", ErrBadEpsilon, c.epsilon)
+	}
+	if c.budget < 0 {
+		return fmt.Errorf("repro: %w: %d", ErrBadBudget, c.budget)
+	}
+	if c.maxPEs < 0 {
+		return fmt.Errorf("repro: %w: max PEs %d", ErrBadDegree, c.maxPEs)
+	}
+	if c.ringCap < 0 {
+		return fmt.Errorf("repro: %w: %d", ErrBadRing, c.ringCap)
+	}
+	if c.batch < 0 {
+		return fmt.Errorf("repro: %w: %d", ErrBadBatch, c.batch)
+	}
+	if c.threads < 0 || c.arrival < 0 || c.iters < 0 {
+		return fmt.Errorf("repro: negative execution parameter (threads %d, arrival %d, iterations %d)",
+			c.threads, c.arrival, c.iters)
+	}
+	return nil
+}
+
+// newConfig assembles and validates a configuration from scratch.
+func newConfig(opts []Option) (config, error) {
+	var c config
+	return c.with(opts)
+}
+
+// with layers opts over a copy of c and re-validates.
+func (c config) with(opts []Option) (config, error) {
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	if err := c.validate(); err != nil {
+		return config{}, err
+	}
+	return c, nil
+}
+
+func (c *config) coreOptions() core.Options {
+	return core.Options{
+		Stages:  c.stages,
+		Epsilon: c.epsilon,
+		Arch:    c.arch,
+		Channel: c.channel,
+		Tx:      c.tx,
+	}
+}
+
+func (c *config) exploreOptions() core.ExploreOptions {
+	return core.ExploreOptions{
+		Budget:  c.budget,
+		MaxPEs:  c.maxPEs,
+		Workers: c.workers,
+		Base:    c.coreOptions(),
+	}
+}
+
+func (c *config) simConfig() npsim.Config {
+	sim := npsim.DefaultConfig()
+	sim.Channel = c.channel
+	if c.arch != nil {
+		sim.Arch = c.arch
+	}
+	if c.ringCap > 0 {
+		sim.RingCapacity = c.ringCap
+	}
+	if c.threads > 0 {
+		sim.ThreadsPerPE = c.threads
+	}
+	sim.ArrivalInterval = c.arrival
+	return sim
+}
+
+func (c *config) serveConfig() runtime.Config {
+	return runtime.Config{
+		Channel:      c.channel,
+		RingCapacity: c.ringCap,
+		Batch:        c.batch,
+	}
+}

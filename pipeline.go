@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/npsim"
+	"repro/internal/runtime"
+)
+
+// Pipeline is the executable product of Partition: the realized stage
+// programs plus the static report, with one method per way to run them —
+// the sequential oracle (Run), the cycle-approximate IXP simulators
+// (Simulate, SimulateThreads), and the concurrent host runtime (Serve).
+// A Pipeline is immutable and safe for concurrent use; each execution
+// method builds its own run state.
+type Pipeline struct {
+	stages []*Program
+	report *Report
+	cfg    config
+}
+
+// newPipeline wraps a core result with the configuration it was cut under,
+// so execution defaults (ring kind, capacities) follow the partition.
+func newPipeline(res *core.Result, cfg config) *Pipeline {
+	return &Pipeline{stages: res.Stages, report: res.Report, cfg: cfg}
+}
+
+// Stages returns the realized per-stage programs, connected by live-set
+// transmissions (OpSendLS/OpRecvLS). The slice and its programs must be
+// treated as read-only.
+func (p *Pipeline) Stages() []*Program { return p.stages }
+
+// Degree returns the pipelining degree D.
+func (p *Pipeline) Degree() int { return len(p.stages) }
+
+// Report returns the static measurement report (per-stage costs, per-cut
+// live sets, speedup and overhead metrics).
+func (p *Pipeline) Report() *Report { return p.report }
+
+// Run executes the pipeline on the sequential oracle: every iteration runs
+// to completion through all stages before the next begins, which preserves
+// the sequential trace order exactly. It runs one iteration per input
+// packet of world (override with WithIterations) and returns the
+// observable trace. Cancellation is checked between iterations.
+func (p *Pipeline) Run(ctx context.Context, world *World, opts ...Option) ([]Event, error) {
+	cfg, err := p.cfg.with(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.stages) == 0 {
+		return nil, ErrNoStages
+	}
+	if world == nil {
+		return nil, ErrNilWorld
+	}
+	iters := cfg.iters
+	if iters == 0 {
+		iters = len(world.Packets)
+	}
+	runners := interp.NewStageRunners(p.stages, world)
+	ictx := interp.NewIterCtx()
+	for i := 0; i < iters; i++ {
+		if err := ctx.Err(); err != nil {
+			return world.Trace, err
+		}
+		var slots []int64
+		for k, r := range runners {
+			out, err := r.RunIteration(ictx, slots)
+			if err != nil {
+				return nil, fmt.Errorf("iteration %d, stage %d: %w", i, k, err)
+			}
+			slots = out
+		}
+		ictx.Reset()
+	}
+	return world.Trace, nil
+}
+
+// Simulate runs the pipeline on the cycle-approximate IXP-style simulator
+// (one engine per stage, hardware rings between neighbors), measuring
+// predicted throughput alongside behaviour. It simulates one iteration per
+// input packet of world (override with WithIterations); the simulation
+// itself is bounded and not interruptible, so ctx is only checked on entry.
+func (p *Pipeline) Simulate(ctx context.Context, world *World, opts ...SimOption) (*SimResult, error) {
+	cfg, iters, err := p.simRun(ctx, world, opts)
+	if err != nil {
+		return nil, err
+	}
+	return npsim.Simulate(p.stages, world, iters, cfg.simConfig())
+}
+
+// SimulateThreads runs the fine-grained thread-level simulator: every
+// hardware thread of every engine is modeled explicitly, so memory latency
+// hiding is directly observable. Iteration semantics match Simulate.
+func (p *Pipeline) SimulateThreads(ctx context.Context, world *World, opts ...SimOption) (*ThreadSimResult, error) {
+	cfg, iters, err := p.simRun(ctx, world, opts)
+	if err != nil {
+		return nil, err
+	}
+	return npsim.SimulateThreads(p.stages, world, iters, cfg.simConfig())
+}
+
+func (p *Pipeline) simRun(ctx context.Context, world *World, opts []Option) (config, int, error) {
+	cfg, err := p.cfg.with(opts)
+	if err != nil {
+		return config{}, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return config{}, 0, err
+	}
+	if world == nil {
+		return config{}, 0, ErrNilWorld
+	}
+	iters := cfg.iters
+	if iters == 0 {
+		iters = len(world.Packets)
+	}
+	return cfg, iters, nil
+}
+
+// Serve runs the pipeline on the host-native streaming runtime: one
+// goroutine per stage, bounded rings (WithRing) between neighbors, batched
+// transmissions (WithBatch), serving src until it is exhausted or ctx is
+// canceled. The environment (route tables, queues) comes from WithWorld.
+// The returned Metrics carry measured throughput, per-stage counters, and
+// the observable trace in exact sequential-oracle order.
+func (p *Pipeline) Serve(ctx context.Context, src Source, opts ...ServeOption) (*Metrics, error) {
+	cfg, err := p.cfg.with(opts)
+	if err != nil {
+		return nil, err
+	}
+	world := cfg.world
+	if world == nil {
+		world = NewWorld(nil)
+	}
+	return runtime.Serve(ctx, p.stages, world, src, cfg.serveConfig())
+}

@@ -2,15 +2,32 @@
 // Partitioning Packet Processing Applications for Pipelined Architectures"
 // (Dai, Huang, Li, Harrison — PLDI 2005): a compiler that transforms a
 // sequential packet processing stage (PPS) into D coordinated pipeline
-// stages for an IXP-style network processor, selecting balanced
-// minimum-cost cuts on a flow-network model of the program and realizing
-// each stage with minimal, packed, unified live-set transmission.
+// stages, selecting balanced minimum-cost cuts on a flow-network model of
+// the program and realizing each stage with minimal, packed, unified
+// live-set transmission — plus the machinery to run the result: a
+// sequential oracle, two cycle-approximate IXP simulators, and a
+// host-native streaming runtime that serves real packet streams with one
+// goroutine per stage.
 //
 // The typical flow:
 //
-//	prog, err := repro.Compile(src)            // PPC source -> IR
-//	res, err := repro.Partition(prog, repro.Options{Stages: 4})
-//	trace, err := repro.RunPipeline(res.Stages, repro.NewWorld(packets), n)
+//	prog, err := repro.Compile(src)                       // PPC source -> IR
+//	pipe, err := repro.Partition(prog, repro.WithStages(4))
+//	metrics, err := pipe.Serve(ctx, repro.PacketSource(packets))
+//
+// Partition returns a *Pipeline handle. Its methods cover the three ways
+// to execute a partitioned program:
+//
+//	pipe.Run(ctx, world)        // sequential oracle (trace correctness)
+//	pipe.Simulate(ctx, world)   // cycle-approximate IXP model (predicted timing)
+//	pipe.Serve(ctx, source)     // concurrent host runtime (measured throughput)
+//
+// Callers evaluating many configurations of one program should Analyze
+// once and Partition per configuration; see Analysis. Configuration is
+// uniform functional options (WithStages, WithTxMode, WithRing, ...)
+// validated centrally against typed errors (ErrBadDegree, ErrUnbalanced,
+// ...); see options.go and DESIGN.md for the mapping from the deprecated
+// struct-based config styles.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured results.
@@ -23,20 +40,18 @@ import (
 	"repro/internal/ir"
 	"repro/internal/npsim"
 	"repro/internal/ppc"
+	"repro/internal/runtime"
 )
 
 // Program is a compiled PPS: the one-iteration loop body plus its arrays.
 type Program = ir.Program
 
-// Options configures the pipelining transformation.
-type Options = core.Options
-
-// Result holds the realized pipeline stages and the measurement report.
-type Result = core.Result
-
 // Report aggregates per-stage costs, per-cut live sets, and the paper's
 // speedup/overhead metrics.
 type Report = core.Report
+
+// PathCost is a worst-case path cost (processing + transmission).
+type PathCost = core.PathCost
 
 // TxMode selects the live-set transmission strategy.
 type TxMode = core.TxMode
@@ -67,11 +82,31 @@ type World = interp.World
 // Event is one observable action (trace, send, drop).
 type Event = interp.Event
 
-// SimConfig configures the cycle-approximate network-processor simulator.
-type SimConfig = npsim.Config
-
 // SimResult reports simulated pipeline timing.
 type SimResult = npsim.Result
+
+// ThreadSimResult reports thread-level simulated timing.
+type ThreadSimResult = npsim.ThreadSimResult
+
+// Metrics is the serve-path snapshot: measured throughput, the observable
+// trace in sequential order, and per-stage counters.
+type Metrics = runtime.Metrics
+
+// StageStats are one stage's serve-path counters.
+type StageStats = runtime.StageStats
+
+// Source supplies the packet stream a served pipeline consumes.
+type Source = runtime.Source
+
+// PacketSource returns a Source that replays pkts once, in order.
+func PacketSource(pkts [][]byte) Source { return runtime.Packets(pkts) }
+
+// RepeatSource cycles through pkts until total packets have been served —
+// a saturated-arrivals load generator.
+func RepeatSource(pkts [][]byte, total int) Source { return runtime.Repeat(pkts, total) }
+
+// SourceFunc adapts a closure to the Source interface.
+func SourceFunc(f func() ([]byte, bool)) Source { return runtime.SourceFunc(f) }
 
 // Compile parses PPC source and lowers it to IR.
 func Compile(src string) (*Program, error) { return ppc.Compile(src) }
@@ -79,74 +114,110 @@ func Compile(src string) (*Program, error) { return ppc.Compile(src) }
 // MustCompile is Compile for known-good sources; it panics on error.
 func MustCompile(src string) *Program { return ppc.MustCompile(src) }
 
-// Partition applies the automatic pipelining transformation.
-func Partition(prog *Program, opts Options) (*Result, error) {
-	return core.Partition(prog, opts)
-}
-
-// Analysis is the reusable degree-independent half of the compiler: build
-// it once with Analyze, then cut any number of configurations — sequentially
-// or from concurrent goroutines — with (*Analysis).Partition.
-type Analysis = core.Analysis
-
-// Analyze runs the degree-independent analysis phase (SSA, dependence
-// graph, SCC condensation, flow-network skeleton) on a compiled PPS. A nil
-// arch selects DefaultArch().
-func Analyze(prog *Program, arch *Arch) (*Analysis, error) {
-	return core.Analyze(prog, arch)
-}
-
-// ExploreOptions configures Explore.
-type ExploreOptions = core.ExploreOptions
-
-// ExploreResult is Explore's selected configuration.
-type ExploreResult = core.ExploreResult
-
-// Explore selects the smallest pipelining degree whose statically
-// guaranteed worst-case stage cost meets a per-packet budget — the
-// compiler-driver behaviour the paper sketches in section 2.2.
-func Explore(prog *Program, opts ExploreOptions) (*ExploreResult, error) {
-	return core.Explore(prog, opts)
-}
-
 // DefaultArch returns the IXP2800-flavored cost model.
 func DefaultArch() *Arch { return costmodel.Default() }
 
 // NewWorld builds an execution environment over an input packet stream.
 func NewWorld(packets [][]byte) *World { return interp.NewWorld(packets) }
 
-// RunSequential executes iters iterations of a program and returns its
-// observable trace.
-func RunSequential(prog *Program, world *World, iters int) ([]Event, error) {
-	return interp.RunSequential(prog, world, iters)
-}
-
-// RunPipeline executes iters iterations through partitioned stages
-// (run-to-completion per iteration; the correctness oracle for Partition).
-func RunPipeline(stages []*Program, world *World, iters int) ([]Event, error) {
-	return interp.RunPipeline(stages, world, iters)
-}
-
 // TraceEqual compares two traces, returning a description of the first
 // difference or "".
 func TraceEqual(a, b []Event) string { return interp.TraceEqual(a, b) }
 
-// Simulate runs the pipeline on the cycle-approximate IXP-style simulator,
-// measuring throughput alongside behaviour.
-func Simulate(stages []*Program, world *World, iters int, cfg SimConfig) (*SimResult, error) {
-	return npsim.Simulate(stages, world, iters, cfg)
+// Partition applies the automatic pipelining transformation and returns
+// the executable Pipeline handle:
+//
+//	pipe, err := repro.Partition(prog, repro.WithStages(4), repro.WithTxMode(repro.TxPacked))
+//
+// Partition is the one-shot convenience path; callers cutting several
+// configurations of one program should Analyze once and call
+// (*Analysis).Partition per configuration.
+func Partition(prog *Program, opts ...Option) (*Pipeline, error) {
+	a, err := Analyze(prog, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return a.Partition(opts...)
 }
 
-// DefaultSimConfig returns the IXP2800-flavored simulator configuration.
-func DefaultSimConfig() SimConfig { return npsim.DefaultConfig() }
+// Analysis is the reusable degree-independent half of the compiler: build
+// it once with Analyze, then cut any number of configurations — sequentially
+// or from concurrent goroutines — with Partition, or sweep degrees against
+// a budget with Explore.
+type Analysis struct {
+	a   *core.Analysis
+	cfg config // analysis-time defaults inherited by each cut
+}
 
-// ThreadSimResult reports thread-level simulated timing.
-type ThreadSimResult = npsim.ThreadSimResult
+// Analyze runs the degree-independent analysis phase (SSA, dependence
+// graph, SCC condensation, flow-network skeleton) on a compiled PPS. Only
+// WithArch matters here; per-cut options are given to Partition.
+func Analyze(prog *Program, opts ...Option) (*Analysis, error) {
+	cfg, err := newConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Analyze(prog, cfg.arch)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{a: a, cfg: cfg}, nil
+}
 
-// SimulateThreads runs the fine-grained simulator: every hardware thread
-// of every engine is modeled explicitly, so memory latency hiding (the
-// IXP's reason for choosing instruction count as the balance weight) is
-// directly observable.
-func SimulateThreads(stages []*Program, world *World, iters int, cfg SimConfig) (*ThreadSimResult, error) {
-	return npsim.SimulateThreads(stages, world, iters, cfg)
+// Arch returns the cost model the analysis is bound to.
+func (a *Analysis) Arch() *Arch { return a.a.Arch() }
+
+// Seq returns the worst-case path cost of the unpartitioned program.
+func (a *Analysis) Seq() PathCost { return a.a.Seq() }
+
+// Partition cuts one configuration from the analysis. It never mutates the
+// Analysis, so any number of Partition calls may run concurrently on one
+// receiver, each returning a deterministic Pipeline.
+func (a *Analysis) Partition(opts ...Option) (*Pipeline, error) {
+	cfg, err := a.cfg.with(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.a.Partition(cfg.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return newPipeline(res, cfg), nil
+}
+
+// Exploration is the outcome of a budget-driven degree search.
+type Exploration struct {
+	// Degree is the selected pipelining degree (number of PEs used).
+	Degree int
+	// Met reports whether the budget is statically guaranteed; when false,
+	// Pipeline is the best (lowest worst-case stage cost) candidate found.
+	Met bool
+	// Pipeline is the selected configuration, ready to run.
+	Pipeline *Pipeline
+	// Candidates records the longest-stage cost at every degree examined.
+	Candidates []CandidateCost
+}
+
+// CandidateCost is one explored configuration.
+type CandidateCost = core.CandidateCost
+
+// Explore selects the smallest pipelining degree whose statically
+// guaranteed worst-case stage cost meets a per-packet budget (WithBudget,
+// required) — the compiler-driver behaviour the paper sketches in §2.2.
+// WithMaxPEs bounds the search and WithWorkers fans candidates out.
+func (a *Analysis) Explore(opts ...Option) (*Exploration, error) {
+	cfg, err := a.cfg.with(opts)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := a.a.Explore(cfg.exploreOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Exploration{
+		Degree:     ex.Degree,
+		Met:        ex.Met,
+		Pipeline:   newPipeline(ex.Result, cfg),
+		Candidates: ex.Candidates,
+	}, nil
 }

@@ -1,7 +1,11 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -14,42 +18,240 @@ const facadeSrc = `pps Demo { loop {
 	pkt_send(x & 3);
 } }`
 
+func testPackets(n int) [][]byte {
+	packets := make([][]byte, n)
+	for i := range packets {
+		packets[i] = []byte{byte(i), byte(i >> 8), byte(i * 3)}
+	}
+	return packets
+}
+
 func TestFacadeEndToEnd(t *testing.T) {
 	prog, err := repro.Compile(facadeSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := repro.Partition(prog, repro.Options{Stages: 3})
+	pipe, err := repro.Partition(prog, repro.WithStages(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Stages) != 3 {
-		t.Fatalf("got %d stages", len(res.Stages))
+	if pipe.Degree() != 3 || len(pipe.Stages()) != 3 {
+		t.Fatalf("got %d stages", pipe.Degree())
 	}
 	packets := [][]byte{{1, 2}, {3}, {4, 5, 6}}
 	seq, err := repro.RunSequential(prog, repro.NewWorld(packets), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pipe, err := repro.RunPipeline(res.Stages, repro.NewWorld(packets), 3)
+	got, err := pipe.Run(context.Background(), repro.NewWorld(packets))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diff := repro.TraceEqual(seq, pipe); diff != "" {
+	if diff := repro.TraceEqual(seq, got); diff != "" {
 		t.Fatal(diff)
 	}
-	if res.Report.Speedup <= 0 {
+	if pipe.Report().Speedup <= 0 {
 		t.Error("missing speedup in report")
+	}
+}
+
+// TestServeEndToEnd is the full product path: compile -> analyze ->
+// partition -> serve a 10k-packet stream on the concurrent host runtime,
+// then check the metrics and the trace against the sequential oracle.
+func TestServeEndToEnd(t *testing.T) {
+	prog, err := repro.Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := repro.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := a.Partition(repro.WithStages(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10000
+	packets := testPackets(n)
+	seq, err := repro.RunSequential(prog.Clone(), repro.NewWorld(packets), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := pipe.Serve(context.Background(), repro.PacketSource(packets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Packets != n {
+		t.Fatalf("served %d packets, want %d", m.Packets, n)
+	}
+	if diff := repro.TraceEqual(seq, m.Trace); diff != "" {
+		t.Fatalf("serve diverged from the sequential oracle: %s", diff)
+	}
+	if len(m.Stages) != 4 {
+		t.Fatalf("metrics cover %d stages, want 4", len(m.Stages))
+	}
+	for _, s := range m.Stages {
+		if s.In != n || s.Out != n {
+			t.Errorf("stage %d: in=%d out=%d, want %d/%d", s.Stage, s.In, s.Out, n, n)
+		}
+	}
+	if m.Elapsed <= 0 || m.PacketsPerSecond() <= 0 {
+		t.Errorf("throughput not measured: elapsed=%v pps=%f", m.Elapsed, m.PacketsPerSecond())
+	}
+}
+
+// TestServeCancelNoLeak cancels an endless serve mid-stream and asserts the
+// stage goroutines drain (run under -race in CI).
+func TestServeCancelNoLeak(t *testing.T) {
+	prog := repro.MustCompile(facadeSrc)
+	pipe, err := repro.Partition(prog, repro.WithStages(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := 0
+	src := repro.SourceFunc(func() ([]byte, bool) {
+		served++
+		if served == 500 {
+			cancel()
+		}
+		return []byte{byte(served)}, true // endless
+	})
+	m, err := pipe.Serve(ctx, src)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m == nil || m.Packets == 0 {
+		t.Fatal("cancellation should still return partial metrics")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked after cancel: %d > %d", g, before)
+	}
+}
+
+// TestNilInputs pins the typed errors every entry point returns instead of
+// panicking on nil inputs.
+func TestNilInputs(t *testing.T) {
+	if _, err := repro.Partition(nil, repro.WithStages(2)); !errors.Is(err, repro.ErrNilProgram) {
+		t.Errorf("Partition(nil) err = %v, want ErrNilProgram", err)
+	}
+	if _, err := repro.Analyze(nil); !errors.Is(err, repro.ErrNilProgram) {
+		t.Errorf("Analyze(nil) err = %v, want ErrNilProgram", err)
+	}
+	if _, err := repro.RunSequential(nil, repro.NewWorld(nil), 1); !errors.Is(err, repro.ErrNilProgram) {
+		t.Errorf("RunSequential(nil) err = %v, want ErrNilProgram", err)
+	}
+	if _, err := repro.Simulate(nil, repro.NewWorld(nil), 1, repro.DefaultSimConfig()); !errors.Is(err, repro.ErrNoStages) {
+		t.Errorf("Simulate(nil stages) err = %v, want ErrNoStages", err)
+	}
+	if _, err := repro.SimulateThreads([]*repro.Program{nil}, repro.NewWorld(nil), 1, repro.DefaultSimConfig()); !errors.Is(err, repro.ErrNilStage) {
+		t.Errorf("SimulateThreads([nil]) err = %v, want ErrNilStage", err)
+	}
+
+	prog := repro.MustCompile(facadeSrc)
+	pipe, err := repro.Partition(prog, repro.WithStages(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := pipe.Run(ctx, nil); !errors.Is(err, repro.ErrNilWorld) {
+		t.Errorf("Run(nil world) err = %v, want ErrNilWorld", err)
+	}
+	if _, err := pipe.Simulate(ctx, nil); !errors.Is(err, repro.ErrNilWorld) {
+		t.Errorf("Simulate(nil world) err = %v, want ErrNilWorld", err)
+	}
+	if _, err := pipe.Serve(ctx, nil); !errors.Is(err, repro.ErrNilSource) {
+		t.Errorf("Serve(nil source) err = %v, want ErrNilSource", err)
+	}
+}
+
+// TestOptionValidation pins the typed errors of the central validator, no
+// matter which entry point receives the bad value.
+func TestOptionValidation(t *testing.T) {
+	prog := repro.MustCompile(facadeSrc)
+	cases := []struct {
+		name string
+		opt  repro.Option
+		want error
+	}{
+		{"negative degree", repro.WithStages(-1), repro.ErrBadDegree},
+		{"huge degree", repro.WithStages(repro.MaxStages + 1), repro.ErrBadDegree},
+		{"bad epsilon", repro.WithEpsilon(1.5), repro.ErrBadEpsilon},
+		{"negative ring", repro.WithRing(repro.NNRing, -2), repro.ErrBadRing},
+		{"negative batch", repro.WithBatch(-1), repro.ErrBadBatch},
+		{"negative budget", repro.WithBudget(-5), repro.ErrBadBudget},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := repro.Partition(prog, tc.opt); !errors.Is(err, tc.want) {
+				t.Errorf("Partition err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// The same bad value through a Pipeline method hits the same validator.
+	pipe, err := repro.Partition(prog, repro.WithStages(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Serve(context.Background(), repro.PacketSource(testPackets(1)), repro.WithBatch(-3)); !errors.Is(err, repro.ErrBadBatch) {
+		t.Errorf("Serve(WithBatch(-3)) err = %v, want ErrBadBatch", err)
+	}
+	// An unmeetable balance constraint surfaces as ErrUnbalanced.
+	if _, err := repro.Partition(prog, repro.WithStages(40)); err != nil && !errors.Is(err, repro.ErrUnbalanced) {
+		t.Errorf("over-partitioning err = %v, want ErrUnbalanced (or success)", err)
+	}
+}
+
+// TestDeprecatedSurface keeps the pre-Pipeline API compiling and behaving:
+// the struct-configured wrappers must agree with the option-configured path.
+func TestDeprecatedSurface(t *testing.T) {
+	prog := repro.MustCompile(facadeSrc)
+	old, err := repro.PartitionResult(prog, repro.Options{Stages: 3, Tx: repro.TxPacked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := repro.Partition(prog, repro.WithOptions(repro.Options{Stages: 3, Tx: repro.TxPacked}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.Stages) != pipe.Degree() {
+		t.Fatalf("struct path cut %d stages, option path %d", len(old.Stages), pipe.Degree())
+	}
+	if old.Report.Speedup != pipe.Report().Speedup {
+		t.Errorf("reports disagree: %v vs %v", old.Report.Speedup, pipe.Report().Speedup)
+	}
+
+	packets := testPackets(6)
+	seq, err := repro.RunSequential(prog, repro.NewWorld(packets), len(packets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repro.RunPipeline(old.Stages, repro.NewWorld(packets), len(packets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := repro.TraceEqual(seq, got); diff != "" {
+		t.Fatal(diff)
 	}
 }
 
 func TestFacadeSimulator(t *testing.T) {
 	prog := repro.MustCompile(facadeSrc)
-	res, err := repro.Partition(prog, repro.Options{Stages: 2, Channel: repro.ScratchRing, Tx: repro.TxPacked})
+	pipe, err := repro.Partition(prog,
+		repro.WithStages(2), repro.WithRing(repro.ScratchRing, 0), repro.WithTxMode(repro.TxPacked))
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := repro.Simulate(res.Stages, repro.NewWorld([][]byte{{1}, {2}, {3}, {4}}), 4, repro.DefaultSimConfig())
+	sim, err := pipe.Simulate(context.Background(), repro.NewWorld([][]byte{{1}, {2}, {3}, {4}}))
 	if err != nil {
 		t.Fatal(err)
 	}

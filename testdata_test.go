@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -49,15 +50,15 @@ func TestTestdataPrograms(t *testing.T) {
 				t.Fatal("sample program produced no observable events")
 			}
 			for _, d := range []int{2, 4, 8} {
-				res, err := repro.Partition(prog, repro.Options{Stages: d})
+				pipe, err := repro.Partition(prog, repro.WithStages(d))
 				if err != nil {
 					t.Fatalf("D=%d: %v", d, err)
 				}
-				pipe, err := repro.RunPipeline(res.Stages, repro.NewWorld(packets), len(packets))
+				got, err := pipe.Run(context.Background(), repro.NewWorld(packets))
 				if err != nil {
 					t.Fatalf("D=%d: %v", d, err)
 				}
-				if diff := repro.TraceEqual(seq, pipe); diff != "" {
+				if diff := repro.TraceEqual(seq, got); diff != "" {
 					t.Fatalf("D=%d: %s", d, diff)
 				}
 			}
