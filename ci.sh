@@ -26,6 +26,17 @@ go vet ./...
 echo "== go test -race ./internal/runtime/..."
 go test -race ./internal/runtime/...
 
+echo "== chaos gate: go test -race -count=2 -run TestChaos ./internal/runtime"
+# The deterministic fault schedules must produce identical accounting on
+# repeated race-enabled runs; -count=2 defeats the test cache.
+go test -race -count=2 -run TestChaos ./internal/runtime
+
+echo "== fuzz smoke: 10s of FuzzServeVsOracle"
+# Differential fuzzing of the streaming runtime against the sequential
+# oracle; the checked-in corpus under internal/runtime/testdata/fuzz seeds
+# the mutator.
+go test ./internal/runtime -run '^$' -fuzz=FuzzServeVsOracle -fuzztime=10s
+
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim|serve] [-j N] [-json FILE]
+//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim|serve|chaos] [-j N] [-json FILE]
 //
 // Every PPS is analyzed once and the independent (PPS × degree) and
 // ablation configurations are measured on -j worker goroutines (0, the
@@ -14,9 +14,11 @@
 //
 // -experiment serve measures the host-native streaming runtime (wall-clock
 // packets per second through goroutine pipelines); -json FILE additionally
-// writes those points as JSON (CI emits BENCH_serve.json this way). serve
-// is excluded from -experiment all because its timing output is inherently
-// not byte-stable, while all's tables are.
+// writes those points as JSON (CI emits BENCH_serve.json this way).
+// -experiment chaos sweeps the runtime's fault-injection layer, reporting
+// delivery accounting and surviving throughput versus injected fault rate.
+// Both are excluded from -experiment all because their timing output is
+// inherently not byte-stable, while all's tables are.
 package main
 
 import (
@@ -139,19 +141,19 @@ func main() {
 		fmt.Println()
 		return nil
 	})
-	// serve is opt-in only: unlike every table above, it prints measured
-	// wall-clock throughput, which would break the byte-identity invariant
-	// of `-experiment all` output.
-	runServe := func(fn func() error) {
-		if *which != "serve" {
+	// serve and chaos are opt-in only: unlike every table above, they print
+	// measured wall-clock throughput, which would break the byte-identity
+	// invariant of `-experiment all` output.
+	runTimed := func(name string, fn func() error) {
+		if *which != name {
 			return
 		}
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "pipebench serve: %v\n", err)
+			fmt.Fprintf(os.Stderr, "pipebench %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
-	runServe(func() error {
+	runTimed("serve", func() error {
 		fmt.Println("Host runtime throughput (IPv4 PPS, goroutine-per-stage serve)")
 		pts, err := experiments.ServeThroughput("IPv4", []int{1, 2, 4, 8}, []int{1, 32}, *servePkts)
 		if err != nil {
@@ -160,6 +162,33 @@ func main() {
 		for _, p := range pts {
 			fmt.Printf("  %d stage(s), batch %2d: %12.0f pkt/s  (%.2fx vs sequential)\n",
 				p.Degree, p.Batch, p.PktPerS, p.Speedup)
+		}
+		fmt.Println()
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(pts, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+	runTimed("chaos", func() error {
+		fmt.Println("Graceful degradation under injected faults (IPv4 PPS, 4 stages)")
+		pts, err := experiments.ChaosResilience("IPv4", 4, []int64{0, 100, 20, 10, 5}, *servePkts)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			label := "clean"
+			if p.Every > 0 {
+				label = fmt.Sprintf("%4.1f%% faults", p.FaultPct)
+			}
+			fmt.Printf("  %-12s delivered %7d/%7d  quarantined %6d  retries %4d  %12.0f pkt/s (%.2fx of clean)\n",
+				label, p.Delivered, p.Packets, p.Quarantined, p.Retries, p.PktPerS, p.Relative)
 		}
 		fmt.Println()
 		if *jsonOut != "" {

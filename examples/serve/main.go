@@ -61,6 +61,39 @@ func main() {
 		fmt.Printf("  stage %d: in %6d  out %6d  ring-full stalls %6d  mean occupancy %.2f  %5.0f ns/iter\n",
 			s.Stage, s.In, s.Out, s.Stalls, s.MeanOccupancy(), s.NsPerIteration())
 	}
+
+	// Second act: the same pipeline under fire. A deterministic fault plan
+	// poisons every 500th source packet, panics inside stage 2 every 777th
+	// iteration, and injects a transient fault the retry budget absorbs;
+	// the degrade overload policy keeps delivery lossless if a ring ever
+	// saturates. The run succeeds — faulted packets are quarantined, the
+	// rest are delivered, and the FaultReport accounts for every packet.
+	fm, err := pipe.Serve(ctx, repro.RepeatSource(traffic, packets),
+		repro.WithWorld(netbench.NewWorld(nil)),
+		repro.WithOverload(repro.OverloadDegrade),
+		repro.WithRetry(2, 10*time.Microsecond),
+		repro.WithFaults(&repro.FaultPlan{Injections: []repro.FaultInjection{
+			{Kind: repro.FaultPoison, Every: 500},
+			{Kind: repro.FaultPanic, Stage: 2, Every: 777},
+			{Kind: repro.FaultTransient, Stage: 3, At: 42, Count: 2},
+		}}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := fm.Faults
+	fmt.Printf("\nunder injected faults: %d pulled, %d delivered, %d quarantined, %d retries (%.0f pkt/s)\n",
+		fm.Stages[0].In, rep.Delivered, rep.Quarantined, rep.Retries, fm.PacketsPerSecond())
+	if rep.Accounted() != fm.Stages[0].In {
+		log.Fatalf("accounting hole: %d of %d packets accounted", rep.Accounted(), fm.Stages[0].In)
+	}
+	fmt.Printf("first fault records:\n")
+	for i, rec := range rep.Records {
+		if i == 5 {
+			fmt.Printf("  ... %d more\n", len(rep.Records)-i)
+			break
+		}
+		fmt.Printf("  iter %-6d stage %d  %-11s %s\n", rec.Iter, rec.Stage, rec.Disposition, rec.Reason)
+	}
 }
 
 // repeatTo cycles pkts into a stream of exactly n packets.

@@ -54,4 +54,51 @@ var (
 	// stream) and each persistent channel (queues, persistent arrays) must
 	// be confined to a single stage.
 	ErrNotServable = errors.New("pipeline not servable")
+
+	// ErrBadThreads reports a negative simulated-thread count.
+	ErrBadThreads = errors.New("bad thread count")
+
+	// ErrBadArrival reports a negative simulated arrival interval.
+	ErrBadArrival = errors.New("bad arrival interval")
+
+	// ErrBadIterations reports a negative iteration override.
+	ErrBadIterations = errors.New("bad iteration count")
+
+	// ErrBadPolicy reports an unknown overload policy value.
+	ErrBadPolicy = errors.New("bad overload policy")
+
+	// ErrBadWatermark reports a negative overload watermark.
+	ErrBadWatermark = errors.New("bad overload watermark")
+
+	// ErrBadDeadline reports a negative per-stage deadline.
+	ErrBadDeadline = errors.New("bad stage deadline")
+
+	// ErrBadRetry reports a negative retry count or backoff.
+	ErrBadRetry = errors.New("bad retry configuration")
+
+	// ErrConflictingOptions reports a combination of individually valid
+	// options that contradict each other (an overload watermark under the
+	// blocking policy, a retry backoff with retries disabled, a serve batch
+	// larger than the ring it must fit through).
+	ErrConflictingOptions = errors.New("conflicting options")
+
+	// ErrBadFaultPlan reports a fault-injection plan that names a stage
+	// outside the pipeline, an unknown fault kind, or a negative trigger.
+	ErrBadFaultPlan = errors.New("bad fault plan")
+
+	// ErrStagePanic reports a panic recovered inside a stage body; the
+	// offending packet is quarantined and the pipeline keeps serving.
+	ErrStagePanic = errors.New("stage panic")
+
+	// ErrPoisonPacket reports a malformed (poisoned) packet detected at the
+	// source and quarantined before entering the pipeline.
+	ErrPoisonPacket = errors.New("poison packet")
+
+	// ErrStageDeadline reports an iteration that exceeded the per-stage
+	// deadline; the packet is quarantined.
+	ErrStageDeadline = errors.New("stage deadline exceeded")
+
+	// ErrTransientFault reports an injected transient stage fault; the
+	// runtime retries with backoff and quarantines on exhaustion.
+	ErrTransientFault = errors.New("transient stage fault")
 )

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netbench"
+	"repro/internal/runtime"
+	"repro/internal/runtime/fault"
+)
+
+// ChaosPoint is one graceful-degradation measurement: the PPS served under
+// an injected fault cadence, reporting the loss accounting alongside the
+// throughput that survived the faults.
+type ChaosPoint struct {
+	PPS         string  `json:"pps"`
+	Degree      int     `json:"degree"`
+	Every       int64   `json:"fault_every"` // 0: clean baseline
+	FaultPct    float64 `json:"fault_pct"`   // injected faults per 100 packets
+	Packets     int64   `json:"packets"`     // pulled from the source
+	Delivered   int64   `json:"delivered"`
+	Quarantined int64   `json:"quarantined"`
+	Retries     int64   `json:"retries"`
+	PktPerS     float64 `json:"pkt_per_s"`
+	// Relative is throughput relative to the clean baseline of the sweep.
+	Relative float64 `json:"relative_to_clean"`
+}
+
+// ChaosResilience sweeps the serve runtime's fault tolerance: the named PPS
+// is partitioned degree ways and served packets packets per point, injecting
+// a poison packet and a stage panic every cadence iterations (cadence 0 is
+// the clean baseline). Transient faults are retried once; every run must
+// account for 100% of its packets (delivered + quarantined — nothing is
+// shed, the overload policy stays lossless) or the sweep fails.
+func ChaosResilience(name string, degree int, cadences []int64, packets int) ([]ChaosPoint, error) {
+	pps, ok := netbench.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown PPS %q", name)
+	}
+	prog, err := pps.Compile()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Partition(prog, core.Options{Stages: degree})
+	if err != nil {
+		return nil, err
+	}
+	traffic := pps.Traffic(256)
+
+	var pts []ChaosPoint
+	var clean float64
+	for _, every := range cadences {
+		cfg := runtime.Config{
+			Retry:        1,
+			RetryBackoff: 10 * time.Microsecond,
+		}
+		if every > 0 {
+			// Offset cadences: Every-triggers share phase (both fire when
+			// (iter+1) divides the cadence), and a poisoned packet never
+			// reaches the panic stage, so equal cadences would shadow the
+			// panic entirely.
+			cfg.Faults = &fault.Plan{Injections: []fault.Injection{
+				{Kind: fault.Poison, Every: every},
+				{Kind: fault.Panic, Stage: 1 + degree/2, Every: every + 1},
+			}}
+		}
+		m, err := runtime.Serve(context.Background(), res.Stages, netbench.NewWorld(nil),
+			runtime.Repeat(traffic, packets), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s D=%d every=%d: %w", name, degree, every, err)
+		}
+		rep := m.Faults
+		if pulled := m.Stages[0].In; rep.Accounted() != pulled {
+			return nil, fmt.Errorf("%s D=%d every=%d: accounted %d of %d packets",
+				name, degree, every, rep.Accounted(), pulled)
+		}
+		p := ChaosPoint{
+			PPS:         name,
+			Degree:      degree,
+			Every:       every,
+			Packets:     m.Stages[0].In,
+			Delivered:   rep.Delivered,
+			Quarantined: rep.Quarantined,
+			Retries:     rep.Retries,
+			PktPerS:     m.PacketsPerSecond(),
+		}
+		if every > 0 {
+			p.FaultPct = 100.0/float64(every) + 100.0/float64(every+1)
+		}
+		if every == 0 {
+			clean = p.PktPerS
+		}
+		if clean > 0 {
+			p.Relative = p.PktPerS / clean
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}

@@ -1,0 +1,75 @@
+package runtime_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ppc"
+	"repro/internal/randprog"
+	"repro/internal/runtime"
+)
+
+// FuzzServeVsOracle is the differential-fuzz half of the harness: the fuzz
+// input seeds the random-program generator, the generated program is
+// partitioned and served concurrently, and the streaming trace must be
+// byte-identical to the sequential oracle's. Inputs that do not yield a
+// servable pipeline (no single pkt_rx pacing site, or an unpartitionable
+// shape at the probed degree) are skipped rather than failed, mirroring the
+// grammar-fuzzer convention in internal/ppc.
+func FuzzServeVsOracle(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		prog, err := ppc.Compile(src)
+		if err != nil {
+			t.Skipf("seed %d: not compilable: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		packets := make([][]byte, 3+rng.Intn(4))
+		for i := range packets {
+			p := make([]byte, rng.Intn(16))
+			rng.Read(p)
+			packets[i] = p
+		}
+		iters := len(packets)
+
+		seq, err := interp.RunSequential(prog.Clone(), interp.NewWorld(packets), iters)
+		if err != nil {
+			t.Skipf("seed %d: oracle rejects program: %v", seed, err)
+		}
+		for _, d := range []int{2, 4} {
+			res, err := core.Partition(prog, core.Options{Stages: d})
+			if err != nil {
+				continue // not partitionable at this degree
+			}
+			if runtime.Validate(res.Stages) != nil {
+				continue // not servable (e.g. no pkt_rx pacing point)
+			}
+			for _, batch := range []int{1, 2} {
+				cfg := runtime.DefaultConfig()
+				cfg.Batch = batch
+				m, err := runtime.Serve(context.Background(), res.Stages, interp.NewWorld(nil),
+					runtime.Packets(packets), cfg)
+				if err != nil {
+					t.Fatalf("seed %d D=%d batch=%d: serve: %v\n%s", seed, d, batch, err, src)
+				}
+				if m.Packets != int64(iters) {
+					t.Fatalf("seed %d D=%d batch=%d: served %d packets, want %d\n%s",
+						seed, d, batch, m.Packets, iters, src)
+				}
+				if diff := interp.TraceEqual(seq, m.Trace); diff != "" {
+					t.Fatalf("seed %d D=%d batch=%d: trace diverges from oracle: %s\nsource:\n%s",
+						seed, d, batch, diff, src)
+				}
+				if rep := m.Faults; rep.Accounted() != m.Stages[0].In {
+					t.Fatalf("seed %d D=%d batch=%d: accounting hole: %s", seed, d, batch, rep)
+				}
+			}
+		}
+	})
+}

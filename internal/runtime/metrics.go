@@ -21,11 +21,82 @@ type StageStats struct {
 	// Stalls counts ring-full backpressure events: sends that found the
 	// outgoing ring at capacity and had to wait for the consumer.
 	Stalls int64
+	// Shed counts packets this stage dropped under the OverloadShed
+	// policy; Degraded counts packets it short-circuited under
+	// OverloadDegrade; Quarantined counts packets it removed from the
+	// pipeline after a panic, a poison detection, a blown deadline, or an
+	// exhausted retry budget; Retries counts transient-fault re-executions.
+	Shed, Degraded, Quarantined, Retries int64
 	// Busy is the time spent executing iterations (the ns/stage counter),
 	// excluding ring waits.
 	Busy time.Duration
 	// occupancy sampling of the inbound ring, taken at each receive.
 	occSum, occSamples int64
+	// recs are this stage's fault records, merged into the FaultReport
+	// after the final join.
+	recs []FaultRecord
+}
+
+// maxFaultRecords bounds the per-stage record list so a pathological run
+// (every packet shed) cannot grow memory without bound; the counters keep
+// exact totals past the cap.
+const maxFaultRecords = 4096
+
+// record appends a fault record, respecting the cap.
+func (s *StageStats) record(r FaultRecord) {
+	if len(s.recs) < maxFaultRecords {
+		s.recs = append(s.recs, r)
+	}
+}
+
+// FaultRecord describes the fate of one packet that did not complete the
+// pipeline normally (or, for "degraded", completed it short-circuited).
+type FaultRecord struct {
+	// Iter is the packet's iteration index (assigned at the head stage in
+	// source order, 0-based).
+	Iter int64
+	// Stage is the 1-based stage at which the disposition happened.
+	Stage int
+	// Disposition is "shed", "degraded", or "quarantined".
+	Disposition string
+	// Reason is a human-readable cause; for quarantines it embeds the
+	// sentinel error text (errs.ErrStagePanic, errs.ErrPoisonPacket, ...).
+	Reason string
+}
+
+// FaultReport is the serve run's loss accounting: every packet pulled from
+// the source is either delivered at the sink, shed under overload, or
+// quarantined by the recovery machinery — Delivered + Shed + Quarantined
+// equals the head stage's In count on every drained run. Degraded packets
+// are a subset of Delivered.
+type FaultReport struct {
+	Delivered   int64
+	Degraded    int64
+	Shed        int64
+	Quarantined int64
+	Retries     int64
+	// Records lists the affected packets in iteration order (capped at
+	// maxFaultRecords per stage; the counters above are always exact).
+	Records []FaultRecord
+}
+
+// Accounted is Delivered + Shed + Quarantined: the packets whose fate is
+// known. On a fully drained run it equals the packets pulled from the
+// source; after a mid-stream cancel, in-flight packets are discarded
+// unaccounted.
+func (r *FaultReport) Accounted() int64 { return r.Delivered + r.Shed + r.Quarantined }
+
+// String renders the report deterministically — counters first, then the
+// records in iteration order — which is what the golden-fixture tests
+// diff against.
+func (r *FaultReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "delivered %d (degraded %d)  shed %d  quarantined %d  retries %d\n",
+		r.Delivered, r.Degraded, r.Shed, r.Quarantined, r.Retries)
+	for _, rec := range r.Records {
+		fmt.Fprintf(&b, "  iter %-4d stage %d  %-11s %s\n", rec.Iter, rec.Stage, rec.Disposition, rec.Reason)
+	}
+	return b.String()
 }
 
 // MeanOccupancy is the average inbound-ring occupancy (entries queued
@@ -58,6 +129,10 @@ type Metrics struct {
 	// Trace is the observable event stream, merged from the per-iteration
 	// buffers in iteration order — byte-identical to the sequential oracle.
 	Trace []interp.Event
+	// Faults is the run's loss accounting (always non-nil): delivered,
+	// shed, quarantined, degraded and retried packets, with per-packet
+	// records. On a clean run every counter except Delivered is zero.
+	Faults *FaultReport
 }
 
 // PacketsPerSecond is the end-to-end throughput of the run.
@@ -76,6 +151,9 @@ func (m *Metrics) String() string {
 	for _, s := range m.Stages {
 		fmt.Fprintf(&b, "  stage %d: in %d out %d  stalls %d  busy %v  occ %.2f\n",
 			s.Stage, s.In, s.Out, s.Stalls, s.Busy.Round(time.Microsecond), s.MeanOccupancy())
+	}
+	if f := m.Faults; f != nil && f.Shed+f.Quarantined+f.Degraded+f.Retries > 0 {
+		fmt.Fprintf(&b, "  faults: %s", f.String())
 	}
 	return b.String()
 }

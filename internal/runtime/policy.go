@@ -1,0 +1,46 @@
+package runtime
+
+import "repro/internal/costmodel"
+
+// OverloadPolicy decides what a stage does when its outgoing ring stays
+// saturated past the configured watermark.
+type OverloadPolicy uint8
+
+const (
+	// OverloadBlock is the default: the producer waits for ring space,
+	// exerting backpressure all the way to the source (lossless).
+	OverloadBlock OverloadPolicy = iota
+	// OverloadShed drops the blocked batch: its packets are counted and
+	// recorded as shed, and the producer moves on. Head-of-line blocking
+	// never propagates upstream; throughput is preserved at the cost of
+	// losing packets under overload.
+	OverloadShed
+	// OverloadDegrade short-circuits the blocked batch: its packets are
+	// marked degraded and forwarded, and every later stage passes them
+	// through without executing, so the backlog drains at ring speed.
+	// Degraded packets are delivered with partial processing (the stages
+	// up to and including the marking stage ran; the rest did not).
+	OverloadDegrade
+)
+
+func (p OverloadPolicy) String() string {
+	switch p {
+	case OverloadBlock:
+		return "block"
+	case OverloadShed:
+		return "shed"
+	case OverloadDegrade:
+		return "degrade"
+	}
+	return "?"
+}
+
+// DefaultRingCapacity is the per-ring entry count selected when the
+// configuration leaves RingCapacity at 0: nearest-neighbor rings are small
+// on-chip buffers, scratch rings are deeper.
+func DefaultRingCapacity(ch costmodel.ChannelKind) int {
+	if ch == costmodel.ScratchRing {
+		return 64
+	}
+	return 8
+}

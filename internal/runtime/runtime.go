@@ -27,7 +27,9 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -35,6 +37,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/runtime/fault"
 )
 
 // Config shapes the streaming executor.
@@ -49,19 +52,43 @@ type Config struct {
 	// Batch is the number of iterations carried per ring entry; batching
 	// amortizes ring synchronization over several packets. 0 means 1.
 	Batch int
+
+	// Overload selects what a producer does when its outgoing ring stays
+	// saturated past the watermark: block (default, lossless), shed, or
+	// degrade. See OverloadPolicy.
+	Overload OverloadPolicy
+	// Watermark is how long a ring must stay saturated before a shedding
+	// policy engages, counted in failed re-probe ticks of 200µs each. 0
+	// selects the default (4 ticks). Setting it under OverloadBlock is a
+	// configuration conflict: the blocking policy never consults it.
+	Watermark int
+	// StageDeadline, when positive, bounds one iteration's execution at
+	// one stage (injected stalls included); a blown deadline quarantines
+	// the packet with errs.ErrStageDeadline. The check is cooperative —
+	// a stall that already exceeded the deadline quarantines before the
+	// stage body runs, so persistent state stays untouched.
+	StageDeadline time.Duration
+	// Retry bounds re-executions of an iteration that failed with a
+	// transient fault (errs.ErrTransientFault); RetryBackoff is the first
+	// inter-attempt sleep, doubling per retry. Exhausting the budget
+	// quarantines the packet. Transient faults fire before the stage body,
+	// so a retry never re-applies persistent side effects.
+	Retry        int
+	RetryBackoff time.Duration
+	// Faults is the deterministic fault-injection schedule (nil: none).
+	Faults *fault.Plan
 }
 
 // DefaultConfig returns the nearest-neighbor-ring configuration.
 func DefaultConfig() Config { return Config{Channel: costmodel.NNRing} }
 
-// defaultRingCapacity mirrors the relative depths of the IXP's channel
-// kinds: registers buffer little, scratch memory buffers more.
-func defaultRingCapacity(ch costmodel.ChannelKind) int {
-	if ch == costmodel.ScratchRing {
-		return 64
-	}
-	return 8
-}
+// overloadTick is the re-probe interval of a saturated ring under a
+// shedding policy; Watermark counts these.
+const overloadTick = 200 * time.Microsecond
+
+// defaultWatermark is the saturation tolerance when a shedding policy is
+// selected without an explicit watermark.
+const defaultWatermark = 4
 
 func (c Config) validate() error {
 	if c.RingCapacity < 0 {
@@ -70,15 +97,51 @@ func (c Config) validate() error {
 	if c.Batch < 0 {
 		return fmt.Errorf("%w: %d", errs.ErrBadBatch, c.Batch)
 	}
+	if c.Overload > OverloadDegrade {
+		return fmt.Errorf("%w: %d", errs.ErrBadPolicy, c.Overload)
+	}
+	if c.Watermark < 0 {
+		return fmt.Errorf("%w: %d", errs.ErrBadWatermark, c.Watermark)
+	}
+	if c.StageDeadline < 0 {
+		return fmt.Errorf("%w: %v", errs.ErrBadDeadline, c.StageDeadline)
+	}
+	if c.Retry < 0 || c.RetryBackoff < 0 {
+		return fmt.Errorf("%w: retry %d, backoff %v", errs.ErrBadRetry, c.Retry, c.RetryBackoff)
+	}
+	if c.Watermark > 0 && c.Overload == OverloadBlock {
+		return fmt.Errorf("%w: overload watermark %d set, but the blocking policy never sheds",
+			errs.ErrConflictingOptions, c.Watermark)
+	}
+	if c.RetryBackoff > 0 && c.Retry == 0 {
+		return fmt.Errorf("%w: retry backoff %v set, but retries are disabled",
+			errs.ErrConflictingOptions, c.RetryBackoff)
+	}
+	if c.Overload != OverloadBlock {
+		// Under a shedding policy the batch is the shed unit; a batch
+		// bigger than the whole ring would let one overload event drop
+		// more than a ring's worth of packets at once.
+		ringCap := c.RingCapacity
+		if ringCap == 0 {
+			ringCap = DefaultRingCapacity(c.Channel)
+		}
+		if c.Batch > ringCap {
+			return fmt.Errorf("%w: batch %d exceeds ring capacity %d under the %v policy",
+				errs.ErrConflictingOptions, c.Batch, ringCap, c.Overload)
+		}
+	}
 	return nil
 }
 
 func (c Config) withDefaults() Config {
 	if c.RingCapacity == 0 {
-		c.RingCapacity = defaultRingCapacity(c.Channel)
+		c.RingCapacity = DefaultRingCapacity(c.Channel)
 	}
 	if c.Batch == 0 {
 		c.Batch = 1
+	}
+	if c.Watermark == 0 && c.Overload != OverloadBlock {
+		c.Watermark = defaultWatermark
 	}
 	return c
 }
@@ -143,10 +206,16 @@ func Validate(stages []*ir.Program) error {
 
 // token carries one in-flight iteration: its context (packet, metadata,
 // locals, buffered events) and the live-set slots realized for the next
-// cut, exactly as OpSendLS packed them.
+// cut, exactly as OpSendLS packed them. iter is the packet's source-order
+// index (assigned at the head, 0-based), the key every fault-injection
+// trigger and fault record is expressed in. degradedAt, when non-zero, is
+// the 1-based stage from which processing is short-circuited: stages with
+// index >= degradedAt pass the token through without executing it.
 type token struct {
-	ctx   *interp.IterCtx
-	slots []int64
+	ctx        *interp.IterCtx
+	slots      []int64
+	iter       int64
+	degradedAt int
 }
 
 // engine is the per-Serve state shared by the stage goroutines.
@@ -158,6 +227,7 @@ type engine struct {
 	runners []*interp.Runner
 	rings   []chan []*token
 	m       *Metrics
+	inj     *fault.Injector
 
 	tokPool   sync.Pool
 	batchPool sync.Pool
@@ -182,6 +252,8 @@ func (e *engine) getToken() *token {
 func (e *engine) putToken(t *token) {
 	t.ctx.Reset()
 	t.slots = nil
+	t.iter = 0
+	t.degradedAt = 0
 	e.tokPool.Put(t)
 }
 
@@ -194,20 +266,173 @@ func (e *engine) putBatch(b []*token) {
 }
 
 // send forwards a batch on out, counting a stall when the ring is full.
-// It returns false when the run was canceled mid-wait.
-func (e *engine) send(out chan []*token, b []*token, st *StageStats) bool {
+// Under OverloadBlock it waits for space (backpressure); under a shedding
+// policy it re-probes the saturated ring for Watermark ticks and then
+// engages the policy — dropping the batch (Shed) or marking it degraded
+// and forwarding it for pass-through delivery (Degrade). It returns false
+// when the run was canceled mid-wait.
+func (e *engine) send(out chan []*token, b []*token, st *StageStats, k int) bool {
+	if e.inj != nil {
+		e.inj.BeforeSend(e.ictx, k+1, b[0].iter)
+	}
 	select {
 	case out <- b:
+		st.Out += int64(len(b))
+		return true
 	default:
-		st.Stalls++
+	}
+	st.Stalls++
+	if e.cfg.Overload == OverloadBlock {
 		select {
 		case out <- b:
 		case <-e.ictx.Done():
 			return false
 		}
+		st.Out += int64(len(b))
+		return true
 	}
-	st.Out += int64(len(b))
-	return true
+	for probe := 0; probe < e.cfg.Watermark; probe++ {
+		tick := time.NewTimer(overloadTick)
+		select {
+		case out <- b:
+			tick.Stop()
+			st.Out += int64(len(b))
+			return true
+		case <-e.ictx.Done():
+			tick.Stop()
+			return false
+		case <-tick.C:
+		}
+	}
+	// The ring stayed saturated past the watermark: engage the policy.
+	switch e.cfg.Overload {
+	case OverloadShed:
+		n := int64(len(b))
+		for _, t := range b {
+			st.record(FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "shed", Reason: "ring saturated past watermark"})
+			e.putToken(t)
+		}
+		st.Shed += n
+		e.putBatch(b)
+		e.inj.NoteOverload(n)
+		return true
+	default: // OverloadDegrade
+		var n int64
+		for _, t := range b {
+			if t.degradedAt == 0 {
+				t.degradedAt = k + 2
+				st.Degraded++
+				st.record(FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "degraded", Reason: "ring saturated past watermark"})
+				n++
+			}
+		}
+		// Release overload gates before the blocking put: a chaos schedule
+		// may hold the consumer until this degradation is observed.
+		e.inj.NoteOverload(n)
+		select {
+		case out <- b:
+		case <-e.ictx.Done():
+			return false
+		}
+		st.Out += int64(len(b))
+		return true
+	}
+}
+
+// tokOutcome is the fate of one iteration at one stage.
+type tokOutcome uint8
+
+const (
+	tokOK          tokOutcome = iota // executed; token continues
+	tokQuarantined                   // removed from the pipeline, recorded
+	tokFatal                         // unrecoverable runtime error; abort the serve
+)
+
+// runToken executes one iteration at stage k (0-based) with the full
+// recovery machinery: injected faults, panic recovery, the per-stage
+// deadline, and bounded retry with exponential backoff for transient
+// faults. Quarantined tokens are recorded and recycled; their buffered
+// events never reach the trace.
+func (e *engine) runToken(k int, run *interp.Runner, t *token, st *StageStats) tokOutcome {
+	backoff := e.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := e.execOnce(k, run, t)
+		if err == nil {
+			return tokOK
+		}
+		var fatal *fatalError
+		if errors.As(err, &fatal) {
+			e.fail(fmt.Errorf("stage %d: %w", k+1, fatal.err))
+			e.putToken(t)
+			return tokFatal
+		}
+		if errors.Is(err, errs.ErrTransientFault) && attempt < e.cfg.Retry {
+			st.Retries++
+			if backoff > 0 {
+				sleepCtx(e.ictx, backoff)
+				backoff *= 2
+			}
+			continue
+		}
+		st.Quarantined++
+		st.record(FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "quarantined", Reason: err.Error()})
+		e.putToken(t)
+		return tokQuarantined
+	}
+}
+
+// fatalError wraps interpreter errors that must abort the whole serve (a
+// malformed stage program, a step-limit blowout) rather than quarantine
+// one packet; runToken unwraps it for the engine's first-error slot.
+type fatalError struct{ err error }
+
+func (f *fatalError) Error() string { return f.err.Error() }
+func (f *fatalError) Unwrap() error { return f.err }
+
+// execOnce is one execution attempt: fault hooks, the stage body, and the
+// deadline check, under a recover that converts any panic — injected or
+// genuine — into a quarantinable errs.ErrStagePanic.
+func (e *engine) execOnce(k int, run *interp.Runner, t *token) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", errs.ErrStagePanic, r)
+		}
+	}()
+	var start time.Time
+	deadline := e.cfg.StageDeadline
+	if deadline > 0 {
+		start = time.Now()
+	}
+	if e.inj != nil {
+		if ferr := e.inj.BeforeStage(e.ictx, k+1, t.iter); ferr != nil {
+			return ferr
+		}
+		if deadline > 0 && time.Since(start) > deadline {
+			// The injected stall alone blew the deadline: quarantine before
+			// the body runs, leaving persistent state untouched.
+			return fmt.Errorf("%w: stage %d stalled past the %v deadline",
+				errs.ErrStageDeadline, k+1, deadline)
+		}
+	}
+	sent, rerr := run.RunIteration(t.ctx, t.slots)
+	if rerr != nil {
+		return &fatalError{err: rerr}
+	}
+	t.slots = sent
+	if deadline > 0 && time.Since(start) > deadline {
+		return fmt.Errorf("%w: stage %d exceeded the %v deadline", errs.ErrStageDeadline, k+1, deadline)
+	}
+	return nil
+}
+
+// sleepCtx sleeps for d or until the run is canceled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
 }
 
 // retire merges a finished batch's events into the trace in iteration
@@ -225,6 +450,9 @@ func (e *engine) retire(b []*token, st *StageStats) {
 // head is the stage-1 goroutine: it paces the pipeline by pulling one
 // packet per iteration from the Source, executes the first stage, and
 // forwards batches downstream (or retires them directly when D == 1).
+// Poisoned packets are quarantined here, before a token is even built; the
+// head's In counter tallies every packet pulled from the source, which is
+// the total the FaultReport accounting is reconciled against.
 func (e *engine) head() {
 	st := &e.m.Stages[0]
 	run := e.runners[0]
@@ -233,6 +461,7 @@ func (e *engine) head() {
 		out = e.rings[0]
 		defer close(out)
 	}
+	var iter int64
 	for {
 		select {
 		case <-e.ictx.Done():
@@ -241,36 +470,49 @@ func (e *engine) head() {
 		}
 		// Pull and execute up to one batch of iterations.
 		b := e.getBatch()
+		srcDone := false
 		t0 := time.Now()
 		for len(b) < e.cfg.Batch {
 			p, ok := e.src.Next()
 			if !ok {
+				srcDone = true
 				break
 			}
+			i := iter
+			iter++
+			st.In++
+			if e.inj != nil {
+				if bad, poisoned := e.inj.AtSource(i, p); poisoned {
+					st.Quarantined++
+					st.record(FaultRecord{Iter: i, Stage: 1, Disposition: "quarantined",
+						Reason: fmt.Sprintf("%v: %d malformed bytes at source", errs.ErrPoisonPacket, len(bad))})
+					continue
+				}
+			}
 			t := e.getToken()
+			t.iter = i
 			t.ctx.Pending, t.ctx.HasPending = p, true
-			sent, err := run.RunIteration(t.ctx, nil)
-			if err != nil {
+			switch e.runToken(0, run, t, st) {
+			case tokOK:
+				b = append(b, t)
+			case tokQuarantined:
+				continue
+			case tokFatal:
 				st.Busy += time.Since(t0)
-				e.fail(fmt.Errorf("stage 1: %w", err))
 				return
 			}
-			t.slots = sent
-			b = append(b, t)
 		}
 		st.Busy += time.Since(t0)
-		st.In += int64(len(b))
-		exhausted := len(b) < e.cfg.Batch
 		if len(b) > 0 {
 			if out == nil {
 				e.retire(b, st)
-			} else if !e.send(out, b, st) {
+			} else if !e.send(out, b, st, 0) {
 				return
 			}
 		} else {
 			e.putBatch(b)
 		}
-		if exhausted {
+		if srcDone {
 			return
 		}
 	}
@@ -278,7 +520,8 @@ func (e *engine) head() {
 
 // stage is the goroutine for stages 2..D: receive a batch, run each
 // iteration with the live-set slots its predecessor packed, and forward
-// (or retire, at the sink).
+// (or retire, at the sink). Degraded tokens pass through without
+// executing; quarantined tokens are compacted out of the batch.
 func (e *engine) stage(k int) {
 	st := &e.m.Stages[k]
 	run := e.runners[k]
@@ -301,21 +544,32 @@ func (e *engine) stage(k int) {
 		}
 		st.occSum += int64(len(in))
 		st.occSamples++
+		st.In += int64(len(b))
 		t0 := time.Now()
+		keep := b[:0]
 		for _, t := range b {
-			sent, err := run.RunIteration(t.ctx, t.slots)
-			if err != nil {
+			if t.degradedAt > 0 && k+1 >= t.degradedAt {
+				keep = append(keep, t)
+				continue
+			}
+			switch e.runToken(k, run, t, st) {
+			case tokOK:
+				keep = append(keep, t)
+			case tokQuarantined:
+			case tokFatal:
 				st.Busy += time.Since(t0)
-				e.fail(fmt.Errorf("stage %d: %w", k+1, err))
 				return
 			}
-			t.slots = sent
 		}
+		b = keep
 		st.Busy += time.Since(t0)
-		st.In += int64(len(b))
+		if len(b) == 0 {
+			e.putBatch(b)
+			continue
+		}
 		if out == nil {
 			e.retire(b, st)
-		} else if !e.send(out, b, st) {
+		} else if !e.send(out, b, st, k) {
 			return
 		}
 	}
@@ -348,6 +602,9 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 	cfg = cfg.withDefaults()
 
 	D := len(stages)
+	if err := cfg.Faults.Validate(D); err != nil {
+		return nil, err
+	}
 	runners := interp.NewStageRunners(stages, world)
 	for _, r := range runners {
 		r.RxFromCtx = true
@@ -363,6 +620,7 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 		runners: runners,
 		rings:   make([]chan []*token, D-1),
 		m:       &Metrics{Stages: make([]StageStats, D)},
+		inj:     fault.NewInjector(cfg.Faults, D),
 	}
 	e.tokPool.New = func() any { return &token{ctx: interp.NewIterCtx()} }
 	e.batchPool.New = func() any { return make([]*token, 0, cfg.Batch) }
@@ -389,6 +647,7 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 	}
 	wg.Wait()
 	e.m.Elapsed = time.Since(start)
+	e.m.Faults = e.faultReport()
 
 	if e.firstErr != nil {
 		return nil, e.firstErr
@@ -398,4 +657,27 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 	}
 	world.Trace = append(world.Trace, e.m.Trace...)
 	return e.m, nil
+}
+
+// faultReport flushes the per-stage quarantine/shed accounting into one
+// report, after the final join — the drain path runs it on cancellation
+// too, so partially-served runs still account for every fault they took.
+func (e *engine) faultReport() *FaultReport {
+	rep := &FaultReport{Delivered: e.m.Packets}
+	for k := range e.m.Stages {
+		s := &e.m.Stages[k]
+		rep.Degraded += s.Degraded
+		rep.Shed += s.Shed
+		rep.Quarantined += s.Quarantined
+		rep.Retries += s.Retries
+		rep.Records = append(rep.Records, s.recs...)
+	}
+	sort.Slice(rep.Records, func(i, j int) bool {
+		a, b := rep.Records[i], rep.Records[j]
+		if a.Iter != b.Iter {
+			return a.Iter < b.Iter
+		}
+		return a.Stage < b.Stage
+	})
+	return rep
 }

@@ -2,11 +2,13 @@ package repro
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/errs"
 	"repro/internal/npsim"
 	"repro/internal/runtime"
+	"repro/internal/runtime/fault"
 )
 
 // Typed errors every entry point validates against. Match with errors.Is;
@@ -40,6 +42,38 @@ var (
 	// contract (exactly one pkt_rx site; persistent state confined to
 	// single stages).
 	ErrNotServable = errs.ErrNotServable
+	// ErrBadThreads: WithThreads below zero.
+	ErrBadThreads = errs.ErrBadThreads
+	// ErrBadArrival: WithArrivalInterval below zero.
+	ErrBadArrival = errs.ErrBadArrival
+	// ErrBadIterations: WithIterations below zero.
+	ErrBadIterations = errs.ErrBadIterations
+	// ErrBadPolicy: WithOverload outside Block/Shed/Degrade.
+	ErrBadPolicy = errs.ErrBadPolicy
+	// ErrBadWatermark: WithWatermark below zero.
+	ErrBadWatermark = errs.ErrBadWatermark
+	// ErrBadDeadline: WithDeadline below zero.
+	ErrBadDeadline = errs.ErrBadDeadline
+	// ErrBadRetry: WithRetry count or backoff below zero.
+	ErrBadRetry = errs.ErrBadRetry
+	// ErrConflictingOptions: individually valid options that contradict
+	// each other (a watermark under the blocking policy, a retry backoff
+	// with retries disabled, a batch larger than the ring under a
+	// shedding policy).
+	ErrConflictingOptions = errs.ErrConflictingOptions
+	// ErrBadFaultPlan: WithFaults carrying an out-of-range stage, unknown
+	// kind, or negative trigger.
+	ErrBadFaultPlan = errs.ErrBadFaultPlan
+	// ErrStagePanic: a panic recovered inside a stage body quarantined the
+	// offending packet (reported via FaultReport, not returned by Serve).
+	ErrStagePanic = errs.ErrStagePanic
+	// ErrPoisonPacket: a malformed packet was quarantined at the source.
+	ErrPoisonPacket = errs.ErrPoisonPacket
+	// ErrStageDeadline: an iteration exceeded the per-stage deadline.
+	ErrStageDeadline = errs.ErrStageDeadline
+	// ErrTransientFault: an injected transient fault (retried, then
+	// quarantined on exhaustion).
+	ErrTransientFault = errs.ErrTransientFault
 )
 
 // MaxStages bounds the accepted pipelining degree.
@@ -67,6 +101,13 @@ type config struct {
 	iters   int
 	batch   int
 	world   *World
+	// robustness (serve)
+	overload     OverloadPolicy
+	watermark    int
+	deadline     time.Duration
+	retry        int
+	retryBackoff time.Duration
+	faults       *FaultPlan
 }
 
 // Option configures any repro entry point. Each option merely records a
@@ -128,6 +169,34 @@ func WithBatch(n int) Option { return func(c *config) { c.batch = n } }
 // served pipeline runs in; the default is an empty NewWorld(nil).
 func WithWorld(w *World) Option { return func(c *config) { c.world = w } }
 
+// WithOverload selects the serve-path overload policy: OverloadBlock
+// (default — lossless backpressure), OverloadShed (drop batches when a
+// ring stays saturated past the watermark), or OverloadDegrade
+// (short-circuit them: delivered with later stages skipped).
+func WithOverload(p OverloadPolicy) Option { return func(c *config) { c.overload = p } }
+
+// WithWatermark sets how long a ring must stay saturated before the
+// overload policy engages, in 200µs re-probe ticks (default 4). Only
+// meaningful under OverloadShed/OverloadDegrade; combining it with the
+// blocking policy is rejected as ErrConflictingOptions.
+func WithWatermark(ticks int) Option { return func(c *config) { c.watermark = ticks } }
+
+// WithDeadline bounds one iteration's execution at one stage; a blown
+// deadline quarantines the packet (errs.ErrStageDeadline) instead of
+// stalling the pipeline.
+func WithDeadline(d time.Duration) Option { return func(c *config) { c.deadline = d } }
+
+// WithRetry bounds re-executions of transient stage faults: up to n
+// retries, sleeping backoff before the first and doubling per attempt.
+// Packets whose fault outlives the budget are quarantined.
+func WithRetry(n int, backoff time.Duration) Option {
+	return func(c *config) { c.retry, c.retryBackoff = n, backoff }
+}
+
+// WithFaults installs a deterministic fault-injection plan for Serve —
+// the chaos-testing seam. Nil clears it.
+func WithFaults(p *FaultPlan) Option { return func(c *config) { c.faults = p } }
+
 // WithOptions imports a deprecated Options struct into the functional
 // style, easing migration call site by call site.
 func WithOptions(o Options) Option {
@@ -158,9 +227,47 @@ func (c *config) validate() error {
 	if c.batch < 0 {
 		return fmt.Errorf("repro: %w: %d", ErrBadBatch, c.batch)
 	}
-	if c.threads < 0 || c.arrival < 0 || c.iters < 0 {
-		return fmt.Errorf("repro: negative execution parameter (threads %d, arrival %d, iterations %d)",
-			c.threads, c.arrival, c.iters)
+	if c.threads < 0 {
+		return fmt.Errorf("repro: %w: %d", ErrBadThreads, c.threads)
+	}
+	if c.arrival < 0 {
+		return fmt.Errorf("repro: %w: %d", ErrBadArrival, c.arrival)
+	}
+	if c.iters < 0 {
+		return fmt.Errorf("repro: %w: %d", ErrBadIterations, c.iters)
+	}
+	if c.overload > OverloadDegrade {
+		return fmt.Errorf("repro: %w: %d", ErrBadPolicy, c.overload)
+	}
+	if c.watermark < 0 {
+		return fmt.Errorf("repro: %w: %d", ErrBadWatermark, c.watermark)
+	}
+	if c.deadline < 0 {
+		return fmt.Errorf("repro: %w: %v", ErrBadDeadline, c.deadline)
+	}
+	if c.retry < 0 || c.retryBackoff < 0 {
+		return fmt.Errorf("repro: %w: retry %d, backoff %v", ErrBadRetry, c.retry, c.retryBackoff)
+	}
+	if c.watermark > 0 && c.overload == OverloadBlock {
+		return fmt.Errorf("repro: %w: overload watermark %d set, but the blocking policy never sheds",
+			ErrConflictingOptions, c.watermark)
+	}
+	if c.retryBackoff > 0 && c.retry == 0 {
+		return fmt.Errorf("repro: %w: retry backoff %v set, but retries are disabled",
+			ErrConflictingOptions, c.retryBackoff)
+	}
+	if c.overload != OverloadBlock {
+		ringCap := c.ringCap
+		if ringCap == 0 {
+			ringCap = runtime.DefaultRingCapacity(c.channel)
+		}
+		if c.batch > ringCap {
+			return fmt.Errorf("repro: %w: batch %d exceeds ring capacity %d under the %v policy",
+				ErrConflictingOptions, c.batch, ringCap, c.overload)
+		}
+	}
+	if err := c.faults.Validate(MaxStages); err != nil {
+		return fmt.Errorf("repro: %w", err)
 	}
 	return nil
 }
@@ -221,8 +328,57 @@ func (c *config) simConfig() npsim.Config {
 
 func (c *config) serveConfig() runtime.Config {
 	return runtime.Config{
-		Channel:      c.channel,
-		RingCapacity: c.ringCap,
-		Batch:        c.batch,
+		Channel:       c.channel,
+		RingCapacity:  c.ringCap,
+		Batch:         c.batch,
+		Overload:      c.overload,
+		Watermark:     c.watermark,
+		StageDeadline: c.deadline,
+		Retry:         c.retry,
+		RetryBackoff:  c.retryBackoff,
+		Faults:        c.faults,
 	}
 }
+
+// FaultPlan is a deterministic fault-injection schedule for the serve
+// runtime; see repro/internal/runtime/fault.
+type FaultPlan = fault.Plan
+
+// FaultInjection is one scheduled fault of a FaultPlan.
+type FaultInjection = fault.Injection
+
+// FaultKind classifies an injected fault.
+type FaultKind = fault.Kind
+
+// The injectable fault kinds.
+const (
+	FaultStall     = fault.Stall
+	FaultDelay     = fault.Delay
+	FaultPoison    = fault.Poison
+	FaultPanic     = fault.Panic
+	FaultTransient = fault.Transient
+)
+
+// SeededFaults derives a small random fault plan from a seed — the
+// randomized half of the chaos harness.
+func SeededFaults(seed int64, stages int, horizon int64) *FaultPlan {
+	return fault.Seeded(seed, stages, horizon)
+}
+
+// OverloadPolicy decides what a saturated ring does to the packets that
+// cannot enter it; see WithOverload.
+type OverloadPolicy = runtime.OverloadPolicy
+
+// The overload policies.
+const (
+	OverloadBlock   = runtime.OverloadBlock
+	OverloadShed    = runtime.OverloadShed
+	OverloadDegrade = runtime.OverloadDegrade
+)
+
+// FaultReport is the serve run's loss accounting (Metrics.Faults).
+type FaultReport = runtime.FaultReport
+
+// FaultRecord describes the fate of one shed, degraded, or quarantined
+// packet.
+type FaultRecord = runtime.FaultRecord
