@@ -1,7 +1,7 @@
 #!/bin/sh
 # ci.sh — the repository's check gate. Run before committing:
 #
-#   ./ci.sh          # format + vet + race-enabled tests + serve benchmark
+#   ./ci.sh          # format + vet + doc gate + race-enabled tests + serve benchmark
 #   ./ci.sh -short   # same, skipping the long sweeps
 #
 # The race detector matters here twice over: the partition engine shares one
@@ -22,6 +22,11 @@ fi
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== doc gate: go run ./internal/doccheck"
+# Every exported symbol must carry a doc comment and every package-level
+# Go snippet in README.md must compile against the current API.
+go run ./internal/doccheck
 
 echo "== go test -race ./internal/runtime/..."
 go test -race ./internal/runtime/...

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim|serve|chaos] [-j N] [-json FILE]
+//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim|serve|chaos|profile] [-j N] [-json FILE]
 //
 // Every PPS is analyzed once and the independent (PPS × degree) and
 // ablation configurations are measured on -j worker goroutines (0, the
@@ -17,8 +17,12 @@
 // writes those points as JSON (CI emits BENCH_serve.json this way).
 // -experiment chaos sweeps the runtime's fault-injection layer, reporting
 // delivery accounting and surviving throughput versus injected fault rate.
-// Both are excluded from -experiment all because their timing output is
-// inherently not byte-stable, while all's tables are.
+// -experiment profile serves with the observability layer fully attached
+// and prints a per-stage attribution table: measured host time (execute /
+// ring-wait / transmit) beside the cost model's predicted balance, the
+// table an operator reads to decide which knob to turn (see DESIGN.md §8).
+// All three are excluded from -experiment all because their timing output
+// is inherently not byte-stable, while all's tables are.
 package main
 
 import (
@@ -166,6 +170,28 @@ func main() {
 		fmt.Println()
 		if *jsonOut != "" {
 			data, err := json.MarshalIndent(pts, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+	runTimed("profile", func() error {
+		var results []*experiments.ProfileResult
+		for _, d := range []int{2, 4, 8} {
+			r, err := experiments.Profile("IPv4", d, 32, *servePkts)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+			fmt.Println(experiments.ProfileTable(r))
+		}
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(results, "", "  ")
 			if err != nil {
 				return err
 			}

@@ -22,12 +22,26 @@
 //	             traces
 //	-serve N     stream N zero-filled 48-byte packets through the
 //	             goroutine-per-stage host runtime and print its metrics
+//
+// Observability of the -serve run (see DESIGN.md §8):
+//
+//	-trace FILE    write the run's per-stage span timeline as Chrome
+//	               trace_event JSON (load at chrome://tracing), and print
+//	               an ASCII rendering of the same timeline
+//	-metrics ADDR  expose the live metrics registry over HTTP while the
+//	               run is in flight (GET /metrics for JSON, /debug/vars
+//	               for expvar) and print the final registry after
+//	-obs-log DUR   emit a periodic progress line to stderr every DUR
+//	               (for example -obs-log 500ms)
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"repro"
@@ -45,6 +59,9 @@ func main() {
 	ast := flag.Bool("ast", false, "print the canonically formatted source and exit")
 	verify := flag.Int("verify", 0, "verify behaviour over N iterations")
 	serve := flag.Int("serve", 0, "stream N packets through the host runtime")
+	traceOut := flag.String("trace", "", "write the -serve span timeline to this file as Chrome trace_event JSON")
+	metricsAddr := flag.String("metrics", "", "expose the -serve metrics registry over HTTP on this address (e.g. :8080)")
+	obsLog := flag.Duration("obs-log", 0, "emit a periodic -serve progress line to stderr at this interval")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -142,11 +159,58 @@ func main() {
 		fmt.Printf("verification passed: %d iterations, %d events\n", *verify, len(seq))
 	}
 	if *serve > 0 {
-		m, err := pipe.Serve(context.Background(), repro.PacketSource(testPackets(*serve)))
+		obs := &repro.Observer{}
+		var reg *repro.Registry
+		var tr *repro.Tracer
+		if *traceOut != "" {
+			tr = repro.NewTracer(0)
+			obs.Tracer = tr
+		}
+		if *metricsAddr != "" {
+			reg = repro.NewRegistry()
+			obs.Registry = reg
+			reg.Publish("pipeline")
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", reg.Handler())
+			mux.Handle("/debug/vars", expvar.Handler())
+			ln, err := net.Listen("tcp", *metricsAddr)
+			if err != nil {
+				fatal(err)
+			}
+			defer ln.Close()
+			go func() { _ = http.Serve(ln, mux) }()
+			fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
+		}
+		if *obsLog > 0 {
+			obs.LogEvery = *obsLog
+			obs.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		m, err := pipe.Serve(context.Background(), repro.PacketSource(testPackets(*serve)),
+			repro.WithObserver(obs))
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Print(m)
+		if tr != nil {
+			spans := tr.Spans()
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := repro.WriteChromeTrace(f, spans); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace: %d spans -> %s\n", len(spans), *traceOut)
+			fmt.Print(repro.Timeline(spans, 72))
+		}
+		if reg != nil {
+			fmt.Print(reg)
+		}
 	}
 }
 

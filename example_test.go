@@ -83,6 +83,45 @@ func ExamplePipeline_Serve() {
 	// oracle order: true
 }
 
+// ExamplePipeline_Snapshot inspects a serve run through the observability
+// API: Snapshot is race-free at any moment (here, after completion, so the
+// output is deterministic), and an attached Observer collects per-stage
+// metrics into a Registry.
+func ExamplePipeline_Snapshot() {
+	prog := repro.MustCompile(`pps Fwd { loop {
+		var n = pkt_rx();
+		trace(n + 1);
+		pkt_send(0);
+	} }`)
+	pipe, err := repro.Partition(prog, repro.WithStages(2))
+	if err != nil {
+		panic(err)
+	}
+
+	reg := repro.NewRegistry()
+	packets := [][]byte{{1}, {2}, {3}, {4}}
+	if _, err := pipe.Serve(context.Background(), repro.PacketSource(packets),
+		repro.WithObserver(&repro.Observer{Registry: reg})); err != nil {
+		panic(err)
+	}
+
+	// While Serve is in flight, Snapshot can be polled from any goroutine;
+	// after it returns, the snapshot is frozen at the final counters.
+	s := pipe.Snapshot()
+	fmt.Println("running:", s.Running)
+	fmt.Println("packets:", s.Packets)
+	for _, st := range s.Stages {
+		fmt.Printf("stage %d: in=%d out=%d\n", st.Stage, st.In, st.Out)
+	}
+	fmt.Println("registry packets:", reg.Snapshot()["pipeline.packets"])
+	// Output:
+	// running: false
+	// packets: 4
+	// stage 1: in=4 out=4
+	// stage 2: in=4 out=4
+	// registry packets: 4
+}
+
 // ExampleCompile shows the diagnostics the PPC front end produces.
 func ExampleCompile() {
 	_, err := repro.Compile(`pps P { loop { trace(undefined_name); } }`)

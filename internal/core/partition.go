@@ -34,6 +34,7 @@ const (
 	TxNaiveInterference
 )
 
+// String returns the mode's short name as used in tables and flags.
 func (m TxMode) String() string {
 	switch m {
 	case TxPacked:

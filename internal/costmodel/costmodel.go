@@ -102,6 +102,7 @@ const (
 	ScratchRing
 )
 
+// String returns the ring kind's short name ("nn" or "scratch").
 func (k ChannelKind) String() string {
 	if k == NNRing {
 		return "nn"
@@ -133,6 +134,7 @@ const (
 	WeightLatency
 )
 
+// String returns the weight mode's short name ("instrs" or "latency").
 func (m WeightMode) String() string {
 	if m == WeightLatency {
 		return "latency"

@@ -101,4 +101,8 @@ var (
 	// ErrTransientFault reports an injected transient stage fault; the
 	// runtime retries with backoff and quarantines on exhaustion.
 	ErrTransientFault = errors.New("transient stage fault")
+
+	// ErrBadObserver reports an unusable observability configuration (a
+	// negative periodic-log interval).
+	ErrBadObserver = errors.New("bad observer configuration")
 )

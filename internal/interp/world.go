@@ -19,6 +19,7 @@ const (
 	EvDrop                   // pkt_drop()
 )
 
+// String returns the event kind's name as it appears in traces.
 func (k EventKind) String() string {
 	switch k {
 	case EvTrace:
@@ -43,6 +44,7 @@ func (e Event) Equal(o Event) bool {
 	return e.Kind == o.Kind && e.Val == o.Val && bytes.Equal(e.Pkt, o.Pkt)
 }
 
+// String renders the event in the kind(value) form trace diffs print.
 func (e Event) String() string {
 	if e.Kind == EvSend {
 		return fmt.Sprintf("send(port=%d, %d bytes)", e.Val, len(e.Pkt))

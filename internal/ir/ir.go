@@ -21,6 +21,7 @@ type Array struct {
 	Init []int64
 }
 
+// String renders the array's declaration (kind, name, size).
 func (a *Array) String() string {
 	kind := "local"
 	if a.Persistent {

@@ -18,6 +18,8 @@ import "fmt"
 // Op enumerates IR operations.
 type Op uint8
 
+// The operation codes. Binary and comparison ops follow the group shapes
+// noted inline (Dst = Args[0] op Args[1]; comparisons yield 1 or 0).
 const (
 	OpInvalid Op = iota
 
@@ -104,6 +106,7 @@ var opNames = [...]string{
 	OpRet:     "ret",
 }
 
+// String returns the op's mnemonic.
 func (op Op) String() string {
 	if int(op) < len(opNames) {
 		return opNames[op]

@@ -1,0 +1,158 @@
+package obsv
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace fixture")
+
+// fixtureSpans is a fixed two-stage pipeline fragment: stage 1 executes
+// and transmits two batches while stage 2 waits, executes, and retires
+// them. Everything is hand-specified, so the exported JSON is
+// byte-stable across runs and machines.
+func fixtureSpans() []Span {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Span{
+		{Stage: 1, Iter: 0, N: 32, Phase: PhaseExec, Start: 0, Dur: ms(4)},
+		{Stage: 1, Iter: 0, N: 32, Phase: PhaseTx, Start: ms(4), Dur: ms(1)},
+		{Stage: 2, Iter: -1, N: 0, Phase: PhaseWait, Start: 0, Dur: ms(5)},
+		{Stage: 2, Iter: 0, N: 32, Phase: PhaseExec, Start: ms(5), Dur: ms(7)},
+		{Stage: 1, Iter: 32, N: 32, Phase: PhaseExec, Start: ms(5), Dur: ms(4)},
+		{Stage: 1, Iter: 32, N: 32, Phase: PhaseTx, Start: ms(9), Dur: ms(3)},
+		{Stage: 2, Iter: 32, N: 32, Phase: PhaseExec, Start: ms(12), Dur: ms(7)},
+	}
+}
+
+// TestChromeTraceGolden locks the trace_event exporter's output down to a
+// checked-in fixture and verifies the importer round-trips it exactly.
+// Regenerate with: go test ./internal/obsv -run TestChromeTraceGolden -update
+func TestChromeTraceGolden(t *testing.T) {
+	spans := fixtureSpans()
+	sortSpans(spans)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exported trace drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+			path, buf.Bytes(), want)
+	}
+
+	// Round trip: the golden bytes must parse back to the exact spans.
+	got, err := ReadChromeTrace(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spans) {
+		t.Errorf("round trip drifted:\n got %+v\nwant %+v", got, spans)
+	}
+
+	// And a second export of the re-imported spans is byte-identical:
+	// export -> import -> export is a fixed point.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("export/import/export is not a fixed point")
+	}
+}
+
+func TestReadChromeTraceRejectsUnknown(t *testing.T) {
+	if _, err := ReadChromeTrace(strings.NewReader(`[{"name":"nap","ph":"X"}]`)); err == nil {
+		t.Error("unknown phase name accepted")
+	}
+	if _, err := ReadChromeTrace(strings.NewReader(`[{"name":"exec","ph":"B"}]`)); err == nil {
+		t.Error("non-complete event type accepted")
+	}
+	if _, err := ReadChromeTrace(strings.NewReader(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestTracerCapAndReset(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{Stage: 1, Iter: int64(i), Phase: PhaseExec})
+	}
+	if got := len(tr.Spans()); got != 3 {
+		t.Errorf("retained %d spans, want 3", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Errorf("dropped %d spans, want 2", got)
+	}
+	origin := time.Unix(100, 0)
+	tr.Reset(origin)
+	if got := len(tr.Spans()); got != 0 {
+		t.Errorf("reset retained %d spans", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Error("reset did not clear the drop count")
+	}
+	if !tr.Origin().Equal(origin) {
+		t.Errorf("origin = %v, want %v", tr.Origin(), origin)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Span{Stage: 1})
+	tr.Reset(time.Now())
+	if tr.Spans() != nil || tr.Dropped() != 0 || !tr.Origin().IsZero() {
+		t.Error("nil tracer observed something")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	out := Timeline(fixtureSpans(), 19)
+	if !strings.Contains(out, "stage 1 |") || !strings.Contains(out, "stage 2 |") {
+		t.Fatalf("timeline missing stage rows:\n%s", out)
+	}
+	// Stage 2 starts blocked on its inbound ring: the first bucket of its
+	// row must be the wait glyph.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "stage 2 |") {
+			row := line[strings.Index(line, "|")+1:]
+			if row[0] != 'w' {
+				t.Errorf("stage 2 should start ring-waiting, row %q", row)
+			}
+			if !strings.Contains(row, "#") {
+				t.Errorf("stage 2 row shows no execution: %q", row)
+			}
+		}
+	}
+	if got := Timeline(nil, 40); got != "(no spans)\n" {
+		t.Errorf("empty timeline = %q", got)
+	}
+}
+
+func TestPhaseTotals(t *testing.T) {
+	totals := PhaseTotals(fixtureSpans())
+	if got := totals[1][PhaseExec]; got != 8*time.Millisecond {
+		t.Errorf("stage 1 exec total = %v, want 8ms", got)
+	}
+	if got := totals[2][PhaseWait]; got != 5*time.Millisecond {
+		t.Errorf("stage 2 wait total = %v, want 5ms", got)
+	}
+	if got := totals[1][PhaseTx]; got != 4*time.Millisecond {
+		t.Errorf("stage 1 tx total = %v, want 4ms", got)
+	}
+}

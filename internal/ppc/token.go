@@ -34,6 +34,7 @@ import "fmt"
 // Kind classifies tokens.
 type Kind uint8
 
+// The token kinds: literals, keywords, then punctuation and operators.
 const (
 	EOF Kind = iota
 	IDENT
@@ -114,6 +115,8 @@ var kindNames = map[Kind]string{
 	Percent: "%", Bang: "!", Tilde: "~",
 }
 
+// String returns the kind's source spelling (or a description for
+// literal classes).
 func (k Kind) String() string {
 	if s, ok := kindNames[k]; ok {
 		return s
@@ -135,6 +138,7 @@ type Pos struct {
 	Col  int
 }
 
+// String renders the position as line:col.
 func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 
 // Token is a lexed token.
@@ -151,6 +155,7 @@ type Error struct {
 	Msg string
 }
 
+// Error renders the diagnostic as position: message.
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
 func errf(pos Pos, format string, args ...interface{}) *Error {

@@ -51,6 +51,7 @@ const (
 	Transient
 )
 
+// String returns the fault kind's name as used in plans and reports.
 func (k Kind) String() string {
 	switch k {
 	case Stall:
@@ -150,6 +151,7 @@ type InjectedPanic struct {
 	Iter  int64
 }
 
+// String identifies the injection site; it is the recovered panic's text.
 func (p InjectedPanic) String() string {
 	return fmt.Sprintf("injected panic (stage %d, iteration %d)", p.Stage, p.Iter)
 }

@@ -8,9 +8,11 @@ import (
 	"repro/internal/interp"
 )
 
-// StageStats are the counters one stage goroutine maintains. Each stage
-// writes its own stats only; Serve assembles the snapshot after every
-// goroutine has been joined, so the fields need no atomics.
+// StageStats are one stage's counters, frozen into plain fields. While a
+// serve runs, each stage goroutine maintains them in an atomic probe
+// (single writer, any readers), which is what makes Live.Snapshot safe to
+// call mid-run; Serve converts the probes into this exported form after
+// the final join, and Snapshot produces the same shape at any instant.
 type StageStats struct {
 	// Stage is the 1-based stage index.
 	Stage int
@@ -32,22 +34,12 @@ type StageStats struct {
 	Busy time.Duration
 	// occupancy sampling of the inbound ring, taken at each receive.
 	occSum, occSamples int64
-	// recs are this stage's fault records, merged into the FaultReport
-	// after the final join.
-	recs []FaultRecord
 }
 
 // maxFaultRecords bounds the per-stage record list so a pathological run
 // (every packet shed) cannot grow memory without bound; the counters keep
 // exact totals past the cap.
 const maxFaultRecords = 4096
-
-// record appends a fault record, respecting the cap.
-func (s *StageStats) record(r FaultRecord) {
-	if len(s.recs) < maxFaultRecords {
-		s.recs = append(s.recs, r)
-	}
-}
 
 // FaultRecord describes the fate of one packet that did not complete the
 // pipeline normally (or, for "degraded", completed it short-circuited).

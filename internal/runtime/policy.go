@@ -23,6 +23,7 @@ const (
 	OverloadDegrade
 )
 
+// String returns the policy's name as used in flags and reports.
 func (p OverloadPolicy) String() string {
 	switch p {
 	case OverloadBlock:

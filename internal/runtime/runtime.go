@@ -22,14 +22,25 @@
 //     (the partitioning invariant, re-checked by Validate), and the shared
 //     persistent store is fully materialized before any goroutine starts;
 //   - route tables are read-only;
-//   - per-stage counters are goroutine-local and snapshotted after join.
+//   - per-stage counters live in atomic probes (one writer each), so a
+//     Live.Snapshot taken mid-serve is race-free; fault records stay
+//     goroutine-local and are merged only after the final join.
+//
+// Observability (internal/obsv) threads through the same loops: when a
+// Config carries an Observer, stages record wait/exec/tx spans, mirror
+// their counters into a metrics registry, and emit periodic progress
+// lines. With no Observer the extra cost is one nil check per batch — no
+// clocks, no allocation (the serve benchmarks gate this at < 2%).
 package runtime
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,6 +48,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/obsv"
 	"repro/internal/runtime/fault"
 )
 
@@ -77,6 +89,16 @@ type Config struct {
 	RetryBackoff time.Duration
 	// Faults is the deterministic fault-injection schedule (nil: none).
 	Faults *fault.Plan
+
+	// Obs attaches the observability layer — span tracing, registry
+	// mirroring, periodic progress lines. nil disables all of it at the
+	// cost of one pointer check per batch.
+	Obs *obsv.Observer
+	// OnLive, when non-nil, receives the run's Live probe handle before
+	// the first stage goroutine starts; snapshots taken through it are
+	// race-free while the run is in flight. The repro package uses this
+	// to back Pipeline.Snapshot.
+	OnLive func(*Live)
 }
 
 // DefaultConfig returns the nearest-neighbor-ring configuration.
@@ -108,6 +130,9 @@ func (c Config) validate() error {
 	}
 	if c.Retry < 0 || c.RetryBackoff < 0 {
 		return fmt.Errorf("%w: retry %d, backoff %v", errs.ErrBadRetry, c.Retry, c.RetryBackoff)
+	}
+	if err := c.Obs.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", errs.ErrBadObserver, err)
 	}
 	if c.Watermark > 0 && c.Overload == OverloadBlock {
 		return fmt.Errorf("%w: overload watermark %d set, but the blocking policy never sheds",
@@ -229,6 +254,21 @@ type engine struct {
 	m       *Metrics
 	inj     *fault.Injector
 
+	// live holds the per-stage atomic probes every counter update lands
+	// in; recs are the per-stage fault-record buffers, each owned by its
+	// stage goroutine until the final join.
+	live *Live
+	recs [][]FaultRecord
+
+	// Observability. timed is true when any instrument needs the extra
+	// clock reads around ring operations; tr is the span sink (nil:
+	// tracing off); fillHist/waitHist are the registry histograms (nil
+	// entries: metrics off).
+	timed    bool
+	tr       *obsv.Tracer
+	fillHist []*obsv.Histogram
+	waitHist []*obsv.Histogram
+
 	tokPool   sync.Pool
 	batchPool sync.Pool
 
@@ -241,6 +281,15 @@ func (e *engine) fail(err error) {
 		e.firstErr = err
 		e.cancel()
 	})
+}
+
+// record appends a fault record to stage k's buffer, respecting the cap.
+// Only the stage's own goroutine calls it, so no lock is needed; the
+// buffers are merged into the FaultReport after the final join.
+func (e *engine) record(k int, r FaultRecord) {
+	if len(e.recs[k]) < maxFaultRecords {
+		e.recs[k] = append(e.recs[k], r)
+	}
 }
 
 func (e *engine) getToken() *token {
@@ -265,30 +314,58 @@ func (e *engine) putBatch(b []*token) {
 	e.batchPool.Put(b[:0]) //nolint:staticcheck // slices are pooled by header
 }
 
-// send forwards a batch on out, counting a stall when the ring is full.
-// Under OverloadBlock it waits for space (backpressure); under a shedding
-// policy it re-probes the saturated ring for Watermark ticks and then
-// engages the policy — dropping the batch (Shed) or marking it degraded
-// and forwarding it for pass-through delivery (Degrade). It returns false
-// when the run was canceled mid-wait.
-func (e *engine) send(out chan []*token, b []*token, st *StageStats, k int) bool {
+// span records one phase interval when tracing is enabled.
+func (e *engine) span(stage int, iter int64, n int, phase obsv.Phase, start time.Time, dur time.Duration) {
+	if e.tr == nil {
+		return
+	}
+	e.tr.Record(obsv.Span{
+		Stage: stage, Iter: iter, N: n, Phase: phase,
+		Start: start.Sub(e.live.start), Dur: dur,
+	})
+}
+
+// send forwards a batch on out, wrapping sendRing with the transmit-phase
+// instrumentation: when observability is on, the time from first probe to
+// ring acceptance (or shed) becomes a PhaseTx span. It returns false when
+// the run was canceled mid-wait.
+func (e *engine) send(out chan []*token, b []*token, k int) bool {
+	if !e.timed {
+		return e.sendRing(out, b, k)
+	}
+	// Capture before sendRing: a shed batch is recycled inside.
+	iter, n := b[0].iter, len(b)
+	start := time.Now()
+	ok := e.sendRing(out, b, k)
+	e.span(k+1, iter, n, obsv.PhaseTx, start, time.Since(start))
+	return ok
+}
+
+// sendRing forwards a batch on out, counting a stall when the ring is
+// full. Under OverloadBlock it waits for space (backpressure); under a
+// shedding policy it re-probes the saturated ring for Watermark ticks and
+// then engages the policy — dropping the batch (Shed) or marking it
+// degraded and forwarding it for pass-through delivery (Degrade). It
+// returns false when the run was canceled mid-wait.
+func (e *engine) sendRing(out chan []*token, b []*token, k int) bool {
+	p := &e.live.probes[k]
 	if e.inj != nil {
 		e.inj.BeforeSend(e.ictx, k+1, b[0].iter)
 	}
 	select {
 	case out <- b:
-		st.Out += int64(len(b))
+		p.out.Add(int64(len(b)))
 		return true
 	default:
 	}
-	st.Stalls++
+	p.stalls.Add(1)
 	if e.cfg.Overload == OverloadBlock {
 		select {
 		case out <- b:
 		case <-e.ictx.Done():
 			return false
 		}
-		st.Out += int64(len(b))
+		p.out.Add(int64(len(b)))
 		return true
 	}
 	for probe := 0; probe < e.cfg.Watermark; probe++ {
@@ -296,7 +373,7 @@ func (e *engine) send(out chan []*token, b []*token, st *StageStats, k int) bool
 		select {
 		case out <- b:
 			tick.Stop()
-			st.Out += int64(len(b))
+			p.out.Add(int64(len(b)))
 			return true
 		case <-e.ictx.Done():
 			tick.Stop()
@@ -309,10 +386,10 @@ func (e *engine) send(out chan []*token, b []*token, st *StageStats, k int) bool
 	case OverloadShed:
 		n := int64(len(b))
 		for _, t := range b {
-			st.record(FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "shed", Reason: "ring saturated past watermark"})
+			e.record(k, FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "shed", Reason: "ring saturated past watermark"})
 			e.putToken(t)
 		}
-		st.Shed += n
+		p.shed.Add(n)
 		e.putBatch(b)
 		e.inj.NoteOverload(n)
 		return true
@@ -321,11 +398,11 @@ func (e *engine) send(out chan []*token, b []*token, st *StageStats, k int) bool
 		for _, t := range b {
 			if t.degradedAt == 0 {
 				t.degradedAt = k + 2
-				st.Degraded++
-				st.record(FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "degraded", Reason: "ring saturated past watermark"})
+				e.record(k, FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "degraded", Reason: "ring saturated past watermark"})
 				n++
 			}
 		}
+		p.degraded.Add(n)
 		// Release overload gates before the blocking put: a chaos schedule
 		// may hold the consumer until this degradation is observed.
 		e.inj.NoteOverload(n)
@@ -334,7 +411,7 @@ func (e *engine) send(out chan []*token, b []*token, st *StageStats, k int) bool
 		case <-e.ictx.Done():
 			return false
 		}
-		st.Out += int64(len(b))
+		p.out.Add(int64(len(b)))
 		return true
 	}
 }
@@ -353,7 +430,7 @@ const (
 // deadline, and bounded retry with exponential backoff for transient
 // faults. Quarantined tokens are recorded and recycled; their buffered
 // events never reach the trace.
-func (e *engine) runToken(k int, run *interp.Runner, t *token, st *StageStats) tokOutcome {
+func (e *engine) runToken(k int, run *interp.Runner, t *token, p *stageProbe) tokOutcome {
 	backoff := e.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		err := e.execOnce(k, run, t)
@@ -367,15 +444,15 @@ func (e *engine) runToken(k int, run *interp.Runner, t *token, st *StageStats) t
 			return tokFatal
 		}
 		if errors.Is(err, errs.ErrTransientFault) && attempt < e.cfg.Retry {
-			st.Retries++
+			p.retries.Add(1)
 			if backoff > 0 {
 				sleepCtx(e.ictx, backoff)
 				backoff *= 2
 			}
 			continue
 		}
-		st.Quarantined++
-		st.record(FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "quarantined", Reason: err.Error()})
+		p.quarantined.Add(1)
+		e.record(k, FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "quarantined", Reason: err.Error()})
 		e.putToken(t)
 		return tokQuarantined
 	}
@@ -436,14 +513,15 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 }
 
 // retire merges a finished batch's events into the trace in iteration
-// order and recycles the tokens.
-func (e *engine) retire(b []*token, st *StageStats) {
+// order and recycles the tokens. Only the sink stage's goroutine calls
+// it, so the trace append is single-writer.
+func (e *engine) retire(b []*token, p *stageProbe) {
 	for _, t := range b {
 		e.m.Trace = append(e.m.Trace, t.ctx.Events...)
 		e.putToken(t)
 	}
-	e.m.Packets += int64(len(b))
-	st.Out += int64(len(b))
+	e.live.packets.Add(int64(len(b)))
+	p.out.Add(int64(len(b)))
 	e.putBatch(b)
 }
 
@@ -454,7 +532,7 @@ func (e *engine) retire(b []*token, st *StageStats) {
 // head's In counter tallies every packet pulled from the source, which is
 // the total the FaultReport accounting is reconciled against.
 func (e *engine) head() {
-	st := &e.m.Stages[0]
+	p := &e.live.probes[0]
 	run := e.runners[0]
 	var out chan []*token
 	if len(e.rings) > 0 {
@@ -471,42 +549,48 @@ func (e *engine) head() {
 		// Pull and execute up to one batch of iterations.
 		b := e.getBatch()
 		srcDone := false
+		firstIter := iter
 		t0 := time.Now()
 		for len(b) < e.cfg.Batch {
-			p, ok := e.src.Next()
+			pkt, ok := e.src.Next()
 			if !ok {
 				srcDone = true
 				break
 			}
 			i := iter
 			iter++
-			st.In++
+			p.in.Add(1)
 			if e.inj != nil {
-				if bad, poisoned := e.inj.AtSource(i, p); poisoned {
-					st.Quarantined++
-					st.record(FaultRecord{Iter: i, Stage: 1, Disposition: "quarantined",
+				if bad, poisoned := e.inj.AtSource(i, pkt); poisoned {
+					p.quarantined.Add(1)
+					e.record(0, FaultRecord{Iter: i, Stage: 1, Disposition: "quarantined",
 						Reason: fmt.Sprintf("%v: %d malformed bytes at source", errs.ErrPoisonPacket, len(bad))})
 					continue
 				}
 			}
 			t := e.getToken()
 			t.iter = i
-			t.ctx.Pending, t.ctx.HasPending = p, true
-			switch e.runToken(0, run, t, st) {
+			t.ctx.Pending, t.ctx.HasPending = pkt, true
+			switch e.runToken(0, run, t, p) {
 			case tokOK:
 				b = append(b, t)
 			case tokQuarantined:
 				continue
 			case tokFatal:
-				st.Busy += time.Since(t0)
+				p.busyNs.Add(int64(time.Since(t0)))
 				return
 			}
 		}
-		st.Busy += time.Since(t0)
+		busy := time.Since(t0)
+		p.busyNs.Add(int64(busy))
 		if len(b) > 0 {
+			if e.timed {
+				e.span(1, firstIter, len(b), obsv.PhaseExec, t0, busy)
+				e.fillHist[0].Observe(int64(len(b)))
+			}
 			if out == nil {
-				e.retire(b, st)
-			} else if !e.send(out, b, st, 0) {
+				e.retire(b, p)
+			} else if !e.send(out, b, 0) {
 				return
 			}
 		} else {
@@ -523,7 +607,7 @@ func (e *engine) head() {
 // (or retire, at the sink). Degraded tokens pass through without
 // executing; quarantined tokens are compacted out of the batch.
 func (e *engine) stage(k int) {
-	st := &e.m.Stages[k]
+	p := &e.live.probes[k]
 	run := e.runners[k]
 	in := e.rings[k-1]
 	var out chan []*token
@@ -532,6 +616,10 @@ func (e *engine) stage(k int) {
 		defer close(out)
 	}
 	for {
+		var wStart time.Time
+		if e.timed {
+			wStart = time.Now()
+		}
 		var b []*token
 		var ok bool
 		select {
@@ -542,9 +630,19 @@ func (e *engine) stage(k int) {
 				return
 			}
 		}
-		st.occSum += int64(len(in))
-		st.occSamples++
-		st.In += int64(len(b))
+		if e.timed {
+			wait := time.Since(wStart)
+			e.span(k+1, b[0].iter, len(b), obsv.PhaseWait, wStart, wait)
+			if h := e.waitHist[k]; h != nil {
+				h.Observe(wait.Microseconds())
+			}
+			e.fillHist[k].Observe(int64(len(b)))
+		}
+		p.occSum.Add(int64(len(in)))
+		p.occSamples.Add(1)
+		p.in.Add(int64(len(b)))
+		firstIter := b[0].iter
+		n := len(b)
 		t0 := time.Now()
 		keep := b[:0]
 		for _, t := range b {
@@ -552,25 +650,105 @@ func (e *engine) stage(k int) {
 				keep = append(keep, t)
 				continue
 			}
-			switch e.runToken(k, run, t, st) {
+			switch e.runToken(k, run, t, p) {
 			case tokOK:
 				keep = append(keep, t)
 			case tokQuarantined:
 			case tokFatal:
-				st.Busy += time.Since(t0)
+				p.busyNs.Add(int64(time.Since(t0)))
 				return
 			}
 		}
 		b = keep
-		st.Busy += time.Since(t0)
+		busy := time.Since(t0)
+		p.busyNs.Add(int64(busy))
+		if e.timed {
+			e.span(k+1, firstIter, n, obsv.PhaseExec, t0, busy)
+		}
 		if len(b) == 0 {
 			e.putBatch(b)
 			continue
 		}
 		if out == nil {
-			e.retire(b, st)
-		} else if !e.send(out, b, st, k) {
+			e.retire(b, p)
+		} else if !e.send(out, b, k) {
 			return
+		}
+	}
+}
+
+// histogram bucket bounds the registry mirror uses: batch fill in
+// iterations, ring wait in microseconds.
+var (
+	fillBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+	waitBounds = []int64{1, 10, 100, 1_000, 10_000, 100_000}
+)
+
+// wireObservability prepares the engine's instrument fields from the
+// config: the tracer (reset to this run's origin), the registry mirror
+// (computed gauges over the live probes, histograms for batch fill and
+// ring wait), and the timed flag that gates the extra clock reads.
+func (e *engine) wireObservability(d int) {
+	obs := e.cfg.Obs
+	e.fillHist = make([]*obsv.Histogram, d)
+	e.waitHist = make([]*obsv.Histogram, d)
+	if !obs.Tracing() && !obs.Metrics() {
+		return
+	}
+	e.timed = true
+	if obs.Tracing() {
+		e.tr = obs.Tracer
+		e.tr.Reset(e.live.start)
+	}
+	if !obs.Metrics() {
+		return
+	}
+	reg := obs.Registry
+	l := e.live
+	reg.Func("pipeline.stages", func() int64 { return int64(len(l.probes)) })
+	reg.Func("pipeline.packets", l.packets.Load)
+	reg.Func("pipeline.elapsed_ns", func() int64 { return int64(l.Snapshot().Elapsed) })
+	for k := 0; k < d; k++ {
+		p := &l.probes[k]
+		prefix := "pipeline.stage" + strconv.Itoa(k+1) + "."
+		reg.Func(prefix+"in", p.in.Load)
+		reg.Func(prefix+"out", p.out.Load)
+		reg.Func(prefix+"stalls", p.stalls.Load)
+		reg.Func(prefix+"shed", p.shed.Load)
+		reg.Func(prefix+"degraded", p.degraded.Load)
+		reg.Func(prefix+"quarantined", p.quarantined.Load)
+		reg.Func(prefix+"retries", p.retries.Load)
+		reg.Func(prefix+"busy_ns", p.busyNs.Load)
+		reg.Func(prefix+"ring_occ_milli", func() int64 {
+			n := p.occSamples.Load()
+			if n == 0 {
+				return 0
+			}
+			return p.occSum.Load() * 1000 / n
+		})
+		e.fillHist[k] = reg.Histogram(prefix+"batch_fill", fillBounds)
+		if k > 0 {
+			e.waitHist[k] = reg.Histogram(prefix+"ring_wait_us", waitBounds)
+		}
+	}
+}
+
+// logLoop emits one progress line per interval until stop closes; Serve
+// runs it only when the Observer asks for periodic logging, and joins it
+// before returning so no logger goroutine outlives the run.
+func (e *engine) logLoop(stop <-chan struct{}) {
+	logf := e.cfg.Obs.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	tick := time.NewTicker(e.cfg.Obs.LogEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			logf("%s", e.live.Snapshot().Line())
 		}
 	}
 }
@@ -586,6 +764,11 @@ func (e *engine) stage(k int) {
 // sequential-oracle order plus per-stage counters. On normal completion
 // the trace is also appended to world.Trace, matching the convention of
 // the oracle paths.
+//
+// Each stage goroutine runs under a pprof label ("stage" = its 1-based
+// index), so CPU profiles attribute samples per stage; cfg.Obs attaches
+// the rest of the observability layer and cfg.OnLive exposes the live
+// counter probes for mid-run snapshots.
 func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src Source, cfg Config) (*Metrics, error) {
 	if err := Validate(stages); err != nil {
 		return nil, err
@@ -612,6 +795,7 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	start := time.Now()
 	e := &engine{
 		ictx:    ictx,
 		cancel:  cancel,
@@ -619,34 +803,61 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 		src:     src,
 		runners: runners,
 		rings:   make([]chan []*token, D-1),
-		m:       &Metrics{Stages: make([]StageStats, D)},
+		m:       &Metrics{},
 		inj:     fault.NewInjector(cfg.Faults, D),
+		live:    newLive(D, start),
+		recs:    make([][]FaultRecord, D),
 	}
+	e.wireObservability(D)
 	e.tokPool.New = func() any { return &token{ctx: interp.NewIterCtx()} }
 	e.batchPool.New = func() any { return make([]*token, 0, cfg.Batch) }
 	for i := range e.rings {
 		e.rings[i] = make(chan []*token, cfg.RingCapacity)
 	}
-	for k := range e.m.Stages {
-		e.m.Stages[k].Stage = k + 1
+	if cfg.OnLive != nil {
+		cfg.OnLive(e.live)
 	}
 
-	start := time.Now()
+	var logWg sync.WaitGroup
+	var logStop chan struct{}
+	if cfg.Obs != nil && cfg.Obs.LogEvery > 0 {
+		logStop = make(chan struct{})
+		logWg.Add(1)
+		go func() {
+			defer logWg.Done()
+			e.logLoop(logStop)
+		}()
+	}
+
 	var wg sync.WaitGroup
 	wg.Add(D)
 	go func() {
 		defer wg.Done()
-		e.head()
+		pprof.Do(ictx, pprof.Labels("stage", "1"), func(context.Context) { e.head() })
 	}()
 	for k := 1; k < D; k++ {
 		k := k
 		go func() {
 			defer wg.Done()
-			e.stage(k)
+			pprof.Do(ictx, pprof.Labels("stage", strconv.Itoa(k+1)), func(context.Context) { e.stage(k) })
 		}()
 	}
 	wg.Wait()
-	e.m.Elapsed = time.Since(start)
+	elapsed := time.Since(start)
+	e.live.finish(elapsed)
+	if logStop != nil {
+		close(logStop)
+		logWg.Wait()
+	}
+
+	// Freeze the final Metrics from the probes, then reconcile the fault
+	// ledger (both happen strictly after the stage goroutines joined).
+	e.m.Elapsed = elapsed
+	e.m.Packets = e.live.packets.Load()
+	e.m.Stages = make([]StageStats, D)
+	for k := range e.m.Stages {
+		e.m.Stages[k] = e.live.probes[k].stats(k + 1)
+	}
 	e.m.Faults = e.faultReport()
 
 	if e.firstErr != nil {
@@ -670,7 +881,7 @@ func (e *engine) faultReport() *FaultReport {
 		rep.Shed += s.Shed
 		rep.Quarantined += s.Quarantined
 		rep.Retries += s.Retries
-		rep.Records = append(rep.Records, s.recs...)
+		rep.Records = append(rep.Records, e.recs[k]...)
 	}
 	sort.Slice(rep.Records, func(i, j int) bool {
 		a, b := rep.Records[i], rep.Records[j]

@@ -1,0 +1,155 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// stageProbe is the live form of one stage's counters: each field is an
+// atomic written by the owning stage goroutine and readable at any moment
+// by Live.Snapshot, the registry's computed gauges, and the periodic
+// logger. The padding keeps neighboring stages' probes off one cache
+// line, so the single-writer updates never false-share.
+type stageProbe struct {
+	in, out, stalls             atomic.Int64
+	shed, degraded, quarantined atomic.Int64
+	retries, busyNs             atomic.Int64
+	occSum, occSamples          atomic.Int64
+	_                           [48]byte
+}
+
+// stats converts the probe's current values into the exported snapshot
+// form (fault records are not included — they stay goroutine-local until
+// the final join).
+func (p *stageProbe) stats(stage int) StageStats {
+	return StageStats{
+		Stage:       stage,
+		In:          p.in.Load(),
+		Out:         p.out.Load(),
+		Stalls:      p.stalls.Load(),
+		Shed:        p.shed.Load(),
+		Degraded:    p.degraded.Load(),
+		Quarantined: p.quarantined.Load(),
+		Retries:     p.retries.Load(),
+		Busy:        time.Duration(p.busyNs.Load()),
+		occSum:      p.occSum.Load(),
+		occSamples:  p.occSamples.Load(),
+	}
+}
+
+// Live is a handle on an in-flight serve run: a set of per-stage atomic
+// probes that can be snapshotted at any moment — mid-serve, from any
+// goroutine, race-free — without perturbing the stage goroutines beyond
+// their ordinary atomic counter updates. Serve publishes it through
+// Config.OnLive before the first packet moves; repro.Pipeline.Snapshot is
+// the public face.
+type Live struct {
+	start     time.Time
+	probes    []stageProbe
+	packets   atomic.Int64
+	done      atomic.Bool
+	elapsedNs atomic.Int64
+}
+
+// newLive builds the probe set for a D-stage run.
+func newLive(d int, start time.Time) *Live {
+	return &Live{start: start, probes: make([]stageProbe, d)}
+}
+
+// finish freezes the elapsed clock; Serve calls it after the final join.
+func (l *Live) finish(elapsed time.Duration) {
+	l.elapsedNs.Store(int64(elapsed))
+	l.done.Store(true)
+}
+
+// Snapshot captures the run's counters at this instant. Safe to call at
+// any time from any goroutine, including while the pipeline is serving;
+// counters lag the stage goroutines by at most one batch. Returns nil on
+// a nil receiver.
+func (l *Live) Snapshot() *Snapshot {
+	if l == nil {
+		return nil
+	}
+	s := &Snapshot{
+		Running: !l.done.Load(),
+		Packets: l.packets.Load(),
+		Stages:  make([]StageStats, len(l.probes)),
+	}
+	if s.Running {
+		s.Elapsed = time.Since(l.start)
+	} else {
+		s.Elapsed = time.Duration(l.elapsedNs.Load())
+	}
+	for k := range l.probes {
+		s.Stages[k] = l.probes[k].stats(k + 1)
+	}
+	return s
+}
+
+// Snapshot is a point-in-time view of a serve run's counters — the live
+// analogue of Metrics, minus the trace and fault records (which are only
+// merged at the final join). Unlike Metrics, a Snapshot may be taken
+// while the run is still moving.
+type Snapshot struct {
+	// Running reports whether the serve was still in flight when the
+	// snapshot was taken.
+	Running bool
+	// Elapsed is time since the serve started (frozen at the final value
+	// once the run completes).
+	Elapsed time.Duration
+	// Packets counts iterations retired at the sink so far.
+	Packets int64
+	// Stages holds the per-stage counters at snapshot time.
+	Stages []StageStats
+}
+
+// PacketsPerSecond is the mean throughput up to the snapshot instant.
+func (s *Snapshot) PacketsPerSecond() float64 {
+	if s == nil || s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Packets) / s.Elapsed.Seconds()
+}
+
+// Line renders the snapshot as one compact log line — what the periodic
+// logger emits.
+func (s *Snapshot) Line() string {
+	if s == nil {
+		return "serve: (no run)"
+	}
+	var b strings.Builder
+	state := "done"
+	if s.Running {
+		state = "live"
+	}
+	fmt.Fprintf(&b, "serve %s +%v: %d pkts (%.0f pkt/s)", state,
+		s.Elapsed.Round(time.Millisecond), s.Packets, s.PacketsPerSecond())
+	for _, st := range s.Stages {
+		fmt.Fprintf(&b, " | s%d in=%d out=%d stall=%d occ=%.1f", st.Stage, st.In, st.Out, st.Stalls, st.MeanOccupancy())
+		if lost := st.Shed + st.Quarantined; lost > 0 {
+			fmt.Fprintf(&b, " lost=%d", lost)
+		}
+	}
+	return b.String()
+}
+
+// String renders the snapshot in the multi-line form of Metrics.String.
+func (s *Snapshot) String() string {
+	if s == nil {
+		return "(no serve run)\n"
+	}
+	var b strings.Builder
+	state := "completed"
+	if s.Running {
+		state = "in flight"
+	}
+	fmt.Fprintf(&b, "serve %s: %d packets in %v (%.0f pkt/s)\n",
+		state, s.Packets, s.Elapsed.Round(time.Microsecond), s.PacketsPerSecond())
+	for _, st := range s.Stages {
+		fmt.Fprintf(&b, "  stage %d: in %d out %d  stalls %d  busy %v  occ %.2f\n",
+			st.Stage, st.In, st.Out, st.Stalls, st.Busy.Round(time.Microsecond), st.MeanOccupancy())
+	}
+	return b.String()
+}

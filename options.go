@@ -74,6 +74,9 @@ var (
 	// ErrTransientFault: an injected transient fault (retried, then
 	// quarantined on exhaustion).
 	ErrTransientFault = errs.ErrTransientFault
+	// ErrBadObserver: WithObserver carrying an unusable configuration
+	// (a negative periodic-log interval).
+	ErrBadObserver = errs.ErrBadObserver
 )
 
 // MaxStages bounds the accepted pipelining degree.
@@ -108,6 +111,9 @@ type config struct {
 	retry        int
 	retryBackoff time.Duration
 	faults       *FaultPlan
+	// observability (serve)
+	obs    *Observer
+	onLive func(*runtime.Live)
 }
 
 // Option configures any repro entry point. Each option merely records a
@@ -197,6 +203,13 @@ func WithRetry(n int, backoff time.Duration) Option {
 // the chaos-testing seam. Nil clears it.
 func WithFaults(p *FaultPlan) Option { return func(c *config) { c.faults = p } }
 
+// WithObserver attaches the observability layer to Serve: span tracing
+// into o.Tracer, per-stage counter mirroring into o.Registry, and
+// periodic progress lines every o.LogEvery. Nil clears it (the default);
+// a served pipeline without an observer pays one pointer check per batch
+// and nothing else. Pipeline.Snapshot works with or without an observer.
+func WithObserver(o *Observer) Option { return func(c *config) { c.obs = o } }
+
 // WithOptions imports a deprecated Options struct into the functional
 // style, easing migration call site by call site.
 func WithOptions(o Options) Option {
@@ -269,6 +282,9 @@ func (c *config) validate() error {
 	if err := c.faults.Validate(MaxStages); err != nil {
 		return fmt.Errorf("repro: %w", err)
 	}
+	if err := c.obs.Validate(); err != nil {
+		return fmt.Errorf("repro: %w: %v", ErrBadObserver, err)
+	}
 	return nil
 }
 
@@ -337,6 +353,8 @@ func (c *config) serveConfig() runtime.Config {
 		Retry:         c.retry,
 		RetryBackoff:  c.retryBackoff,
 		Faults:        c.faults,
+		Obs:           c.obs,
+		OnLive:        c.onLive,
 	}
 }
 

@@ -47,6 +47,7 @@ var sentinelTable = []struct {
 	{"ErrPoisonPacket", repro.ErrPoisonPacket, errs.ErrPoisonPacket},
 	{"ErrStageDeadline", repro.ErrStageDeadline, errs.ErrStageDeadline},
 	{"ErrTransientFault", repro.ErrTransientFault, errs.ErrTransientFault},
+	{"ErrBadObserver", repro.ErrBadObserver, errs.ErrBadObserver},
 }
 
 func TestSentinelsComplete(t *testing.T) {
@@ -58,9 +59,9 @@ func TestSentinelsComplete(t *testing.T) {
 			t.Errorf("%s: empty message", s.name)
 		}
 	}
-	// internal/errs currently declares 26 sentinels; bump this alongside the
+	// internal/errs currently declares 27 sentinels; bump this alongside the
 	// table when adding one.
-	if len(sentinelTable) != 26 {
+	if len(sentinelTable) != 27 {
 		t.Errorf("sentinel table covers %d errors", len(sentinelTable))
 	}
 }
@@ -107,6 +108,9 @@ func TestOptionsRejectInvalid(t *testing.T) {
 			[]repro.Option{repro.WithFaults(&repro.FaultPlan{Injections: []repro.FaultInjection{
 				{Kind: repro.FaultPanic, Stage: 1, At: -3},
 			}})}, repro.ErrBadFaultPlan},
+		{"negative log interval",
+			[]repro.Option{repro.WithObserver(&repro.Observer{LogEvery: -time.Second})},
+			repro.ErrBadObserver},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

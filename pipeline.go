@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -15,11 +16,14 @@ import (
 // the sequential oracle (Run), the cycle-approximate IXP simulators
 // (Simulate, SimulateThreads), and the concurrent host runtime (Serve).
 // A Pipeline is immutable and safe for concurrent use; each execution
-// method builds its own run state.
+// method builds its own run state. The one piece of mutable state is the
+// atomically published handle of the most recent Serve run, which backs
+// Snapshot.
 type Pipeline struct {
 	stages []*Program
 	report *Report
 	cfg    config
+	live   atomic.Pointer[runtime.Live]
 }
 
 // newPipeline wraps a core result with the configuration it was cut under,
@@ -136,5 +140,16 @@ func (p *Pipeline) Serve(ctx context.Context, src Source, opts ...ServeOption) (
 	if world == nil {
 		world = NewWorld(nil)
 	}
+	cfg.onLive = func(l *runtime.Live) { p.live.Store(l) }
 	return runtime.Serve(ctx, p.stages, world, src, cfg.serveConfig())
 }
+
+// Snapshot captures the counters of the pipeline's most recent Serve run
+// at this instant: safe to call at any time from any goroutine, including
+// while the run is still in flight (the usual pattern is Serve on one
+// goroutine, Snapshot from a monitoring loop on another). The returned
+// value is a plain-field copy — inspect it freely. Returns nil if Serve
+// has not been called on this Pipeline. Works with or without an Observer
+// attached; for the full trace and fault records, use the Metrics that
+// Serve returns.
+func (p *Pipeline) Snapshot() *Snapshot { return p.live.Load().Snapshot() }

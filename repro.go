@@ -34,11 +34,14 @@
 package repro
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/npsim"
+	"repro/internal/obsv"
 	"repro/internal/ppc"
 	"repro/internal/runtime"
 )
@@ -94,6 +97,65 @@ type Metrics = runtime.Metrics
 
 // StageStats are one stage's serve-path counters.
 type StageStats = runtime.StageStats
+
+// Snapshot is a point-in-time view of a serve run's counters, returned by
+// Pipeline.Snapshot — the live analogue of Metrics, safe to take while the
+// run is still moving.
+type Snapshot = runtime.Snapshot
+
+// Observer bundles the observability sinks Serve threads through the
+// runtime (WithObserver): a Tracer for per-phase spans, a Registry for
+// counters and histograms, and an optional periodic progress logger. Any
+// subset of fields may be set; the zero Observer observes nothing.
+type Observer = obsv.Observer
+
+// Tracer records per-stage phase spans from a served pipeline; export
+// with WriteChromeTrace or render with Timeline.
+type Tracer = obsv.Tracer
+
+// Span is one traced interval: a (stage, iteration, phase) triple with
+// its offset and duration.
+type Span = obsv.Span
+
+// Phase classifies what a traced span measures.
+type Phase = obsv.Phase
+
+// Span phases: ring-wait (blocked receiving from upstream), execute
+// (running stage bodies), and transmit (blocked sending downstream).
+const (
+	PhaseWait = obsv.PhaseWait
+	PhaseExec = obsv.PhaseExec
+	PhaseTx   = obsv.PhaseTx
+)
+
+// Registry is a process-local metrics registry: named counters, gauges,
+// and histograms with a point-in-time Snapshot, a JSON form, and an
+// http.Handler for scraping.
+type Registry = obsv.Registry
+
+// HistogramSnapshot is the frozen form of one histogram inside a
+// Registry snapshot.
+type HistogramSnapshot = obsv.HistogramSnapshot
+
+// NewTracer returns a span recorder holding up to max spans (0 means the
+// default capacity); beyond that, new spans are counted as dropped.
+func NewTracer(max int) *Tracer { return obsv.NewTracer(max) }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obsv.NewRegistry() }
+
+// WriteChromeTrace exports spans in Chrome trace_event JSON — load the
+// file at chrome://tracing or https://ui.perfetto.dev to see the
+// pipeline's stage timeline as swimlanes.
+func WriteChromeTrace(w io.Writer, spans []Span) error { return obsv.WriteChromeTrace(w, spans) }
+
+// ReadChromeTrace imports spans previously exported with WriteChromeTrace.
+func ReadChromeTrace(r io.Reader) ([]Span, error) { return obsv.ReadChromeTrace(r) }
+
+// Timeline renders spans as a fixed-width ASCII swimlane per stage —
+// '#' executing, 'w' waiting on the inbound ring, 't' blocked
+// transmitting, '.' idle.
+func Timeline(spans []Span, width int) string { return obsv.Timeline(spans, width) }
 
 // Source supplies the packet stream a served pipeline consumes.
 type Source = runtime.Source
