@@ -286,8 +286,9 @@ func BenchmarkInterpreter(b *testing.B) {
 }
 
 // benchmarkServe measures the host-native streaming runtime on the IPv4
-// PPS: packets per second through a D-stage goroutine pipeline.
-func benchmarkServe(b *testing.B, degree, batch int) {
+// PPS: packets per second through a D-stage goroutine pipeline executing
+// stages on the given backend.
+func benchmarkServe(b *testing.B, degree, batch int, backend repro.Backend) {
 	p, _ := netbench.ByName("IPv4")
 	prog, err := p.Compile()
 	if err != nil {
@@ -301,7 +302,7 @@ func benchmarkServe(b *testing.B, degree, batch int) {
 	world := netbench.NewWorld(nil)
 	b.ResetTimer()
 	m, err := pipe.Serve(context.Background(), repro.RepeatSource(traffic, b.N),
-		repro.WithWorld(world), repro.WithBatch(batch))
+		repro.WithWorld(world), repro.WithBatch(batch), repro.WithBackend(backend))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -313,19 +314,37 @@ func benchmarkServe(b *testing.B, degree, batch int) {
 }
 
 // BenchmarkServeIPv4Sequential is the single-stage host baseline the
-// pipelined serve benchmarks are compared against.
-func BenchmarkServeIPv4Sequential(b *testing.B) { benchmarkServe(b, 1, 1) }
+// pipelined serve benchmarks are compared against (compiled backend — the
+// serve default).
+func BenchmarkServeIPv4Sequential(b *testing.B) { benchmarkServe(b, 1, 1, repro.BackendCompiled) }
 
 // BenchmarkServeIPv4D2 serves through a 2-stage goroutine pipeline.
-func BenchmarkServeIPv4D2(b *testing.B) { benchmarkServe(b, 2, 1) }
+func BenchmarkServeIPv4D2(b *testing.B) { benchmarkServe(b, 2, 1, repro.BackendCompiled) }
 
 // BenchmarkServeIPv4D4 serves through a 4-stage goroutine pipeline — the
 // configuration EXPERIMENTS.md tabulates.
-func BenchmarkServeIPv4D4(b *testing.B) { benchmarkServe(b, 4, 1) }
+func BenchmarkServeIPv4D4(b *testing.B) { benchmarkServe(b, 4, 1, repro.BackendCompiled) }
 
 // BenchmarkServeIPv4D4Batch32 adds transmission batching, amortizing ring
 // synchronization over 32 iterations per ring entry.
-func BenchmarkServeIPv4D4Batch32(b *testing.B) { benchmarkServe(b, 4, 32) }
+func BenchmarkServeIPv4D4Batch32(b *testing.B) { benchmarkServe(b, 4, 32, repro.BackendCompiled) }
+
+// BenchmarkServeIPv4D1Batch32Compiled and its Interp twin are the
+// backend-comparison pair: one stage, batch 32, so ring synchronization is
+// amortized and the measurement isolates the stage-execution substrate.
+// DESIGN.md §"Execution backends" requires compiled ≥ 2x interp here.
+func BenchmarkServeIPv4D1Batch32Compiled(b *testing.B) {
+	benchmarkServe(b, 1, 32, repro.BackendCompiled)
+}
+
+// BenchmarkServeIPv4D1Batch32Interp is the interpreter half of the
+// backend-comparison pair.
+func BenchmarkServeIPv4D1Batch32Interp(b *testing.B) { benchmarkServe(b, 1, 32, repro.BackendInterp) }
+
+// BenchmarkServeIPv4D4Batch32Interp serves the EXPERIMENTS.md pipeline
+// configuration on the interpreter, for before/after comparison with
+// BenchmarkServeIPv4D4Batch32.
+func BenchmarkServeIPv4D4Batch32Interp(b *testing.B) { benchmarkServe(b, 4, 32, repro.BackendInterp) }
 
 // BenchmarkSimulator measures the npsim substrate end to end.
 func BenchmarkSimulator(b *testing.B) {

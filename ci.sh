@@ -45,7 +45,12 @@ go test ./internal/runtime -run '^$' -fuzz=FuzzServeVsOracle -fuzztime=10s
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
 
-echo "== pipebench serve -> BENCH_serve.json"
-go run ./cmd/pipebench -experiment serve -serve-packets 50000 -json BENCH_serve.json
+echo "== pipebench serve (compiled backend) -> BENCH_serve.json"
+# The compiled-backend serve benchmark is also the throughput-regression
+# gate: -baseline compares the fresh (D=1, batch=32) point against the
+# checked-in BENCH_serve.json BEFORE -json overwrites it, and fails the
+# run on a >10% pkt/s regression.
+go run ./cmd/pipebench -experiment serve -backend compiled -serve-packets 50000 \
+    -baseline BENCH_serve.json -json BENCH_serve.json
 
 echo "ci.sh: all checks passed"

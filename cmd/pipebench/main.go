@@ -6,6 +6,7 @@
 // Usage:
 //
 //	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim|serve|chaos|profile] [-j N] [-json FILE]
+//	          [-backend compiled|interp] [-baseline FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Every PPS is analyzed once and the independent (PPS × degree) and
 // ablation configurations are measured on -j worker goroutines (0, the
@@ -23,6 +24,13 @@
 // table an operator reads to decide which knob to turn (see DESIGN.md §8).
 // All three are excluded from -experiment all because their timing output
 // is inherently not byte-stable, while all's tables are.
+//
+// -backend selects the serve experiment's stage-execution backend
+// (compiled, the default, or interp — the reference interpreter).
+// -baseline FILE gates the serve experiment against a checked-in
+// BENCH_serve.json: a >10% pkt/s regression at (D=1, batch=32) fails the
+// run before -json overwrites the file. -cpuprofile and -memprofile write
+// pprof profiles of whatever experiment ran.
 package main
 
 import (
@@ -30,24 +38,76 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
+	"repro/internal/runtime"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	which := flag.String("experiment", "all", "which experiment to run")
 	jobs := flag.Int("j", 0, "worker goroutines for independent configurations (0 = one per CPU, 1 = sequential)")
 	jsonOut := flag.String("json", "", "write the serve experiment's points to this file as JSON")
 	servePkts := flag.Int("serve-packets", 200000, "packets streamed per serve configuration")
+	backendName := flag.String("backend", "compiled", "serve stage-execution backend: compiled|interp")
+	baseline := flag.String("baseline", "", "fail the serve experiment if (D=1, batch=32) pkt/s regresses >10% below this JSON baseline")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile of the run to this file")
 	flag.Parse()
 
+	var backend runtime.Backend
+	switch *backendName {
+	case "compiled":
+		backend = runtime.BackendCompiled
+	case "interp":
+		backend = runtime.BackendInterp
+	default:
+		fmt.Fprintf(os.Stderr, "pipebench: unknown -backend %q (want compiled|interp)\n", *backendName)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+			}
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+		}
+	}()
+
+	exit := 0
 	run := func(name string, fn func() error) {
-		if *which != "all" && *which != name {
+		if exit != 0 || (*which != "all" && *which != name) {
 			return
 		}
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "pipebench %s: %v\n", name, err)
-			os.Exit(1)
+			exit = 1
 		}
 	}
 
@@ -149,17 +209,17 @@ func main() {
 	// measured wall-clock throughput, which would break the byte-identity
 	// invariant of `-experiment all` output.
 	runTimed := func(name string, fn func() error) {
-		if *which != name {
+		if exit != 0 || *which != name {
 			return
 		}
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "pipebench %s: %v\n", name, err)
-			os.Exit(1)
+			exit = 1
 		}
 	}
 	runTimed("serve", func() error {
-		fmt.Println("Host runtime throughput (IPv4 PPS, goroutine-per-stage serve)")
-		pts, err := experiments.ServeThroughput("IPv4", []int{1, 2, 4, 8}, []int{1, 32}, *servePkts)
+		fmt.Printf("Host runtime throughput (IPv4 PPS, goroutine-per-stage serve, %s backend)\n", backend)
+		pts, err := experiments.ServeThroughput("IPv4", []int{1, 2, 4, 8}, []int{1, 32}, *servePkts, backend)
 		if err != nil {
 			return err
 		}
@@ -168,6 +228,13 @@ func main() {
 				p.Degree, p.Batch, p.PktPerS, p.Speedup)
 		}
 		fmt.Println()
+		// Gate against the checked-in baseline before -json may overwrite it.
+		if *baseline != "" {
+			if err := experiments.CheckServeBaseline(pts, *baseline); err != nil {
+				return err
+			}
+			fmt.Printf("baseline %s: within tolerance\n", *baseline)
+		}
 		if *jsonOut != "" {
 			data, err := json.MarshalIndent(pts, "", "  ")
 			if err != nil {
@@ -253,4 +320,5 @@ func main() {
 		fmt.Println()
 		return nil
 	})
+	return exit
 }

@@ -22,6 +22,9 @@
 //	             traces
 //	-serve N     stream N zero-filled 48-byte packets through the
 //	             goroutine-per-stage host runtime and print its metrics
+//	-backend B   stage-execution backend for -serve: compiled (default,
+//	             IR lowered once to slot-indexed closure programs) or
+//	             interp (the reference interpreter)
 //
 // Observability of the -serve run (see DESIGN.md §8):
 //
@@ -59,6 +62,7 @@ func main() {
 	ast := flag.Bool("ast", false, "print the canonically formatted source and exit")
 	verify := flag.Int("verify", 0, "verify behaviour over N iterations")
 	serve := flag.Int("serve", 0, "stream N packets through the host runtime")
+	backendName := flag.String("backend", "compiled", "-serve stage-execution backend: compiled|interp")
 	traceOut := flag.String("trace", "", "write the -serve span timeline to this file as Chrome trace_event JSON")
 	metricsAddr := flag.String("metrics", "", "expose the -serve metrics registry over HTTP on this address (e.g. :8080)")
 	obsLog := flag.Duration("obs-log", 0, "emit a periodic -serve progress line to stderr at this interval")
@@ -159,6 +163,15 @@ func main() {
 		fmt.Printf("verification passed: %d iterations, %d events\n", *verify, len(seq))
 	}
 	if *serve > 0 {
+		var backend repro.Backend
+		switch *backendName {
+		case "compiled":
+			backend = repro.BackendCompiled
+		case "interp":
+			backend = repro.BackendInterp
+		default:
+			fatal(fmt.Errorf("unknown -backend %q (want compiled|interp)", *backendName))
+		}
 		obs := &repro.Observer{}
 		var reg *repro.Registry
 		var tr *repro.Tracer
@@ -188,7 +201,7 @@ func main() {
 			}
 		}
 		m, err := pipe.Serve(context.Background(), repro.PacketSource(testPackets(*serve)),
-			repro.WithObserver(obs))
+			repro.WithObserver(obs), repro.WithBackend(backend))
 		if err != nil {
 			fatal(err)
 		}

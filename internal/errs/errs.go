@@ -105,4 +105,7 @@ var (
 	// ErrBadObserver reports an unusable observability configuration (a
 	// negative periodic-log interval).
 	ErrBadObserver = errors.New("bad observer configuration")
+
+	// ErrBadBackend reports an unknown stage-execution backend selector.
+	ErrBadBackend = errors.New("bad execution backend")
 )

@@ -1,0 +1,1035 @@
+// Package exec is the compiled stage-execution backend: it lowers an
+// ir.Program once into a flat, slot-indexed closure program and then runs
+// iterations by dispatching through that program directly. Where the
+// interpreter in internal/interp walks the IR tree — a switch on in.Op per
+// step, a string switch per intrinsic call, and an array-storage lookup per
+// load/store — the compiled form pre-resolves everything resolvable at
+// compile time:
+//
+//   - basic-block labels become block indices (the closure for a terminator
+//     returns the next block, with the per-edge phi moves folded in, so a
+//     taken branch costs exactly one dispatch);
+//   - registers and phi slots become offsets into one dense frame, captured
+//     by the closures as a slice, so no per-step indirection remains;
+//   - persistent arrays are bound to their preallocated []int64 storage at
+//     compile time, and local arrays to dense per-iteration bind slots;
+//   - every pure op, terminator shape, and intrinsic is specialized into its
+//     own closure; the straight-line body of a basic block executes as one
+//     contiguous closure sweep per dispatch, with the step budget charged
+//     per block rather than per instruction;
+//   - registers that provably hold one compile-time constant on every read
+//     (sole writer is an OpConst that dominates all reads) are preloaded
+//     into a frame template copied at iteration start, and their defining
+//     instructions drop out of the hot body entirely.
+//
+// The backend preserves the interpreter's semantics exactly — the MaxSteps
+// bound (bulk per-block accounting switches to a per-instruction exact path
+// before the budget can be crossed), wrapIndex array wrapping, total
+// evalPure arithmetic, RxFromCtx stream discipline, event ordering, and the
+// send/recv live-set layout — and the interpreter is retained as the
+// behavioural oracle: the differential tests in this package and the
+// cross-backend fuzz harness in internal/runtime hold the two byte-identical
+// on the same inputs.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/errs"
+	"repro/internal/graph"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Control-flow sentinels a compiled terminator may return instead of a next
+// block index. Body closures return pcErr on failure and any non-negative
+// value otherwise (the dispatch loop only inspects them for pcErr).
+const (
+	pcRet = -1 // OpRet: the iteration completed normally
+	pcErr = -2 // a runtime error was parked in Runner.err
+)
+
+// instrFn is one compiled instruction: it performs its effect and returns
+// the next block index / sentinel (terminators) or pcErr / don't-care
+// (body instructions).
+type instrFn func(m *Runner) int
+
+// block is one compiled basic block: the hot-path body sweep, the exact
+// per-instruction sequence for the MaxSteps boundary, and the terminator.
+type block struct {
+	// body is the straight-line sweep the fast path runs: every non-phi,
+	// non-terminator instruction except preloaded constants.
+	body []instrFn
+	// seq is the same region including preloaded constants, executed one
+	// instruction at a time (with exact step counting) once the step
+	// budget comes within one block of MaxSteps.
+	seq []instrFn
+	// term transfers control: it performs the taken edge's phi moves and
+	// returns the successor block (or pcRet / pcErr). For a block with no
+	// terminator it is the interpreter's "fell off the end" error.
+	term instrFn
+	// cost is the steps the fast path charges for one pass through the
+	// block: len(seq) plus termCost. termCost is 1 for a real terminator
+	// (the interpreter counts it like any instruction) and 0 for the
+	// synthetic fell-off-the-end error (the interpreter raises it without
+	// consuming a step).
+	cost     int
+	termCost int
+}
+
+// Runner executes iterations of one compiled program (or one pipeline
+// stage), holding its persistent array state between iterations. It mirrors
+// interp.Runner's API so the streaming runtime can drive either backend
+// through the same calls; like interp.Runner, it executes one iteration at
+// a time and is confined to a single goroutine.
+type Runner struct {
+	Prog  *ir.Program
+	World *interp.World
+
+	// RxFromCtx restricts pkt_rx to the iteration context's pre-pulled
+	// packet, exactly as on interp.Runner: the streaming runtime sets it
+	// on every stage runner so concurrent stages never race on the
+	// World's packet cursor. It is read at execution time, so it may be
+	// set after construction (the compiled pkt_rx closure consults it).
+	RxFromCtx bool
+
+	persistent *interp.Store
+
+	blocks    []block
+	entry     int  // entry block index
+	entryEdge edge // phi moves of the virtual predecessor -1 edge
+	name      string
+
+	// regs is the dense iteration frame. It is allocated once at compile
+	// time and captured directly by the compiled closures, so register
+	// access is a single slice index. template is its iteration-start
+	// image: zero everywhere except preloaded constant registers.
+	regs     []int64
+	template []int64
+	phiBuf   []int64
+
+	// localArrs lists the distinct local arrays the program touches;
+	// localBind holds their per-iteration storage, re-resolved from the
+	// IterCtx at the top of every RunIteration (local state flows with
+	// the iteration token, not with the stage).
+	localArrs []*ir.Array
+	localBind [][]int64
+
+	// Per-iteration state the closures reach through the runner.
+	ctx  *interp.IterCtx
+	recv []int64
+	sent []int64
+	err  error
+}
+
+// NewRunner compiles prog against freshly initialized persistent state.
+func NewRunner(prog *ir.Program, world *interp.World) *Runner {
+	r := &Runner{Prog: prog, World: world, persistent: interp.NewStore(prog)}
+	r.compile()
+	return r
+}
+
+// NewStageRunners compiles one Runner per pipeline stage, all bound to one
+// fully pre-populated persistent store (the same sharing discipline as
+// interp.NewStageRunners: every persistent array is materialized before any
+// stage goroutine starts, and each array's storage is touched by exactly
+// one stage per the partitioning invariant, so no locking is needed).
+func NewStageRunners(stages []*ir.Program, world *interp.World) []*Runner {
+	shared := interp.NewStore(stages...)
+	runners := make([]*Runner, len(stages))
+	for i, s := range stages {
+		runners[i] = &Runner{Prog: s, World: world, persistent: shared}
+		runners[i].compile()
+	}
+	return runners
+}
+
+// PersistentStore returns the runner's persistent-array store.
+func (m *Runner) PersistentStore() *interp.Store { return m.persistent }
+
+// wrapIndex mirrors the interpreter's array-index wrapping: out-of-range
+// indices wrap modulo the array size, with negative indices brought into
+// range.
+func wrapIndex(i int64, size int) int {
+	v := i % int64(size)
+	if v < 0 {
+		v += int64(size)
+	}
+	return int(v)
+}
+
+// RunIteration executes one PPS-loop iteration of the compiled program in
+// the given per-iteration context. recv supplies the live-set slot values
+// consumed by OpRecvLS (nil for a first stage / sequential program); the
+// values sent by OpSendLS are returned. The semantics — including error
+// cases and the MaxSteps bound — match interp.Runner.RunIteration exactly.
+func (m *Runner) RunIteration(ctx *interp.IterCtx, recv []int64) ([]int64, error) {
+	m.ctx, m.recv, m.sent, m.err = ctx, recv, nil, nil
+	copy(m.regs, m.template)
+	for i, a := range m.localArrs {
+		m.localBind[i] = ctx.Local(a.ID, a.Size)
+	}
+	bi := m.entry
+	if e := &m.entryEdge; !e.trivial() {
+		bi = m.take(e)
+	}
+	blocks := m.blocks
+	steps := 0
+loop:
+	for bi >= 0 {
+		b := &blocks[bi]
+		if steps+b.cost > interp.MaxSteps {
+			// Within one block of the budget: fall back to exact
+			// per-instruction accounting so the limit fires on
+			// precisely the same step as the interpreter.
+			bi = m.runExact(bi, steps)
+			break loop
+		}
+		steps += b.cost
+		for _, fn := range b.body {
+			if fn(m) == pcErr {
+				bi = pcErr
+				break loop
+			}
+		}
+		bi = b.term(m)
+	}
+	sent, err := m.sent, m.err
+	m.ctx, m.recv, m.sent, m.err = nil, nil, nil, nil
+	if bi == pcErr {
+		return nil, err
+	}
+	return sent, nil
+}
+
+// runExact continues an iteration with per-instruction step accounting (the
+// interpreter increments and checks before executing each instruction). It
+// runs only when an iteration comes within one block of MaxSteps, so its
+// cost is irrelevant; what matters is that its counting is byte-exact.
+func (m *Runner) runExact(bi, steps int) int {
+	blocks := m.blocks
+	for bi >= 0 {
+		b := &blocks[bi]
+		for _, fn := range b.seq {
+			steps++
+			if steps > interp.MaxSteps {
+				m.err = fmt.Errorf("%s: step limit exceeded (non-terminating inner loop?)", m.name)
+				return pcErr
+			}
+			if fn(m) == pcErr {
+				return pcErr
+			}
+		}
+		if b.termCost != 0 {
+			steps++
+			if steps > interp.MaxSteps {
+				m.err = fmt.Errorf("%s: step limit exceeded (non-terminating inner loop?)", m.name)
+				return pcErr
+			}
+		}
+		bi = b.term(m)
+	}
+	return bi
+}
+
+// RunSequential executes iters iterations of prog against world on the
+// compiled backend and returns the observable trace. It is the compiled
+// counterpart of interp.RunSequential.
+func RunSequential(prog *ir.Program, world *interp.World, iters int) ([]interp.Event, error) {
+	if prog == nil {
+		return nil, errs.ErrNilProgram
+	}
+	if world == nil {
+		return nil, errs.ErrNilWorld
+	}
+	r := NewRunner(prog, world)
+	ctx := interp.NewIterCtx()
+	for i := 0; i < iters; i++ {
+		if _, err := r.RunIteration(ctx, nil); err != nil {
+			return nil, fmt.Errorf("iteration %d: %w", i, err)
+		}
+		ctx.Reset()
+	}
+	return world.Trace, nil
+}
+
+// RunPipeline executes iters iterations through the given pipeline stages
+// on the compiled backend, run to completion per iteration (the same
+// trace-order-preserving discipline as interp.RunPipeline).
+func RunPipeline(stages []*ir.Program, world *interp.World, iters int) ([]interp.Event, error) {
+	if len(stages) == 0 {
+		return nil, errs.ErrNoStages
+	}
+	for i, s := range stages {
+		if s == nil {
+			return nil, fmt.Errorf("stage %d: %w", i, errs.ErrNilStage)
+		}
+	}
+	if world == nil {
+		return nil, errs.ErrNilWorld
+	}
+	runners := NewStageRunners(stages, world)
+	ctx := interp.NewIterCtx()
+	for i := 0; i < iters; i++ {
+		var slots []int64
+		for k, r := range runners {
+			out, err := r.RunIteration(ctx, slots)
+			if err != nil {
+				return nil, fmt.Errorf("iteration %d, stage %d: %w", i, k, err)
+			}
+			slots = out
+		}
+		ctx.Reset()
+	}
+	return world.Trace, nil
+}
+
+// emitEv routes an observable event the way the interpreter does: into the
+// iteration's deferred buffer when the context asks for it, else straight
+// onto the shared World trace.
+func (m *Runner) emitEv(e interp.Event) {
+	if m.ctx.DeferEvents {
+		m.ctx.Events = append(m.ctx.Events, e)
+		return
+	}
+	m.World.EmitEvent(e)
+}
+
+// edge is one resolved CFG edge: the parallel phi moves the edge performs
+// and the block index it lands on. A nil-err edge with no moves is
+// "trivial" and folds to a bare constant in the terminator closure.
+type edge struct {
+	srcs []int // phi source registers, read first (parallel semantics)
+	dsts []int // phi destination registers
+	err  error // set when a phi lacks a value for this predecessor
+	to   int   // target block index
+}
+
+func (e *edge) trivial() bool { return e.err == nil && len(e.srcs) == 0 }
+
+// take performs the edge's phi moves (reads before writes, via the shared
+// scratch buffer) and returns the target block index.
+func (m *Runner) take(e *edge) int {
+	if e.err != nil {
+		m.err = e.err
+		return pcErr
+	}
+	regs, buf := m.regs, m.phiBuf
+	for i, s := range e.srcs {
+		buf[i] = regs[s]
+	}
+	for i, d := range e.dsts {
+		regs[d] = buf[i]
+	}
+	return e.to
+}
+
+// compiler carries the layout computed in the first pass.
+type compiler struct {
+	f       *ir.Func
+	nPhis   []int  // block ID -> number of leading phis
+	termIdx []int  // block ID -> index of the first control-transfer instruction, or -1
+	preload []bool // register -> holds a preloaded constant from the template
+	binds   map[*ir.Array]int
+}
+
+// compile lowers the program into the block-fused closure form. The first
+// pass lays out the blocks — leading phi counts and the first control
+// transfer, past which the interpreter never executes — then the constant
+// analysis fills the frame template, and the second pass emits the
+// specialized closures with all targets resolved.
+func (m *Runner) compile() {
+	f := m.Prog.Func
+	m.name = f.Name
+	m.regs = make([]int64, f.NumRegs)
+	m.template = make([]int64, f.NumRegs)
+
+	c := &compiler{
+		f:       f,
+		nPhis:   make([]int, len(f.Blocks)),
+		termIdx: make([]int, len(f.Blocks)),
+		binds:   make(map[*ir.Array]int),
+	}
+	maxPhi := 0
+	for i, b := range f.Blocks {
+		n := 0
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			n++
+		}
+		c.nPhis[i] = n
+		if n > maxPhi {
+			maxPhi = n
+		}
+		// The live region ends at the first control transfer: the
+		// interpreter leaves the block there, so anything after it is
+		// dead code (usually there is exactly one, in last position).
+		c.termIdx[i] = -1
+		for idx := n; idx < len(b.Instrs); idx++ {
+			op := b.Instrs[idx].Op
+			if op == ir.OpJmp || op == ir.OpBr || op == ir.OpSwitch || op == ir.OpRet {
+				c.termIdx[i] = idx
+				break
+			}
+		}
+	}
+	m.phiBuf = make([]int64, maxPhi)
+	c.analyzePreload(m.template)
+
+	m.blocks = make([]block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		end := c.termIdx[i]
+		if end < 0 {
+			end = len(b.Instrs)
+		}
+		bl := &m.blocks[i]
+		for idx := c.nPhis[i]; idx < end; idx++ {
+			in := b.Instrs[idx]
+			fn := m.compileInstr(c, b, in)
+			bl.seq = append(bl.seq, fn)
+			if in.Op == ir.OpConst && in.Dst != ir.NoReg && c.preload[in.Dst] {
+				continue // the template already holds the value
+			}
+			bl.body = append(bl.body, fn)
+		}
+		if ti := c.termIdx[i]; ti >= 0 {
+			bl.term = m.compileTerm(c, b, b.Instrs[ti])
+			bl.termCost = 1
+		} else {
+			// The interpreter raises this after the body, without
+			// consuming a step — hence termCost 0.
+			err := fmt.Errorf("%s: b%d fell off the end without a terminator", f.Name, b.ID)
+			bl.term = func(m *Runner) int { m.err = err; return pcErr }
+		}
+		bl.cost = len(bl.seq) + bl.termCost
+	}
+
+	m.entry = f.Entry
+	// The virtual predecessor -1 edge: trivially the entry block, or —
+	// when the entry block opens with phis — the moves (or the
+	// interpreter's no-value-for-predecessor error) run by RunIteration
+	// before dispatch starts.
+	m.entryEdge = c.planEdge(-1, f.Entry)
+	m.localBind = make([][]int64, len(m.localArrs))
+}
+
+// analyzePreload finds registers that provably hold one compile-time
+// constant whenever read: the register's only live writer is an OpConst,
+// and every live read executes after that write — later in the same block,
+// or in a block the writer's block dominates (a phi argument reads on its
+// edge, i.e. at the end of the predecessor). Those registers are preloaded
+// into the frame template and their defining OpConst is dropped from the
+// hot body. Step accounting is unaffected: the instruction still counts in
+// the block's cost, and the exact path still executes it (rewriting the
+// same value). Reads the analysis cannot order — including entry-block phis
+// fed by the virtual predecessor -1, which the interpreter services from
+// the zeroed frame — disqualify the register.
+func (c *compiler) analyzePreload(template []int64) {
+	f := c.f
+	n := len(template)
+	if n == 0 {
+		return
+	}
+	wBlk := make([]int, n)
+	wIdx := make([]int, n)
+	wImm := make([]int64, n)
+	wConst := make([]bool, n)
+	wCount := make([]int, n)
+
+	record := func(reg, blk, idx int, isConst bool, imm int64) {
+		if reg < 0 || reg >= n {
+			return
+		}
+		wCount[reg]++
+		wBlk[reg], wIdx[reg] = blk, idx
+		wConst[reg] = isConst
+		wImm[reg] = imm
+	}
+	for bi, b := range f.Blocks {
+		for idx := 0; idx < c.nPhis[bi]; idx++ {
+			record(b.Instrs[idx].Dst, bi, idx, false, 0)
+		}
+		end := c.termIdx[bi] // terminators never write registers
+		if end < 0 {
+			end = len(b.Instrs)
+		}
+		for idx := c.nPhis[bi]; idx < end; idx++ {
+			in := b.Instrs[idx]
+			record(in.Dst, bi, idx, in.Op == ir.OpConst, in.Imm)
+			for _, d := range in.Dsts {
+				record(d, bi, idx, false, 0)
+			}
+		}
+	}
+
+	pre := make([]bool, n)
+	any := false
+	for r := 0; r < n; r++ {
+		if wCount[r] == 1 && wConst[r] {
+			pre[r] = true
+			any = true
+		}
+	}
+	if !any {
+		c.preload = pre
+		return
+	}
+
+	g := graph.New(len(f.Blocks))
+	for bi := range f.Blocks {
+		if ti := c.termIdx[bi]; ti >= 0 {
+			for _, t := range f.Blocks[bi].Instrs[ti].Targets {
+				g.AddEdge(bi, t)
+			}
+		}
+	}
+	dom := graph.Dominators(g, f.Entry)
+
+	readOK := func(r, blk, idx int) bool {
+		if blk == wBlk[r] {
+			return idx > wIdx[r]
+		}
+		return dom.Dominates(wBlk[r], blk)
+	}
+	for bi, b := range f.Blocks {
+		for idx := 0; idx < c.nPhis[bi]; idx++ {
+			in := b.Instrs[idx]
+			for j, p := range in.PhiPreds {
+				r := in.Args[j]
+				if r < 0 || r >= n || !pre[r] {
+					continue
+				}
+				if p < 0 || !(p == wBlk[r] || dom.Dominates(wBlk[r], p)) {
+					pre[r] = false
+				}
+			}
+		}
+		end := c.termIdx[bi] + 1 // terminators do read (br cond, switch value)
+		if end == 0 {
+			end = len(b.Instrs)
+		}
+		for idx := c.nPhis[bi]; idx < end; idx++ {
+			for _, r := range b.Instrs[idx].Args {
+				if r >= 0 && r < n && pre[r] && !readOK(r, bi, idx) {
+					pre[r] = false
+				}
+			}
+		}
+	}
+	for r, ok := range pre {
+		if ok {
+			template[r] = wImm[r]
+		}
+	}
+	c.preload = pre
+}
+
+// planEdge resolves the phi moves of the pred -> succ edge.
+func (c *compiler) planEdge(pred, succ int) edge {
+	b := c.f.Blocks[succ]
+	e := edge{to: succ}
+	for i := 0; i < c.nPhis[succ]; i++ {
+		in := b.Instrs[i]
+		found := false
+		for j, p := range in.PhiPreds {
+			if p == pred {
+				e.srcs = append(e.srcs, in.Args[j])
+				e.dsts = append(e.dsts, in.Dst)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return edge{
+				err: fmt.Errorf("%s: b%d: phi has no value for predecessor b%d", c.f.Name, succ, pred),
+				to:  pcErr,
+			}
+		}
+	}
+	return e
+}
+
+// bindLocal returns the per-iteration bind slot for a local array,
+// allocating one on first reference.
+func (m *Runner) bindLocal(c *compiler, a *ir.Array) int {
+	if slot, ok := c.binds[a]; ok {
+		return slot
+	}
+	slot := len(m.localArrs)
+	c.binds[a] = slot
+	m.localArrs = append(m.localArrs, a)
+	return slot
+}
+
+// b2i converts a comparison result to the IR's 0/1 encoding.
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// compileTerm emits the control-transfer closure for a block's terminator,
+// with the phi moves of each outgoing edge folded in.
+func (m *Runner) compileTerm(c *compiler, blk *ir.Block, in *ir.Instr) instrFn {
+	regs := m.regs
+	switch in.Op {
+	case ir.OpJmp:
+		e := c.planEdge(blk.ID, in.Targets[0])
+		if e.trivial() {
+			to := e.to
+			return func(m *Runner) int { return to }
+		}
+		return func(m *Runner) int { return m.take(&e) }
+	case ir.OpBr:
+		pc := &regs[in.Args[0]]
+		et := c.planEdge(blk.ID, in.Targets[0])
+		ee := c.planEdge(blk.ID, in.Targets[1])
+		if et.trivial() && ee.trivial() {
+			tb, eb := et.to, ee.to
+			return func(m *Runner) int {
+				if *pc != 0 {
+					return tb
+				}
+				return eb
+			}
+		}
+		return func(m *Runner) int {
+			if *pc != 0 {
+				return m.take(&et)
+			}
+			return m.take(&ee)
+		}
+	case ir.OpSwitch:
+		pv := &regs[in.Args[0]]
+		cases := append([]int64(nil), in.Cases...)
+		edges := make([]edge, len(in.Targets))
+		for i, t := range in.Targets {
+			edges[i] = c.planEdge(blk.ID, t)
+		}
+		return func(m *Runner) int {
+			x := *pv
+			for i, cv := range cases {
+				if x == cv {
+					return m.take(&edges[i])
+				}
+			}
+			return m.take(&edges[len(edges)-1])
+		}
+	case ir.OpRet:
+		return func(m *Runner) int { return pcRet }
+	}
+	panic("exec: compileTerm on a non-terminator") // unreachable: termIdx selects control ops only
+}
+
+// compileInstr emits the specialized closure for one straight-line (non-phi,
+// non-terminator) instruction. Operand and destination registers are
+// captured as direct *int64 pointers into the frame, so the closures touch
+// memory without slice-header or bounds-check overhead; on success they
+// return a don't-care non-pcErr value.
+func (m *Runner) compileInstr(c *compiler, blk *ir.Block, in *ir.Instr) instrFn {
+	regs := m.regs
+
+	switch in.Op {
+	case ir.OpConst:
+		pd, imm := &regs[in.Dst], in.Imm
+		return func(m *Runner) int { *pd = imm; return 0 }
+	case ir.OpCopy:
+		pd, pa := &regs[in.Dst], &regs[in.Args[0]]
+		return func(m *Runner) int { *pd = *pa; return 0 }
+
+	case ir.OpAdd:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = *pa + *pb; return 0 }
+	case ir.OpSub:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = *pa - *pb; return 0 }
+	case ir.OpMul:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = *pa * *pb; return 0 }
+	case ir.OpDiv:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int {
+			a, b := *pa, *pb
+			switch {
+			case b == 0:
+				*pd = 0
+			case a == -a && b == -1:
+				// Avoid the single overflowing case MinInt64 / -1.
+				*pd = a
+			default:
+				*pd = a / b
+			}
+			return 0
+		}
+	case ir.OpMod:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int {
+			a, b := *pa, *pb
+			switch {
+			case b == 0:
+				*pd = 0
+			case a == -a && b == -1:
+				*pd = 0
+			default:
+				*pd = a % b
+			}
+			return 0
+		}
+	case ir.OpAnd:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = *pa & *pb; return 0 }
+	case ir.OpOr:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = *pa | *pb; return 0 }
+	case ir.OpXor:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = *pa ^ *pb; return 0 }
+	case ir.OpShl:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = *pa << (uint64(*pb) & 63); return 0 }
+	case ir.OpShr:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = *pa >> (uint64(*pb) & 63); return 0 }
+
+	case ir.OpEq:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = b2i(*pa == *pb); return 0 }
+	case ir.OpNe:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = b2i(*pa != *pb); return 0 }
+	case ir.OpLt:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = b2i(*pa < *pb); return 0 }
+	case ir.OpLe:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = b2i(*pa <= *pb); return 0 }
+	case ir.OpGt:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = b2i(*pa > *pb); return 0 }
+	case ir.OpGe:
+		pd, pa, pb := &regs[in.Dst], &regs[in.Args[0]], &regs[in.Args[1]]
+		return func(m *Runner) int { *pd = b2i(*pa >= *pb); return 0 }
+
+	case ir.OpNeg:
+		pd, pa := &regs[in.Dst], &regs[in.Args[0]]
+		return func(m *Runner) int { *pd = -*pa; return 0 }
+	case ir.OpNot:
+		pd, pa := &regs[in.Dst], &regs[in.Args[0]]
+		return func(m *Runner) int { *pd = b2i(*pa == 0); return 0 }
+	case ir.OpBNot:
+		pd, pa := &regs[in.Dst], &regs[in.Args[0]]
+		return func(m *Runner) int { *pd = ^*pa; return 0 }
+
+	case ir.OpLoad:
+		arr := in.Arr
+		if arr == nil {
+			// Defer the interpreter's nil-array dereference to execution
+			// time (a hand-built program only fails if the path runs).
+			return func(m *Runner) int { _ = arr.Size; return 0 }
+		}
+		pd, pidx, size := &regs[in.Dst], &regs[in.Args[0]], arr.Size
+		if arr.Persistent {
+			st := m.persistent.Get(arr)
+			return func(m *Runner) int { *pd = st[wrapIndex(*pidx, size)]; return 0 }
+		}
+		slot := m.bindLocal(c, arr)
+		return func(m *Runner) int { *pd = m.localBind[slot][wrapIndex(*pidx, size)]; return 0 }
+	case ir.OpStore:
+		arr := in.Arr
+		if arr == nil {
+			return func(m *Runner) int { _ = arr.Size; return 0 }
+		}
+		pidx, pval, size := &regs[in.Args[0]], &regs[in.Args[1]], arr.Size
+		if arr.Persistent {
+			st := m.persistent.Get(arr)
+			return func(m *Runner) int { st[wrapIndex(*pidx, size)] = *pval; return 0 }
+		}
+		slot := m.bindLocal(c, arr)
+		return func(m *Runner) int { m.localBind[slot][wrapIndex(*pidx, size)] = *pval; return 0 }
+
+	case ir.OpCall:
+		return m.compileCall(in)
+
+	case ir.OpSendLS:
+		ptrs := make([]*int64, len(in.Args))
+		for i, a := range in.Args {
+			ptrs[i] = &regs[a]
+		}
+		return func(m *Runner) int {
+			vals := make([]int64, len(ptrs))
+			for i, p := range ptrs {
+				vals[i] = *p
+			}
+			m.sent = vals
+			return 0
+		}
+	case ir.OpRecvLS:
+		ptrs := make([]*int64, len(in.Dsts))
+		for i, d := range in.Dsts {
+			ptrs[i] = &regs[d]
+		}
+		name := m.name
+		return func(m *Runner) int {
+			if len(m.recv) != len(ptrs) {
+				m.err = fmt.Errorf("%s: recvls expects %d slots, got %d", name, len(ptrs), len(m.recv))
+				return pcErr
+			}
+			for i, p := range ptrs {
+				*p = m.recv[i]
+			}
+			return 0
+		}
+	}
+
+	// Everything else is what the interpreter's evalPure default would
+	// reject (a non-leading phi, an invalid op): reproduce its wrapped
+	// error, but only if the instruction is ever reached.
+	err := fmt.Errorf("%s: b%d: cannot evaluate %s", m.name, blk.ID, in)
+	return func(m *Runner) int { m.err = err; return pcErr }
+}
+
+// compileCall specializes an intrinsic call: the name is resolved once here
+// instead of once per execution, and each intrinsic becomes a dedicated
+// closure over direct pointers to its argument and destination slots. The
+// semantics of every intrinsic match interp.Runner.intrinsic exactly; a nil
+// destination pointer mirrors the interpreter's in.Dst != ir.NoReg check.
+func (m *Runner) compileCall(in *ir.Instr) instrFn {
+	regs := m.regs
+	var pd *int64
+	if in.Dst != ir.NoReg {
+		pd = &regs[in.Dst]
+	}
+	argp := func(i int) *int64 {
+		return &regs[in.Args[i]]
+	}
+
+	switch in.Call {
+	case "pkt_rx":
+		return func(m *Runner) int {
+			ctx := m.ctx
+			var p []byte
+			if ctx.HasPending {
+				p, ctx.Pending, ctx.HasPending = ctx.Pending, nil, false
+			} else if !m.RxFromCtx {
+				p = m.World.RxPacket()
+			}
+			if p == nil {
+				ctx.Pkt, ctx.HasPkt = nil, false
+				if pd != nil {
+					*pd = -1
+				}
+				return 0
+			}
+			buf := make([]byte, len(p))
+			copy(buf, p)
+			ctx.Pkt, ctx.HasPkt = buf, true
+			if pd != nil {
+				*pd = int64(len(buf))
+			}
+			return 0
+		}
+	case "pkt_len":
+		return func(m *Runner) int {
+			if pd != nil {
+				*pd = int64(len(m.ctx.Pkt))
+			}
+			return 0
+		}
+	case "pkt_byte":
+		p0 := argp(0)
+		return func(m *Runner) int {
+			off := *p0
+			if off < 0 || off >= int64(len(m.ctx.Pkt)) {
+				if pd != nil {
+					*pd = 0
+				}
+			} else {
+				if pd != nil {
+					*pd = int64(m.ctx.Pkt[off])
+				}
+			}
+			return 0
+		}
+	case "pkt_word":
+		p0 := argp(0)
+		return func(m *Runner) int {
+			off := *p0
+			pkt := m.ctx.Pkt
+			var v int64
+			for i := int64(0); i < 4; i++ {
+				v <<= 8
+				if o := off + i; o >= 0 && o < int64(len(pkt)) {
+					v |= int64(pkt[o])
+				}
+			}
+			if pd != nil {
+				*pd = v
+			}
+			return 0
+		}
+	case "pkt_setbyte":
+		p0, p1 := argp(0), argp(1)
+		return func(m *Runner) int {
+			off, val := *p0, *p1
+			if off >= 0 && off < int64(len(m.ctx.Pkt)) {
+				m.ctx.Pkt[off] = byte(val)
+			}
+			if pd != nil {
+				*pd = 0
+			}
+			return 0
+		}
+	case "pkt_setword":
+		p0, p1 := argp(0), argp(1)
+		return func(m *Runner) int {
+			off, val := *p0, *p1
+			pkt := m.ctx.Pkt
+			for i := int64(0); i < 4; i++ {
+				if o := off + i; o >= 0 && o < int64(len(pkt)) {
+					pkt[o] = byte(val >> (8 * (3 - i)))
+				}
+			}
+			if pd != nil {
+				*pd = 0
+			}
+			return 0
+		}
+	case "pkt_send":
+		p0 := argp(0)
+		return func(m *Runner) int {
+			pkt := make([]byte, len(m.ctx.Pkt))
+			copy(pkt, m.ctx.Pkt)
+			m.emitEv(interp.Event{Kind: interp.EvSend, Val: *p0, Pkt: pkt})
+			if pd != nil {
+				*pd = 0
+			}
+			return 0
+		}
+	case "pkt_drop":
+		return func(m *Runner) int {
+			m.emitEv(interp.Event{Kind: interp.EvDrop})
+			if pd != nil {
+				*pd = 0
+			}
+			return 0
+		}
+	case "meta_get":
+		p0 := argp(0)
+		return func(m *Runner) int {
+			if pd != nil {
+				*pd = m.ctx.Meta[wrapIndex(*p0, len(m.ctx.Meta))]
+			}
+			return 0
+		}
+	case "meta_set":
+		p0, p1 := argp(0), argp(1)
+		return func(m *Runner) int {
+			m.ctx.Meta[wrapIndex(*p0, len(m.ctx.Meta))] = *p1
+			if pd != nil {
+				*pd = 0
+			}
+			return 0
+		}
+	case "rt_lookup":
+		p0 := argp(0)
+		return func(m *Runner) int {
+			if m.World.RT4 == nil {
+				if pd != nil {
+					*pd = -1
+				}
+			} else {
+				if pd != nil {
+					*pd = m.World.RT4(*p0)
+				}
+			}
+			return 0
+		}
+	case "rt6_lookup":
+		p0, p1 := argp(0), argp(1)
+		return func(m *Runner) int {
+			if m.World.RT6 == nil {
+				if pd != nil {
+					*pd = -1
+				}
+			} else {
+				if pd != nil {
+					*pd = m.World.RT6(*p0, *p1)
+				}
+			}
+			return 0
+		}
+	case "csum_fold":
+		p0 := argp(0)
+		return func(m *Runner) int {
+			v := uint64(*p0) & 0xFFFFFFFF
+			v = (v & 0xFFFF) + (v >> 16)
+			v = (v & 0xFFFF) + (v >> 16)
+			if pd != nil {
+				*pd = int64(v)
+			}
+			return 0
+		}
+	case "hash_crc":
+		p0 := argp(0)
+		return func(m *Runner) int {
+			v := uint64(*p0)
+			v ^= v >> 33
+			v *= 0xff51afd7ed558ccd
+			v ^= v >> 33
+			if pd != nil {
+				*pd = int64(v & 0x7FFFFFFF)
+			}
+			return 0
+		}
+	case "q_put":
+		p0, p1 := argp(0), argp(1)
+		return func(m *Runner) int {
+			q := *p0
+			m.World.Queues[q] = append(m.World.Queues[q], *p1)
+			if pd != nil {
+				*pd = 0
+			}
+			return 0
+		}
+	case "q_get":
+		p0 := argp(0)
+		return func(m *Runner) int {
+			q := *p0
+			vs := m.World.Queues[q]
+			if len(vs) == 0 {
+				if pd != nil {
+					*pd = -1
+				}
+			} else {
+				m.World.Queues[q] = vs[1:]
+				if pd != nil {
+					*pd = vs[0]
+				}
+			}
+			return 0
+		}
+	case "q_len":
+		p0 := argp(0)
+		return func(m *Runner) int {
+			if pd != nil {
+				*pd = int64(len(m.World.Queues[*p0]))
+			}
+			return 0
+		}
+	case "trace":
+		p0 := argp(0)
+		return func(m *Runner) int {
+			m.emitEv(interp.Event{Kind: interp.EvTrace, Val: *p0})
+			if pd != nil {
+				*pd = 0
+			}
+			return 0
+		}
+	}
+
+	err := fmt.Errorf("unknown intrinsic %q", in.Call)
+	return func(m *Runner) int { m.err = err; return pcErr }
+}

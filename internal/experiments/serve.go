@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -23,15 +25,19 @@ type ServePoint struct {
 	// Speedup is measured throughput relative to the Degree=1, Batch=1
 	// point of the same PPS (the single-goroutine host baseline).
 	Speedup float64 `json:"speedup_vs_seq"`
+	// Backend names the stage-execution backend the point was measured
+	// with ("compiled" or "interp"). Omitted in old baselines, which
+	// predate the compiled backend and were measured on the interpreter.
+	Backend string `json:"backend,omitempty"`
 }
 
 // ServeThroughput measures the host-native streaming runtime: the named
 // PPS is partitioned at every degree in degrees and served packets
-// minimum-size packets at every batch size in batches. The Degree=1,
-// Batch=1 configuration anchors the Speedup column, so degrees should
-// include 1. Points are verified against the sequential oracle before
-// being timed.
-func ServeThroughput(name string, degrees, batches []int, packets int) ([]ServePoint, error) {
+// minimum-size packets at every batch size in batches, executing stages
+// on the given backend. The Degree=1, Batch=1 configuration anchors the
+// Speedup column, so degrees should include 1. Points are verified
+// against the sequential oracle before being timed.
+func ServeThroughput(name string, degrees, batches []int, packets int, backend runtime.Backend) ([]ServePoint, error) {
 	pps, ok := netbench.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown PPS %q", name)
@@ -60,7 +66,7 @@ func ServeThroughput(name string, degrees, batches []int, packets int) ([]ServeP
 			return nil, err
 		}
 		for _, batch := range batches {
-			cfg := runtime.Config{Batch: batch}
+			cfg := runtime.Config{Batch: batch, Backend: backend}
 
 			// Behaviour first: the timed configuration must match the oracle.
 			vw := netbench.NewWorld(nil)
@@ -84,6 +90,7 @@ func ServeThroughput(name string, degrees, batches []int, packets int) ([]ServeP
 				Packets: m.Packets,
 				NsTotal: m.Elapsed.Nanoseconds(),
 				PktPerS: m.PacketsPerSecond(),
+				Backend: backend.String(),
 			}
 			if d == 1 && batch == batches[0] {
 				base = p.PktPerS
@@ -95,4 +102,42 @@ func ServeThroughput(name string, degrees, batches []int, packets int) ([]ServeP
 		}
 	}
 	return pts, nil
+}
+
+// CheckServeBaseline is the CI throughput-regression gate: it compares the
+// freshly measured points against the checked-in baseline JSON at path and
+// reports an error if the (Degree=1, Batch=32) pkt_per_s regressed more
+// than 10% below the baseline's same point. A missing baseline file or a
+// baseline without that point passes (nothing to regress against), so the
+// gate bootstraps cleanly on first run.
+func CheckServeBaseline(pts []ServePoint, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var base []ServePoint
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	find := func(pts []ServePoint) *ServePoint {
+		for i := range pts {
+			if pts[i].Degree == 1 && pts[i].Batch == 32 {
+				return &pts[i]
+			}
+		}
+		return nil
+	}
+	want, got := find(base), find(pts)
+	if want == nil || got == nil {
+		return nil
+	}
+	const tolerance = 0.10
+	if got.PktPerS < want.PktPerS*(1-tolerance) {
+		return fmt.Errorf("serve throughput regression at D=1 batch=32: %.0f pkt/s is %.1f%% below the %s baseline of %.0f pkt/s (gate: -%.0f%%)",
+			got.PktPerS, 100*(1-got.PktPerS/want.PktPerS), path, want.PktPerS, 100*tolerance)
+	}
+	return nil
 }

@@ -29,7 +29,7 @@ type Runner struct {
 	// never race on the World's packet cursor.
 	RxFromCtx bool
 
-	persistent map[int][]int64 // array ID -> storage
+	persistent *Store
 
 	// regs and phiVals are per-runner scratch buffers reused across
 	// iterations (a Runner executes one iteration at a time). They make
@@ -39,17 +39,53 @@ type Runner struct {
 	phiVals []int64
 }
 
-// NewRunner creates a runner with freshly initialized persistent state.
-func NewRunner(prog *ir.Program, world *World) *Runner {
-	r := &Runner{Prog: prog, World: world, persistent: make(map[int][]int64)}
-	for _, a := range prog.Arrays {
-		if a.Persistent {
-			st := make([]int64, a.Size)
-			copy(st, a.Init)
-			r.persistent[a.ID] = st
+// Store is persistent-array storage, indexed densely by the
+// compiler-assigned array ID. Pipeline stages of one program share a single
+// Store (the partitioner guarantees each persistent array is touched by one
+// stage only, so the stage goroutines of the streaming runtime never
+// contend). It is shared by pointer so that an array materialized lazily by
+// one runner (hand-built programs referencing arrays outside prog.Arrays)
+// is visible to every runner sharing the store.
+type Store struct {
+	arrays [][]int64 // array ID -> storage (nil: not yet materialized)
+}
+
+// NewStore returns a store pre-populated with every persistent array of the
+// given programs. Pre-population matters for the concurrent runtime: with
+// all storage materialized up front, stage goroutines only ever read the
+// store, so no locking is needed.
+func NewStore(progs ...*ir.Program) *Store {
+	s := &Store{}
+	for _, p := range progs {
+		for _, a := range p.Arrays {
+			if a.Persistent {
+				s.Get(a)
+			}
 		}
 	}
-	return r
+	return s
+}
+
+// Get returns the storage for the persistent array a, materializing it
+// (with a's initializer) on first touch.
+func (s *Store) Get(a *ir.Array) []int64 {
+	if a.ID >= len(s.arrays) {
+		grown := make([][]int64, a.ID+1)
+		copy(grown, s.arrays)
+		s.arrays = grown
+	}
+	st := s.arrays[a.ID]
+	if st == nil {
+		st = make([]int64, a.Size)
+		copy(st, a.Init)
+		s.arrays[a.ID] = st
+	}
+	return st
+}
+
+// NewRunner creates a runner with freshly initialized persistent state.
+func NewRunner(prog *ir.Program, world *World) *Runner {
+	return &Runner{Prog: prog, World: world, persistent: NewStore(prog)}
 }
 
 // SharePersistent makes r use the same persistent storage as other. Pipeline
@@ -57,25 +93,14 @@ func NewRunner(prog *ir.Program, world *World) *Runner {
 // partitioner guarantees each persistent array is touched by one stage only).
 func (r *Runner) SharePersistent(other *Runner) { r.persistent = other.persistent }
 
+// PersistentStore returns the runner's persistent-array store, so a
+// different execution backend can be wired against the same flow state.
+func (r *Runner) PersistentStore() *Store { return r.persistent }
+
 // NewStageRunners builds one Runner per pipeline stage, all sharing one
-// fully pre-populated persistent store. Pre-population matters for the
-// concurrent runtime: with every persistent array materialized up front,
-// stage goroutines only ever read the shared map (each array's storage is
-// touched by exactly one stage, per the partitioning invariant), so no
-// locking is needed.
+// fully pre-populated persistent store (see NewStore).
 func NewStageRunners(stages []*ir.Program, world *World) []*Runner {
-	shared := make(map[int][]int64)
-	for _, s := range stages {
-		for _, a := range s.Arrays {
-			if a.Persistent {
-				if _, ok := shared[a.ID]; !ok {
-					st := make([]int64, a.Size)
-					copy(st, a.Init)
-					shared[a.ID] = st
-				}
-			}
-		}
-	}
+	shared := NewStore(stages...)
 	runners := make([]*Runner, len(stages))
 	for i, s := range stages {
 		runners[i] = &Runner{Prog: s, World: world, persistent: shared}
@@ -97,20 +122,9 @@ func (r *Runner) emit(ctx *IterCtx, e Event) {
 // array returns the storage for arr in the given iteration context.
 func (r *Runner) array(ctx *IterCtx, arr *ir.Array) []int64 {
 	if arr.Persistent {
-		st, ok := r.persistent[arr.ID]
-		if !ok {
-			st = make([]int64, arr.Size)
-			copy(st, arr.Init)
-			r.persistent[arr.ID] = st
-		}
-		return st
+		return r.persistent.Get(arr)
 	}
-	st, ok := ctx.locals[arr.ID]
-	if !ok {
-		st = make([]int64, arr.Size)
-		ctx.locals[arr.ID] = st
-	}
-	return st
+	return ctx.Local(arr.ID, arr.Size)
 }
 
 func wrapIndex(i int64, size int) int {

@@ -114,6 +114,16 @@ func TraceEqual(a, b []Event) string {
 // emit appends an event.
 func (w *World) emit(e Event) { w.Trace = append(w.Trace, e) }
 
+// EmitEvent appends an event to the world's trace. It exists for execution
+// backends outside this package (internal/exec); in-package code uses the
+// unexported emit.
+func (w *World) EmitEvent(e Event) { w.emit(e) }
+
+// RxPacket consumes and returns the next input packet, or nil when the
+// stream is exhausted. It exists for execution backends outside this
+// package (internal/exec).
+func (w *World) RxPacket() []byte { return w.rx() }
+
 // rx returns the next input packet, or nil when the stream is exhausted.
 func (w *World) rx() []byte {
 	if w.next >= len(w.Packets) {
@@ -135,7 +145,13 @@ type IterCtx struct {
 	Pkt    []byte // nil when pkt_rx found no packet
 	HasPkt bool
 	Meta   [16]int64
-	locals map[int][]int64 // array ID -> storage
+
+	// locals is the per-iteration local-array storage, indexed densely by
+	// the compiler-assigned array ID (nil entry: not yet touched this
+	// run). Reset zeroes touched entries in place, so the steady state is
+	// allocation-free while preserving the zeroed-at-iteration-start
+	// semantics of local arrays.
+	locals [][]int64
 
 	// Pending, when HasPending is set, is the input packet pre-pulled for
 	// this iteration: the first pkt_rx consumes it instead of the World's
@@ -154,16 +170,37 @@ type IterCtx struct {
 
 // NewIterCtx returns an empty per-iteration context.
 func NewIterCtx() *IterCtx {
-	return &IterCtx{locals: make(map[int][]int64)}
+	return &IterCtx{}
+}
+
+// Local returns the iteration's storage for the local array with the given
+// ID and size, allocating zeroed storage on first touch. Both execution
+// backends resolve local arrays through here, so an iteration context
+// handed from stage to stage carries one coherent view of the locals.
+func (c *IterCtx) Local(id, size int) []int64 {
+	if id >= len(c.locals) {
+		grown := make([][]int64, id+1)
+		copy(grown, c.locals)
+		c.locals = grown
+	}
+	st := c.locals[id]
+	if st == nil {
+		st = make([]int64, size)
+		c.locals[id] = st
+	}
+	return st
 }
 
 // Reset clears the context for reuse by a fresh iteration, retaining
-// allocated capacity (the locals map and the event buffer).
+// allocated capacity (the local-array storage is zeroed in place, the
+// event buffer truncated).
 func (c *IterCtx) Reset() {
 	c.Pkt, c.HasPkt = nil, false
 	c.Meta = [16]int64{}
-	for id := range c.locals {
-		delete(c.locals, id)
+	for _, st := range c.locals {
+		if st != nil {
+			clear(st)
+		}
 	}
 	c.Pending, c.HasPending = nil, false
 	c.Events = c.Events[:0]

@@ -14,15 +14,20 @@ import (
 
 // FuzzServeVsOracle is the differential-fuzz half of the harness: the fuzz
 // input seeds the random-program generator, the generated program is
-// partitioned and served concurrently, and the streaming trace must be
-// byte-identical to the sequential oracle's. Inputs that do not yield a
-// servable pipeline (no single pkt_rx pacing site, or an unpartitionable
+// partitioned and served concurrently — once per stage-execution backend —
+// and every streaming trace must be byte-identical to the sequential
+// oracle's AND to the other backend's (the compiled backend has no oracle
+// of its own; the interpreter is its reference). Inputs that do not yield
+// a servable pipeline (no single pkt_rx pacing site, or an unpartitionable
 // shape at the probed degree) are skipped rather than failed, mirroring the
-// grammar-fuzzer convention in internal/ppc.
+// grammar-fuzzer convention in internal/ppc. Seeds that exposed a
+// divergence during development are checked into testdata/fuzz so every
+// future run replays them.
 func FuzzServeVsOracle(f *testing.F) {
 	for seed := int64(0); seed < 8; seed++ {
 		f.Add(seed)
 	}
+	backends := []runtime.Backend{runtime.BackendCompiled, runtime.BackendInterp}
 	f.Fuzz(func(t *testing.T, seed int64) {
 		src := randprog.Generate(seed, randprog.DefaultConfig())
 		prog, err := ppc.Compile(src)
@@ -51,23 +56,32 @@ func FuzzServeVsOracle(f *testing.F) {
 				continue // not servable (e.g. no pkt_rx pacing point)
 			}
 			for _, batch := range []int{1, 2} {
-				cfg := runtime.DefaultConfig()
-				cfg.Batch = batch
-				m, err := runtime.Serve(context.Background(), res.Stages, interp.NewWorld(nil),
-					runtime.Packets(packets), cfg)
-				if err != nil {
-					t.Fatalf("seed %d D=%d batch=%d: serve: %v\n%s", seed, d, batch, err, src)
+				traces := make([][]interp.Event, len(backends))
+				for i, backend := range backends {
+					cfg := runtime.DefaultConfig()
+					cfg.Batch = batch
+					cfg.Backend = backend
+					m, err := runtime.Serve(context.Background(), res.Stages, interp.NewWorld(nil),
+						runtime.Packets(packets), cfg)
+					if err != nil {
+						t.Fatalf("seed %d D=%d batch=%d %s: serve: %v\n%s", seed, d, batch, backend, err, src)
+					}
+					if m.Packets != int64(iters) {
+						t.Fatalf("seed %d D=%d batch=%d %s: served %d packets, want %d\n%s",
+							seed, d, batch, backend, m.Packets, iters, src)
+					}
+					if diff := interp.TraceEqual(seq, m.Trace); diff != "" {
+						t.Fatalf("seed %d D=%d batch=%d %s: trace diverges from oracle: %s\nsource:\n%s",
+							seed, d, batch, backend, diff, src)
+					}
+					if rep := m.Faults; rep.Accounted() != m.Stages[0].In {
+						t.Fatalf("seed %d D=%d batch=%d %s: accounting hole: %s", seed, d, batch, backend, rep)
+					}
+					traces[i] = m.Trace
 				}
-				if m.Packets != int64(iters) {
-					t.Fatalf("seed %d D=%d batch=%d: served %d packets, want %d\n%s",
-						seed, d, batch, m.Packets, iters, src)
-				}
-				if diff := interp.TraceEqual(seq, m.Trace); diff != "" {
-					t.Fatalf("seed %d D=%d batch=%d: trace diverges from oracle: %s\nsource:\n%s",
+				if diff := interp.TraceEqual(traces[0], traces[1]); diff != "" {
+					t.Fatalf("seed %d D=%d batch=%d: compiled and interp backends diverge: %s\nsource:\n%s",
 						seed, d, batch, diff, src)
-				}
-				if rep := m.Faults; rep.Accounted() != m.Stages[0].In {
-					t.Fatalf("seed %d D=%d batch=%d: accounting hole: %s", seed, d, batch, rep)
 				}
 			}
 		}

@@ -46,14 +46,51 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/errs"
+	"repro/internal/exec"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/obsv"
 	"repro/internal/runtime/fault"
 )
 
+// Backend selects the stage-execution substrate Serve drives.
+type Backend int
+
+const (
+	// BackendCompiled runs stages through internal/exec: each stage
+	// program is lowered once into a slot-indexed closure program. It is
+	// the default — byte-identical to the interpreter (enforced
+	// differentially) and substantially faster.
+	BackendCompiled Backend = iota
+	// BackendInterp runs stages through the tree-walking interpreter in
+	// internal/interp — the repository's behavioural oracle. Use it to
+	// cross-check the compiled backend or when instruction-level hooks
+	// (interp.Runner.OnInstr) are needed.
+	BackendInterp
+)
+
+// String names the backend the way the CLI flags spell it.
+func (b Backend) String() string {
+	switch b {
+	case BackendCompiled:
+		return "compiled"
+	case BackendInterp:
+		return "interp"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// stageRunner is the per-stage execution contract both backends satisfy:
+// one in-flight iteration at a time, confined to the stage's goroutine.
+type stageRunner interface {
+	RunIteration(ctx *interp.IterCtx, recv []int64) ([]int64, error)
+}
+
 // Config shapes the streaming executor.
 type Config struct {
+	// Backend selects the stage-execution substrate (compiled by
+	// default; the interpreter remains available as the oracle).
+	Backend Backend
 	// Channel is the ring kind the pipeline was partitioned for; it picks
 	// the default ring capacity (nearest-neighbor rings are small on-chip
 	// buffers, scratch rings are deeper).
@@ -113,6 +150,9 @@ const overloadTick = 200 * time.Microsecond
 const defaultWatermark = 4
 
 func (c Config) validate() error {
+	if c.Backend < BackendCompiled || c.Backend > BackendInterp {
+		return fmt.Errorf("%w: %d", errs.ErrBadBackend, int(c.Backend))
+	}
 	if c.RingCapacity < 0 {
 		return fmt.Errorf("%w: %d", errs.ErrBadRing, c.RingCapacity)
 	}
@@ -249,7 +289,7 @@ type engine struct {
 	cancel  context.CancelFunc
 	cfg     Config
 	src     Source
-	runners []*interp.Runner
+	runners []stageRunner
 	rings   []chan []*token
 	m       *Metrics
 	inj     *fault.Injector
@@ -272,8 +312,56 @@ type engine struct {
 	tokPool   sync.Pool
 	batchPool sync.Pool
 
+	// Trace accumulation. The sink stage's goroutine is the sole writer:
+	// events land in fixed-size chunks (traceTail is the one being
+	// filled, traceChunks the sealed ones) and are assembled into
+	// Metrics.Trace with a single exact-size allocation after the join.
+	// Growing one flat slice by append instead costs a realloc-zero-copy
+	// cycle per doubling, which at streaming scale dominates the sink.
+	traceChunks [][]interp.Event
+	traceTail   []interp.Event
+
 	errOnce  sync.Once
 	firstErr error
+}
+
+// traceChunkEvents sizes the sink's trace chunks: big enough to amortize
+// the per-chunk allocation, small enough to recycle address space quickly.
+const traceChunkEvents = 1 << 15
+
+// appendTrace adds one iteration's deferred events to the chunked trace.
+// Only the sink stage's goroutine calls it.
+func (e *engine) appendTrace(evs []interp.Event) {
+	for len(evs) > 0 {
+		if cap(e.traceTail) == 0 {
+			e.traceTail = make([]interp.Event, 0, traceChunkEvents)
+		}
+		n := copy(e.traceTail[len(e.traceTail):cap(e.traceTail)], evs)
+		e.traceTail = e.traceTail[:len(e.traceTail)+n]
+		evs = evs[n:]
+		if len(e.traceTail) == cap(e.traceTail) {
+			e.traceChunks = append(e.traceChunks, e.traceTail)
+			e.traceTail = nil
+		}
+	}
+}
+
+// assembleTrace concatenates the sealed chunks and the tail into one
+// exact-size trace slice. Called once, strictly after the stage
+// goroutines joined.
+func (e *engine) assembleTrace() []interp.Event {
+	total := len(e.traceTail)
+	for _, c := range e.traceChunks {
+		total += len(c)
+	}
+	if total == 0 {
+		return nil
+	}
+	trace := make([]interp.Event, 0, total)
+	for _, c := range e.traceChunks {
+		trace = append(trace, c...)
+	}
+	return append(trace, e.traceTail...)
 }
 
 func (e *engine) fail(err error) {
@@ -298,11 +386,19 @@ func (e *engine) getToken() *token {
 	return t
 }
 
-func (e *engine) putToken(t *token) {
+// reset returns the token to its pristine state for pool reuse. All
+// per-iteration state lives either here or in the IterCtx, whose Reset
+// zeroes the local-array storage in place — a recycled token can never
+// leak a prior packet's locals, metadata, or deferred events.
+func (t *token) reset() {
 	t.ctx.Reset()
 	t.slots = nil
 	t.iter = 0
 	t.degradedAt = 0
+}
+
+func (e *engine) putToken(t *token) {
+	t.reset()
 	e.tokPool.Put(t)
 }
 
@@ -430,7 +526,7 @@ const (
 // deadline, and bounded retry with exponential backoff for transient
 // faults. Quarantined tokens are recorded and recycled; their buffered
 // events never reach the trace.
-func (e *engine) runToken(k int, run *interp.Runner, t *token, p *stageProbe) tokOutcome {
+func (e *engine) runToken(k int, run stageRunner, t *token, p *stageProbe) tokOutcome {
 	backoff := e.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
 		err := e.execOnce(k, run, t)
@@ -469,7 +565,7 @@ func (f *fatalError) Unwrap() error { return f.err }
 // execOnce is one execution attempt: fault hooks, the stage body, and the
 // deadline check, under a recover that converts any panic — injected or
 // genuine — into a quarantinable errs.ErrStagePanic.
-func (e *engine) execOnce(k int, run *interp.Runner, t *token) (err error) {
+func (e *engine) execOnce(k int, run stageRunner, t *token) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", errs.ErrStagePanic, r)
@@ -517,7 +613,7 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 // it, so the trace append is single-writer.
 func (e *engine) retire(b []*token, p *stageProbe) {
 	for _, t := range b {
-		e.m.Trace = append(e.m.Trace, t.ctx.Events...)
+		e.appendTrace(t.ctx.Events)
 		e.putToken(t)
 	}
 	e.live.packets.Add(int64(len(b)))
@@ -788,10 +884,7 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 	if err := cfg.Faults.Validate(D); err != nil {
 		return nil, err
 	}
-	runners := interp.NewStageRunners(stages, world)
-	for _, r := range runners {
-		r.RxFromCtx = true
-	}
+	runners := newStageRunners(cfg.Backend, stages, world)
 
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -852,6 +945,7 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 
 	// Freeze the final Metrics from the probes, then reconcile the fault
 	// ledger (both happen strictly after the stage goroutines joined).
+	e.m.Trace = e.assembleTrace()
 	e.m.Elapsed = elapsed
 	e.m.Packets = e.live.packets.Load()
 	e.m.Stages = make([]StageStats, D)
@@ -866,8 +960,40 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 	if err := ctx.Err(); err != nil {
 		return e.m, err
 	}
-	world.Trace = append(world.Trace, e.m.Trace...)
+	// Publish the run's trace under the oracle-path convention. An empty
+	// world trace (the overwhelmingly common case) adopts the metrics
+	// trace directly instead of copying it: at streaming scale the trace
+	// is the largest allocation of the whole run, and duplicating it costs
+	// more wall-clock than several stages' worth of execution. The full
+	// slice expression pins capacity so a later append to either alias
+	// reallocates rather than clobbering the other.
+	if len(world.Trace) == 0 {
+		world.Trace = e.m.Trace[:len(e.m.Trace):len(e.m.Trace)]
+	} else {
+		world.Trace = append(world.Trace, e.m.Trace...)
+	}
 	return e.m, nil
+}
+
+// newStageRunners builds one stage runner per pipeline stage on the
+// selected backend, sharing one persistent store per the partitioning
+// invariant. Every runner is confined to the iteration context's pre-pulled
+// packet (RxFromCtx), so concurrent stages never race on the World's packet
+// cursor.
+func newStageRunners(b Backend, stages []*ir.Program, world *interp.World) []stageRunner {
+	out := make([]stageRunner, len(stages))
+	if b == BackendInterp {
+		for i, r := range interp.NewStageRunners(stages, world) {
+			r.RxFromCtx = true
+			out[i] = r
+		}
+		return out
+	}
+	for i, r := range exec.NewStageRunners(stages, world) {
+		r.RxFromCtx = true
+		out[i] = r
+	}
+	return out
 }
 
 // faultReport flushes the per-stage quarantine/shed accounting into one

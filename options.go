@@ -77,6 +77,9 @@ var (
 	// ErrBadObserver: WithObserver carrying an unusable configuration
 	// (a negative periodic-log interval).
 	ErrBadObserver = errs.ErrBadObserver
+	// ErrBadBackend: WithBackend carrying an unknown stage-execution
+	// backend selector.
+	ErrBadBackend = errs.ErrBadBackend
 )
 
 // MaxStages bounds the accepted pipelining degree.
@@ -114,6 +117,8 @@ type config struct {
 	// observability (serve)
 	obs    *Observer
 	onLive func(*runtime.Live)
+	// execution backend (serve)
+	backend Backend
 }
 
 // Option configures any repro entry point. Each option merely records a
@@ -210,6 +215,13 @@ func WithFaults(p *FaultPlan) Option { return func(c *config) { c.faults = p } }
 // and nothing else. Pipeline.Snapshot works with or without an observer.
 func WithObserver(o *Observer) Option { return func(c *config) { c.obs = o } }
 
+// WithBackend selects the stage-execution backend Serve drives the
+// pipeline with: BackendCompiled (default — the IR is lowered once into
+// slot-indexed closure programs) or BackendInterp (the reference
+// interpreter, retained as the differential oracle). Both produce
+// byte-identical traces; the compiled backend merely gets there faster.
+func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
+
 // WithOptions imports a deprecated Options struct into the functional
 // style, easing migration call site by call site.
 func WithOptions(o Options) Option {
@@ -285,6 +297,9 @@ func (c *config) validate() error {
 	if err := c.obs.Validate(); err != nil {
 		return fmt.Errorf("repro: %w: %v", ErrBadObserver, err)
 	}
+	if c.backend < BackendCompiled || c.backend > BackendInterp {
+		return fmt.Errorf("repro: %w: %d", ErrBadBackend, int(c.backend))
+	}
 	return nil
 }
 
@@ -355,6 +370,7 @@ func (c *config) serveConfig() runtime.Config {
 		Faults:        c.faults,
 		Obs:           c.obs,
 		OnLive:        c.onLive,
+		Backend:       c.backend,
 	}
 }
 
@@ -392,6 +408,15 @@ const (
 	OverloadBlock   = runtime.OverloadBlock
 	OverloadShed    = runtime.OverloadShed
 	OverloadDegrade = runtime.OverloadDegrade
+)
+
+// Backend selects how Serve executes stage iterations; see WithBackend.
+type Backend = runtime.Backend
+
+// The stage-execution backends.
+const (
+	BackendCompiled = runtime.BackendCompiled
+	BackendInterp   = runtime.BackendInterp
 )
 
 // FaultReport is the serve run's loss accounting (Metrics.Faults).

@@ -48,6 +48,7 @@ var sentinelTable = []struct {
 	{"ErrStageDeadline", repro.ErrStageDeadline, errs.ErrStageDeadline},
 	{"ErrTransientFault", repro.ErrTransientFault, errs.ErrTransientFault},
 	{"ErrBadObserver", repro.ErrBadObserver, errs.ErrBadObserver},
+	{"ErrBadBackend", repro.ErrBadBackend, errs.ErrBadBackend},
 }
 
 func TestSentinelsComplete(t *testing.T) {
@@ -59,9 +60,9 @@ func TestSentinelsComplete(t *testing.T) {
 			t.Errorf("%s: empty message", s.name)
 		}
 	}
-	// internal/errs currently declares 27 sentinels; bump this alongside the
+	// internal/errs currently declares 28 sentinels; bump this alongside the
 	// table when adding one.
-	if len(sentinelTable) != 27 {
+	if len(sentinelTable) != 28 {
 		t.Errorf("sentinel table covers %d errors", len(sentinelTable))
 	}
 }
@@ -111,6 +112,9 @@ func TestOptionsRejectInvalid(t *testing.T) {
 		{"negative log interval",
 			[]repro.Option{repro.WithObserver(&repro.Observer{LogEvery: -time.Second})},
 			repro.ErrBadObserver},
+		{"unknown execution backend",
+			[]repro.Option{repro.WithBackend(repro.Backend(99))},
+			repro.ErrBadBackend},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
