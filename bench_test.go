@@ -331,8 +331,10 @@ func BenchmarkServeIPv4D4Batch32(b *testing.B) { benchmarkServe(b, 4, 32, repro.
 
 // BenchmarkServeIPv4D1Batch32Compiled and its Interp twin are the
 // backend-comparison pair: one stage, batch 32, so ring synchronization is
-// amortized and the measurement isolates the stage-execution substrate.
-// DESIGN.md §"Execution backends" requires compiled ≥ 2x interp here.
+// amortized and the measurement isolates the stage-execution substrate
+// (EXPERIMENTS.md §Host throughput tabulates the pair; the 50k-packet
+// pipebench run is the canonical ratio — at b.N≈10⁶ here, trace
+// retention compresses it).
 func BenchmarkServeIPv4D1Batch32Compiled(b *testing.B) {
 	benchmarkServe(b, 1, 32, repro.BackendCompiled)
 }

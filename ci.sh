@@ -47,10 +47,13 @@ go test -race "$@" ./...
 
 echo "== pipebench serve (compiled backend) -> BENCH_serve.json"
 # The compiled-backend serve benchmark is also the throughput-regression
-# gate: -baseline compares the fresh (D=1, batch=32) point against the
-# checked-in BENCH_serve.json BEFORE -json overwrites it, and fails the
-# run on a >10% pkt/s regression.
+# gate: -baseline compares the fresh guarded points — (D=1, batch=32, P=1),
+# the sharded (D=1, batch=32, P=4) point, and the deep-pipeline (D=4,
+# batch=32, P=1) point — against the checked-in BENCH_serve.json BEFORE
+# -json overwrites it, and fails the run on a >10% pkt/s regression at any
+# of them. -shards 1,2,4 makes the sweep measure the sharded widths the
+# gate guards.
 go run ./cmd/pipebench -experiment serve -backend compiled -serve-packets 50000 \
-    -baseline BENCH_serve.json -json BENCH_serve.json
+    -shards 1,2,4 -baseline BENCH_serve.json -json BENCH_serve.json
 
 echo "ci.sh: all checks passed"

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim|serve|chaos|profile] [-j N] [-json FILE]
-//	          [-backend compiled|interp] [-baseline FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	          [-backend compiled|interp] [-shards LIST] [-baseline FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Every PPS is analyzed once and the independent (PPS × degree) and
 // ablation configurations are measured on -j worker goroutines (0, the
@@ -27,10 +27,14 @@
 //
 // -backend selects the serve experiment's stage-execution backend
 // (compiled, the default, or interp — the reference interpreter).
+// -shards gives the serve experiment's shard-width sweep as a
+// comma-separated list (default "1,2,4": each pipeline configuration is
+// also measured replicated P ways behind the flow-hash dispatcher).
 // -baseline FILE gates the serve experiment against a checked-in
-// BENCH_serve.json: a >10% pkt/s regression at (D=1, batch=32) fails the
-// run before -json overwrites the file. -cpuprofile and -memprofile write
-// pprof profiles of whatever experiment ran.
+// BENCH_serve.json: a >10% pkt/s regression at any guarded point — (D=1,
+// batch=32, P=1), (D=1, batch=32, P=4), or (D=4, batch=32, P=1) — fails
+// the run before -json overwrites the file. -cpuprofile and -memprofile
+// write pprof profiles of whatever experiment ran.
 package main
 
 import (
@@ -39,6 +43,8 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/runtime"
@@ -46,13 +52,27 @@ import (
 
 func main() { os.Exit(realMain()) }
 
+// parseShards parses the -shards sweep list ("1,2,4").
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q (want positive integers, comma-separated)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func realMain() int {
 	which := flag.String("experiment", "all", "which experiment to run")
 	jobs := flag.Int("j", 0, "worker goroutines for independent configurations (0 = one per CPU, 1 = sequential)")
 	jsonOut := flag.String("json", "", "write the serve experiment's points to this file as JSON")
 	servePkts := flag.Int("serve-packets", 200000, "packets streamed per serve configuration")
 	backendName := flag.String("backend", "compiled", "serve stage-execution backend: compiled|interp")
-	baseline := flag.String("baseline", "", "fail the serve experiment if (D=1, batch=32) pkt/s regresses >10% below this JSON baseline")
+	shardsList := flag.String("shards", "1,2,4", "comma-separated shard widths the serve experiment sweeps")
+	baseline := flag.String("baseline", "", "fail the serve experiment if a guarded point's pkt/s regresses >10% below this JSON baseline")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile of the run to this file")
 	flag.Parse()
@@ -218,14 +238,18 @@ func realMain() int {
 		}
 	}
 	runTimed("serve", func() error {
+		shards, err := parseShards(*shardsList)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("Host runtime throughput (IPv4 PPS, goroutine-per-stage serve, %s backend)\n", backend)
-		pts, err := experiments.ServeThroughput("IPv4", []int{1, 2, 4, 8}, []int{1, 32}, *servePkts, backend)
+		pts, err := experiments.ServeThroughput("IPv4", []int{1, 2, 4, 8}, []int{1, 32}, shards, *servePkts, backend)
 		if err != nil {
 			return err
 		}
 		for _, p := range pts {
-			fmt.Printf("  %d stage(s), batch %2d: %12.0f pkt/s  (%.2fx vs sequential)\n",
-				p.Degree, p.Batch, p.PktPerS, p.Speedup)
+			fmt.Printf("  %d stage(s), batch %2d, P=%d: %12.0f pkt/s  (%.2fx vs sequential)\n",
+				p.Degree, p.Batch, p.Shards, p.PktPerS, p.Speedup)
 		}
 		fmt.Println()
 		// Gate against the checked-in baseline before -json may overwrite it.

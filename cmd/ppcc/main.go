@@ -25,6 +25,9 @@
 //	-backend B   stage-execution backend for -serve: compiled (default,
 //	             IR lowered once to slot-indexed closure programs) or
 //	             interp (the reference interpreter)
+//	-shards P    -serve replica width: stages without cross-flow state run
+//	             as P parallel replicas behind a flow-hash dispatcher; the
+//	             served trace stays byte-identical to the sequential order
 //
 // Observability of the -serve run (see DESIGN.md §8):
 //
@@ -63,6 +66,7 @@ func main() {
 	verify := flag.Int("verify", 0, "verify behaviour over N iterations")
 	serve := flag.Int("serve", 0, "stream N packets through the host runtime")
 	backendName := flag.String("backend", "compiled", "-serve stage-execution backend: compiled|interp")
+	shards := flag.Int("shards", 1, "-serve pipeline replica width (flow-hash sharding)")
 	traceOut := flag.String("trace", "", "write the -serve span timeline to this file as Chrome trace_event JSON")
 	metricsAddr := flag.String("metrics", "", "expose the -serve metrics registry over HTTP on this address (e.g. :8080)")
 	obsLog := flag.Duration("obs-log", 0, "emit a periodic -serve progress line to stderr at this interval")
@@ -200,8 +204,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			}
 		}
-		m, err := pipe.Serve(context.Background(), repro.PacketSource(testPackets(*serve)),
-			repro.WithObserver(obs), repro.WithBackend(backend))
+		serveOpts := []repro.Option{repro.WithObserver(obs), repro.WithBackend(backend)}
+		if *shards > 1 {
+			serveOpts = append(serveOpts,
+				repro.WithShards(*shards), repro.WithShardKey(repro.FlowKey))
+		}
+		m, err := pipe.Serve(context.Background(), repro.PacketSource(testPackets(*serve)), serveOpts...)
 		if err != nil {
 			fatal(err)
 		}

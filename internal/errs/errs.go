@@ -108,4 +108,7 @@ var (
 
 	// ErrBadBackend reports an unknown stage-execution backend selector.
 	ErrBadBackend = errors.New("bad execution backend")
+
+	// ErrBadShards reports a shard count outside 1..MaxShards.
+	ErrBadShards = errors.New("bad shard count")
 )

@@ -129,6 +129,18 @@ func NewRunner(prog *ir.Program, world *interp.World) *Runner {
 	return r
 }
 
+// NewRunnerShared compiles prog against an existing persistent store. The
+// store must be supplied up front because compilation binds persistent
+// arrays to their storage slices at closure-build time — a store swapped in
+// afterwards would be silently ignored. The sharded serve runtime uses this
+// to compile each pipeline replica against either the shared store or a
+// flow-partitioned fork.
+func NewRunnerShared(prog *ir.Program, world *interp.World, store *interp.Store) *Runner {
+	r := &Runner{Prog: prog, World: world, persistent: store}
+	r.compile()
+	return r
+}
+
 // NewStageRunners compiles one Runner per pipeline stage, all bound to one
 // fully pre-populated persistent store (the same sharing discipline as
 // interp.NewStageRunners: every persistent array is materialized before any

@@ -16,9 +16,13 @@ import (
 // ways, streamed through the goroutine-per-stage runtime with Batch
 // iterations per ring entry.
 type ServePoint struct {
-	PPS     string  `json:"pps"`
-	Degree  int     `json:"degree"`
-	Batch   int     `json:"batch"`
+	PPS    string `json:"pps"`
+	Degree int    `json:"degree"`
+	Batch  int    `json:"batch"`
+	// Shards is the pipeline replica width the point ran with (schema v2;
+	// omitted — i.e. 0 — in v1 baselines, which were all measured
+	// unsharded and are read back as Shards=1).
+	Shards  int     `json:"shards,omitempty"`
 	Packets int64   `json:"packets"`
 	NsTotal int64   `json:"ns_total"`
 	PktPerS float64 `json:"pkt_per_s"`
@@ -33,11 +37,13 @@ type ServePoint struct {
 
 // ServeThroughput measures the host-native streaming runtime: the named
 // PPS is partitioned at every degree in degrees and served packets
-// minimum-size packets at every batch size in batches, executing stages
-// on the given backend. The Degree=1, Batch=1 configuration anchors the
-// Speedup column, so degrees should include 1. Points are verified
-// against the sequential oracle before being timed.
-func ServeThroughput(name string, degrees, batches []int, packets int, backend runtime.Backend) ([]ServePoint, error) {
+// minimum-size packets at every batch size in batches and every shard
+// width in shardCounts (the 5-tuple flow key routes lanes), executing
+// stages on the given backend. The first (degree, batch, shard) triple
+// with Degree=1 and the sweep's first batch and shard values anchors the
+// Speedup column, so degrees and shardCounts should include 1. Points are
+// verified against the sequential oracle before being timed.
+func ServeThroughput(name string, degrees, batches, shardCounts []int, packets int, backend runtime.Backend) ([]ServePoint, error) {
 	pps, ok := netbench.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown PPS %q", name)
@@ -58,6 +64,9 @@ func ServeThroughput(name string, degrees, batches []int, packets int, backend r
 		return nil, err
 	}
 
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1}
+	}
 	var pts []ServePoint
 	var base float64
 	for _, d := range degrees {
@@ -66,39 +75,43 @@ func ServeThroughput(name string, degrees, batches []int, packets int, backend r
 			return nil, err
 		}
 		for _, batch := range batches {
-			cfg := runtime.Config{Batch: batch, Backend: backend}
+			for _, shards := range shardCounts {
+				cfg := runtime.Config{Batch: batch, Backend: backend,
+					Shards: shards, ShardKey: netbench.FlowKey}
 
-			// Behaviour first: the timed configuration must match the oracle.
-			vw := netbench.NewWorld(nil)
-			vm, err := runtime.Serve(context.Background(), res.Stages, vw, runtime.Packets(verify), cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s D=%d batch=%d: %w", name, d, batch, err)
-			}
-			if diff := interp.TraceEqual(seq, vm.Trace); diff != "" {
-				return nil, fmt.Errorf("%s D=%d batch=%d diverged: %s", name, d, batch, diff)
-			}
+				// Behaviour first: the timed configuration must match the oracle.
+				vw := netbench.NewWorld(nil)
+				vm, err := runtime.Serve(context.Background(), res.Stages, vw, runtime.Packets(verify), cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s D=%d batch=%d P=%d: %w", name, d, batch, shards, err)
+				}
+				if diff := interp.TraceEqual(seq, vm.Trace); diff != "" {
+					return nil, fmt.Errorf("%s D=%d batch=%d P=%d diverged: %s", name, d, batch, shards, diff)
+				}
 
-			m, err := runtime.Serve(context.Background(), res.Stages, netbench.NewWorld(nil),
-				runtime.Repeat(traffic, packets), cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s D=%d batch=%d: %w", name, d, batch, err)
+				m, err := runtime.Serve(context.Background(), res.Stages, netbench.NewWorld(nil),
+					runtime.Repeat(traffic, packets), cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s D=%d batch=%d P=%d: %w", name, d, batch, shards, err)
+				}
+				p := ServePoint{
+					PPS:     name,
+					Degree:  d,
+					Batch:   batch,
+					Shards:  shards,
+					Packets: m.Packets,
+					NsTotal: m.Elapsed.Nanoseconds(),
+					PktPerS: m.PacketsPerSecond(),
+					Backend: backend.String(),
+				}
+				if d == 1 && batch == batches[0] && shards == shardCounts[0] {
+					base = p.PktPerS
+				}
+				if base > 0 {
+					p.Speedup = p.PktPerS / base
+				}
+				pts = append(pts, p)
 			}
-			p := ServePoint{
-				PPS:     name,
-				Degree:  d,
-				Batch:   batch,
-				Packets: m.Packets,
-				NsTotal: m.Elapsed.Nanoseconds(),
-				PktPerS: m.PacketsPerSecond(),
-				Backend: backend.String(),
-			}
-			if d == 1 && batch == batches[0] {
-				base = p.PktPerS
-			}
-			if base > 0 {
-				p.Speedup = p.PktPerS / base
-			}
-			pts = append(pts, p)
 		}
 	}
 	return pts, nil
@@ -106,10 +119,14 @@ func ServeThroughput(name string, degrees, batches []int, packets int, backend r
 
 // CheckServeBaseline is the CI throughput-regression gate: it compares the
 // freshly measured points against the checked-in baseline JSON at path and
-// reports an error if the (Degree=1, Batch=32) pkt_per_s regressed more
-// than 10% below the baseline's same point. A missing baseline file or a
-// baseline without that point passes (nothing to regress against), so the
-// gate bootstraps cleanly on first run.
+// reports an error if any guarded configuration's pkt_per_s regressed more
+// than 10% below the baseline's same point. Guarded points: the historical
+// single-pipeline fast path (D=1, batch=32, P=1), the sharded width-4
+// point (D=1, batch=32, P=4), and a deep-pipeline point (D=4, batch=32,
+// P=1). A baseline point with Shards omitted (schema v1) is read as P=1. A
+// missing baseline file or a baseline/measurement without a guarded point
+// skips that point (nothing to regress against), so the gate bootstraps
+// cleanly on first run and after schema bumps.
 func CheckServeBaseline(pts []ServePoint, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -122,22 +139,32 @@ func CheckServeBaseline(pts []ServePoint, path string) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
-	find := func(pts []ServePoint) *ServePoint {
+	find := func(pts []ServePoint, d, batch, shards int) *ServePoint {
 		for i := range pts {
-			if pts[i].Degree == 1 && pts[i].Batch == 32 {
+			s := pts[i].Shards
+			if s == 0 {
+				s = 1
+			}
+			if pts[i].Degree == d && pts[i].Batch == batch && s == shards {
 				return &pts[i]
 			}
 		}
 		return nil
 	}
-	want, got := find(base), find(pts)
-	if want == nil || got == nil {
-		return nil
-	}
 	const tolerance = 0.10
-	if got.PktPerS < want.PktPerS*(1-tolerance) {
-		return fmt.Errorf("serve throughput regression at D=1 batch=32: %.0f pkt/s is %.1f%% below the %s baseline of %.0f pkt/s (gate: -%.0f%%)",
-			got.PktPerS, 100*(1-got.PktPerS/want.PktPerS), path, want.PktPerS, 100*tolerance)
+	for _, g := range []struct{ d, batch, shards int }{
+		{1, 32, 1},
+		{1, 32, 4},
+		{4, 32, 1},
+	} {
+		want, got := find(base, g.d, g.batch, g.shards), find(pts, g.d, g.batch, g.shards)
+		if want == nil || got == nil {
+			continue
+		}
+		if got.PktPerS < want.PktPerS*(1-tolerance) {
+			return fmt.Errorf("serve throughput regression at D=%d batch=%d P=%d: %.0f pkt/s is %.1f%% below the %s baseline of %.0f pkt/s (gate: -%.0f%%)",
+				g.d, g.batch, g.shards, got.PktPerS, 100*(1-got.PktPerS/want.PktPerS), path, want.PktPerS, 100*tolerance)
+		}
 	}
 	return nil
 }

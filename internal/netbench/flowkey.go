@@ -1,0 +1,69 @@
+package netbench
+
+// Flow-key extraction for the POS frames this package builds. The sharded
+// serve runtime partitions traffic across pipeline replicas by hashing a
+// per-packet flow key; FlowKey is the canonical key for the benchmark
+// traffic: every packet of one transport flow maps to the same key, so
+// flow-affine sharding keeps each flow on a single replica.
+
+// flowKeySeed seeds the flow-key mix so the key space does not trivially
+// collide with raw header bytes.
+const flowKeySeed = 0x9E3779B97F4A7C15
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed integer hash
+// the shard layer reduces onto a replica index.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// FlowKey returns the canonical flow key of a POS frame: for IPv4, a hash
+// of the (src, dst, proto, ports) 5-tuple; for IPv6, of the (src, dst,
+// ports-if-present) tuple; for anything else (malformed or non-IP), a hash
+// of the whole frame, which degrades gracefully to per-packet spreading.
+// Two packets of one flow always yield the same key, which is the contract
+// the runtime's per-flow order guarantee rests on.
+func FlowKey(pkt []byte) uint64 {
+	if len(pkt) >= FrameHdrLen+20 && int(pkt[2])<<8|int(pkt[3]) == PPPIPv4 {
+		ip := pkt[FrameHdrLen:]
+		if ip[0]>>4 == 4 {
+			var k uint64
+			k = uint64(ip[12])<<56 | uint64(ip[13])<<48 | uint64(ip[14])<<40 | uint64(ip[15])<<32 // src
+			k |= uint64(ip[16])<<24 | uint64(ip[17])<<16 | uint64(ip[18])<<8 | uint64(ip[19])     // dst
+			k = mix64(k ^ flowKeySeed)
+			k ^= uint64(ip[9]) << 32 // protocol
+			if len(ip) >= 24 {
+				k ^= uint64(ip[20])<<24 | uint64(ip[21])<<16 | uint64(ip[22])<<8 | uint64(ip[23]) // ports
+			}
+			return mix64(k)
+		}
+	}
+	if len(pkt) >= FrameHdrLen+40 && int(pkt[2])<<8|int(pkt[3]) == PPPIPv6 {
+		ip := pkt[FrameHdrLen:]
+		if ip[0]>>4 == 6 {
+			var k uint64
+			for i := 8; i < 40; i += 8 { // src + dst, 8 bytes at a time
+				var w uint64
+				for j := 0; j < 8; j++ {
+					w = w<<8 | uint64(ip[i+j])
+				}
+				k = mix64(k ^ w)
+			}
+			if len(ip) >= 44 {
+				k ^= uint64(ip[40])<<24 | uint64(ip[41])<<16 | uint64(ip[42])<<8 | uint64(ip[43])
+			}
+			return mix64(k ^ flowKeySeed)
+		}
+	}
+	// Unrecognized frame: hash every byte (FNV-1a) so arbitrary traffic
+	// still spreads, at the cost of per-packet (not per-flow) keys.
+	k := uint64(0xcbf29ce484222325)
+	for _, b := range pkt {
+		k = (k ^ uint64(b)) * 0x100000001b3
+	}
+	return mix64(k ^ flowKeySeed)
+}

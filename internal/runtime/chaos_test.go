@@ -400,6 +400,59 @@ func TestChaosDegradeShortCircuits(t *testing.T) {
 	checkAccounting(t, m)
 }
 
+// TestChaosShardedLedgerBalances drives a sharded serve (P=4 over the
+// stateless IPv4 pipeline, so every stage runs replicated) through a
+// deterministic fault schedule and asserts the ledger still balances when
+// the counters are aggregated across shards: source poisons quarantine at
+// the dispatcher, an in-stage panic quarantines on exactly one replica,
+// and Delivered + Shed + Quarantined equals the dispatcher's pull count.
+func TestChaosShardedLedgerBalances(t *testing.T) {
+	const n, k = 24, 6
+	_, stages := partitionIPv4(t, 4)
+	traffic := ipv4Traffic(n)
+	segs := stageSegments(t, stages, traffic)
+	cfg := runtime.DefaultConfig()
+	cfg.Shards = 4
+	cfg.Faults = &fault.Plan{Injections: []fault.Injection{
+		{Kind: fault.Poison, Every: k},
+		{Kind: fault.Panic, Stage: 2, At: 3},
+	}}
+	m := chaosServe(t, stages, traffic, cfg)
+	if m.Shards != 4 {
+		t.Fatalf("ran at width %d, want 4", m.Shards)
+	}
+	rep := m.Faults
+	wantQ := int64(n/k + 1)
+	if rep.Quarantined != wantQ || rep.Delivered != n-wantQ {
+		t.Fatalf("quarantined %d delivered %d, want %d and %d\n%s",
+			rep.Quarantined, rep.Delivered, wantQ, n-wantQ, rep)
+	}
+	poisons, panics := 0, 0
+	for _, rec := range rep.Records {
+		switch {
+		case strings.Contains(rec.Reason, "poison"):
+			poisons++
+			if rec.Stage != 1 || (rec.Iter+1)%k != 0 {
+				t.Fatalf("unexpected poison record: %+v", rec)
+			}
+		case strings.Contains(rec.Reason, "injected panic"):
+			panics++
+			if rec.Stage != 2 || rec.Iter != 3 {
+				t.Fatalf("unexpected panic record: %+v", rec)
+			}
+		default:
+			t.Fatalf("unexpected record: %+v", rec)
+		}
+	}
+	if poisons != n/k || panics != 1 {
+		t.Fatalf("got %d poisons and %d panics, want %d and 1\n%s", poisons, panics, n/k, rep)
+	}
+	if diff := interp.TraceEqual(expectedTrace(segs, rep), m.Trace); diff != "" {
+		t.Fatalf("surviving packets diverge from oracle: %s", diff)
+	}
+	checkAccounting(t, m)
+}
+
 // TestChaosSeededPlansAccount is the randomized half of the harness: seeded
 // random fault plans across all policies must terminate, never error, and
 // account for 100% of the packets the source supplied.

@@ -214,7 +214,7 @@ type Injector struct {
 	source   []*state   // Poison injections
 	perStage [][]*state // 1-based stage -> its injections
 
-	overload atomic.Int64 // packets shed + degraded, pipeline-wide
+	overload *atomic.Int64 // packets shed + degraded, pipeline-wide
 }
 
 // NewInjector binds a validated plan to a pipeline of the given degree.
@@ -223,7 +223,7 @@ func NewInjector(p *Plan, stages int) *Injector {
 	if p == nil || len(p.Injections) == 0 {
 		return nil
 	}
-	inj := &Injector{perStage: make([][]*state, stages+1)}
+	inj := &Injector{perStage: make([][]*state, stages+1), overload: new(atomic.Int64)}
 	for _, in := range p.Injections {
 		s := &state{inj: in}
 		if in.Kind == Poison {
@@ -233,6 +233,29 @@ func NewInjector(p *Plan, stages int) *Injector {
 		inj.perStage[in.Stage] = append(inj.perStage[in.Stage], s)
 	}
 	return inj
+}
+
+// Lane returns an injector view with independent firing counters but the
+// same overload gate. The sharded runtime hands one lane to each replica
+// of a replicated stage, preserving the single-goroutine ownership of the
+// firing counters: a budgeted trigger then counts firings per lane, and —
+// because packets are dispatched to lanes by a deterministic flow hash —
+// the fault schedule stays deterministic at any shard count. A nil
+// receiver returns nil.
+func (inj *Injector) Lane() *Injector {
+	if inj == nil {
+		return nil
+	}
+	l := &Injector{perStage: make([][]*state, len(inj.perStage)), overload: inj.overload}
+	for k, states := range inj.perStage {
+		for _, s := range states {
+			l.perStage[k] = append(l.perStage[k], &state{inj: s.inj})
+		}
+	}
+	for _, s := range inj.source {
+		l.source = append(l.source, &state{inj: s.inj})
+	}
+	return l
 }
 
 // AtSource is the head stage's per-packet hook: it returns the (possibly

@@ -35,6 +35,9 @@ func FuzzServeVsOracle(f *testing.F) {
 			t.Skipf("seed %d: not compilable: %v", seed, err)
 		}
 		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		// Shard width is derived from the seed so the corpus also exercises
+		// the flow-hash dispatch, junction wiring, and deterministic merge.
+		shards := 1 << (rng.Intn(3))
 		packets := make([][]byte, 3+rng.Intn(4))
 		for i := range packets {
 			p := make([]byte, rng.Intn(16))
@@ -61,27 +64,28 @@ func FuzzServeVsOracle(f *testing.F) {
 					cfg := runtime.DefaultConfig()
 					cfg.Batch = batch
 					cfg.Backend = backend
+					cfg.Shards = shards
 					m, err := runtime.Serve(context.Background(), res.Stages, interp.NewWorld(nil),
 						runtime.Packets(packets), cfg)
 					if err != nil {
-						t.Fatalf("seed %d D=%d batch=%d %s: serve: %v\n%s", seed, d, batch, backend, err, src)
+						t.Fatalf("seed %d D=%d P=%d batch=%d %s: serve: %v\n%s", seed, d, shards, batch, backend, err, src)
 					}
 					if m.Packets != int64(iters) {
-						t.Fatalf("seed %d D=%d batch=%d %s: served %d packets, want %d\n%s",
-							seed, d, batch, backend, m.Packets, iters, src)
+						t.Fatalf("seed %d D=%d P=%d batch=%d %s: served %d packets, want %d\n%s",
+							seed, d, shards, batch, backend, m.Packets, iters, src)
 					}
 					if diff := interp.TraceEqual(seq, m.Trace); diff != "" {
-						t.Fatalf("seed %d D=%d batch=%d %s: trace diverges from oracle: %s\nsource:\n%s",
-							seed, d, batch, backend, diff, src)
+						t.Fatalf("seed %d D=%d P=%d batch=%d %s: trace diverges from oracle: %s\nsource:\n%s",
+							seed, d, shards, batch, backend, diff, src)
 					}
 					if rep := m.Faults; rep.Accounted() != m.Stages[0].In {
-						t.Fatalf("seed %d D=%d batch=%d %s: accounting hole: %s", seed, d, batch, backend, rep)
+						t.Fatalf("seed %d D=%d P=%d batch=%d %s: accounting hole: %s", seed, d, shards, batch, backend, rep)
 					}
 					traces[i] = m.Trace
 				}
 				if diff := interp.TraceEqual(traces[0], traces[1]); diff != "" {
-					t.Fatalf("seed %d D=%d batch=%d: compiled and interp backends diverge: %s\nsource:\n%s",
-						seed, d, batch, diff, src)
+					t.Fatalf("seed %d D=%d P=%d batch=%d: compiled and interp backends diverge: %s\nsource:\n%s",
+						seed, d, shards, batch, diff, src)
 				}
 			}
 		}

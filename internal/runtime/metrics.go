@@ -30,8 +30,12 @@ type StageStats struct {
 	// exhausted retry budget; Retries counts transient-fault re-executions.
 	Shed, Degraded, Quarantined, Retries int64
 	// Busy is the time spent executing iterations (the ns/stage counter),
-	// excluding ring waits.
+	// excluding ring waits. Under sharding it is the sum across replicas.
 	Busy time.Duration
+	// Replicas is the number of concurrent replicas the stage ran with: 1
+	// unless the serve was sharded and the stage was shardable, in which
+	// case it is the shard width and the counters above are aggregates.
+	Replicas int
 	// occupancy sampling of the inbound ring, taken at each receive.
 	occSum, occSamples int64
 }
@@ -116,7 +120,12 @@ type Metrics struct {
 	Packets int64
 	// Elapsed is the wall-clock duration of the serve run.
 	Elapsed time.Duration
-	// Stages holds one entry per pipeline stage.
+	// Shards is the effective shard width the run executed with: 1 for an
+	// unsharded serve (or a pipeline with no shardable stage), otherwise
+	// the configured Config.Shards.
+	Shards int
+	// Stages holds one entry per pipeline stage (counters aggregated
+	// across the stage's replicas when sharded; see StageStats.Replicas).
 	Stages []StageStats
 	// Trace is the observable event stream, merged from the per-iteration
 	// buffers in iteration order — byte-identical to the sequential oracle.
@@ -138,11 +147,19 @@ func (m *Metrics) PacketsPerSecond() float64 {
 // String renders a compact human-readable summary.
 func (m *Metrics) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "served %d packets in %v (%.0f pkt/s)\n",
+	fmt.Fprintf(&b, "served %d packets in %v (%.0f pkt/s)",
 		m.Packets, m.Elapsed.Round(time.Microsecond), m.PacketsPerSecond())
+	if m.Shards > 1 {
+		fmt.Fprintf(&b, " across %d shards", m.Shards)
+	}
+	b.WriteString("\n")
 	for _, s := range m.Stages {
-		fmt.Fprintf(&b, "  stage %d: in %d out %d  stalls %d  busy %v  occ %.2f\n",
+		fmt.Fprintf(&b, "  stage %d: in %d out %d  stalls %d  busy %v  occ %.2f",
 			s.Stage, s.In, s.Out, s.Stalls, s.Busy.Round(time.Microsecond), s.MeanOccupancy())
+		if s.Replicas > 1 {
+			fmt.Fprintf(&b, "  x%d", s.Replicas)
+		}
+		b.WriteString("\n")
 	}
 	if f := m.Faults; f != nil && f.Shed+f.Quarantined+f.Degraded+f.Retries > 0 {
 		fmt.Fprintf(&b, "  faults: %s", f.String())

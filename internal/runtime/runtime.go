@@ -14,6 +14,13 @@
 // merged trace is byte-identical to the sequential oracle's — there is no
 // cross-stage reordering to normalize away.
 //
+// Sharding (Config.Shards > 1) replicates the shardable stages P ways:
+// packets are dispatched to lanes by a flow hash and the global order is
+// restored at deterministic merge points, so the served trace stays
+// byte-identical to the oracle at any shard count. The topology and the
+// determinism argument live in shard.go; the junction machinery (scatter,
+// fan-in, sequence side-channel, offline sink merge) in merge.go.
+//
 // Shared state discipline (what makes the concurrency safe):
 //
 //   - the packet stream is pre-pulled at the head stage (Runner.RxFromCtx),
@@ -21,8 +28,10 @@
 //   - persistent arrays and queues are each confined to a single stage
 //     (the partitioning invariant, re-checked by Validate), and the shared
 //     persistent store is fully materialized before any goroutine starts;
+//     replicated stages either carry no persistent writes or fork their
+//     flow-keyed arrays per replica (see shard.go);
 //   - route tables are read-only;
-//   - per-stage counters live in atomic probes (one writer each), so a
+//   - per-replica counters live in atomic probes (one writer each), so a
 //     Live.Snapshot taken mid-serve is race-free; fault records stay
 //     goroutine-local and are merged only after the final join.
 //
@@ -102,6 +111,21 @@ type Config struct {
 	// amortizes ring synchronization over several packets. 0 means 1.
 	Batch int
 
+	// Shards is the pipeline replica width P: stages without cross-flow
+	// state run P ways, fed by a flow-hash dispatcher, and the output is
+	// merged back into exact global order. 0 and 1 both mean unsharded;
+	// the accepted range is 0..MaxShards. Stages with cross-flow state
+	// (queues, schedulers) stay unsharded behind a fan-in, so the served
+	// trace is byte-identical to the oracle at any width.
+	Shards int
+	// ShardKey maps a packet to its flow key for lane dispatch; nil
+	// selects DefaultShardKey (whole-packet hash — even spread, but not
+	// flow-affine). Pipelines with flow-keyed persistent tables shard
+	// those stages only when an explicit key is configured, because the
+	// partitioned tables are correct only when the lane assignment
+	// refines the table index.
+	ShardKey func(pkt []byte) uint64
+
 	// Overload selects what a producer does when its outgoing ring stays
 	// saturated past the watermark: block (default, lossless), shed, or
 	// degrade. See OverloadPolicy.
@@ -159,6 +183,9 @@ func (c Config) validate() error {
 	if c.Batch < 0 {
 		return fmt.Errorf("%w: %d", errs.ErrBadBatch, c.Batch)
 	}
+	if c.Shards < 0 || c.Shards > MaxShards {
+		return fmt.Errorf("%w: %d (want 0..%d)", errs.ErrBadShards, c.Shards, MaxShards)
+	}
 	if c.Overload > OverloadDegrade {
 		return fmt.Errorf("%w: %d", errs.ErrBadPolicy, c.Overload)
 	}
@@ -204,6 +231,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Batch == 0 {
 		c.Batch = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	if c.Watermark == 0 && c.Overload != OverloadBlock {
 		c.Watermark = defaultWatermark
@@ -275,35 +305,62 @@ func Validate(stages []*ir.Program) error {
 // index (assigned at the head, 0-based), the key every fault-injection
 // trigger and fault record is expressed in. degradedAt, when non-zero, is
 // the 1-based stage from which processing is short-circuited: stages with
-// index >= degradedAt pass the token through without executing it.
+// index >= degradedAt pass the token through without executing it. Under
+// sharding, shard is the token's lane (fixed at dispatch by the flow
+// hash), and dead marks a tombstone: a quarantined iteration that keeps
+// flowing toward its fan-in so the dispatch sequence stays gap-free, then
+// is recycled there without ever reaching the trace.
 type token struct {
 	ctx        *interp.IterCtx
 	slots      []int64
 	iter       int64
 	degradedAt int
+	shard      int32
+	dead       bool
+}
+
+// laneCtx identifies one stage replica's execution lane: its indices, its
+// probe, its runner, its fault-injector view, and its fault-record buffer.
+// Built once per goroutine; everything the hot path touches is one
+// indirection away.
+type laneCtx struct {
+	s      int // 0-based stage index
+	j      int // replica (lane) index
+	probe  *stageProbe
+	run    stageRunner
+	inj    *fault.Injector
+	recIdx int
+	tomb   bool // quarantines become tombstones (sharded segment ends in a fan-in)
 }
 
 // engine is the per-Serve state shared by the stage goroutines.
 type engine struct {
-	ictx    context.Context
-	cancel  context.CancelFunc
-	cfg     Config
-	src     Source
-	runners []stageRunner
-	rings   []chan []*token
-	m       *Metrics
-	inj     *fault.Injector
+	ictx     context.Context
+	cancel   context.CancelFunc
+	cfg      Config
+	src      Source
+	plan     *shardPlan
+	runners  [][]stageRunner   // stage -> replicas
+	rings    [][]chan []*token // cut -> lane rings
+	headRing []chan []*token   // dispatcher -> stage-0 replicas (nil without a dispatcher)
+	seqs     []*seqStream      // fan-in sequence side-channels
+	cols     []*sinkCollector  // per sink replica, when the final segment is sharded
+	m        *Metrics
+	inj      *fault.Injector
+	injs     []*fault.Injector // per-lane injector views; injs[0] is inj
+	shardKey func([]byte) uint64
 
-	// live holds the per-stage atomic probes every counter update lands
-	// in; recs are the per-stage fault-record buffers, each owned by its
-	// stage goroutine until the final join.
+	// live holds the per-replica atomic probes every counter update lands
+	// in; recs are the per-lane fault-record buffers (dispatcher last),
+	// each owned by its goroutine until the final join.
 	live *Live
 	recs [][]FaultRecord
 
 	// Observability. timed is true when any instrument needs the extra
 	// clock reads around ring operations; tr is the span sink (nil:
-	// tracing off); fillHist/waitHist are the registry histograms (nil
-	// entries: metrics off).
+	// tracing off); fillHist/waitHist are the per-stage registry
+	// histograms (nil entries: metrics off; Observe is atomic, so
+	// replicas share their stage's histogram).
 	timed    bool
 	tr       *obsv.Tracer
 	fillHist []*obsv.Histogram
@@ -312,12 +369,25 @@ type engine struct {
 	tokPool   sync.Pool
 	batchPool sync.Pool
 
+	// freeBatches recycles whole retired batches — reset tokens still
+	// attached — from the sink back to the source in one channel
+	// operation per batch, replacing 2×Batch sync.Pool operations with
+	// one synchronization on the serve hot path. spare is the source
+	// side's current stash (head/dispatcher goroutine only); the pools
+	// absorb overflow and the stragglers recycled off the hot path
+	// (quarantines, tombstones).
+	freeBatches chan []*token
+	spare       []*token
+
 	// Trace accumulation. The sink stage's goroutine is the sole writer:
 	// events land in fixed-size chunks (traceTail is the one being
 	// filled, traceChunks the sealed ones) and are assembled into
 	// Metrics.Trace with a single exact-size allocation after the join.
 	// Growing one flat slice by append instead costs a realloc-zero-copy
 	// cycle per doubling, which at streaming scale dominates the sink.
+	// (When the final segment is sharded, each sink replica accumulates
+	// into its own sinkCollector instead and the traces are k-way merged
+	// after the join.)
 	traceChunks [][]interp.Event
 	traceTail   []interp.Event
 
@@ -330,7 +400,7 @@ type engine struct {
 const traceChunkEvents = 1 << 15
 
 // appendTrace adds one iteration's deferred events to the chunked trace.
-// Only the sink stage's goroutine calls it.
+// Only the (single) sink goroutine calls it.
 func (e *engine) appendTrace(evs []interp.Event) {
 	for len(evs) > 0 {
 		if cap(e.traceTail) == 0 {
@@ -371,17 +441,56 @@ func (e *engine) fail(err error) {
 	})
 }
 
-// record appends a fault record to stage k's buffer, respecting the cap.
-// Only the stage's own goroutine calls it, so no lock is needed; the
+// record appends a fault record to lane buffer i, respecting the cap.
+// Only the lane's own goroutine calls it, so no lock is needed; the
 // buffers are merged into the FaultReport after the final join.
-func (e *engine) record(k int, r FaultRecord) {
-	if len(e.recs[k]) < maxFaultRecords {
-		e.recs[k] = append(e.recs[k], r)
+func (e *engine) record(i int, r FaultRecord) {
+	if len(e.recs[i]) < maxFaultRecords {
+		e.recs[i] = append(e.recs[i], r)
+	}
+}
+
+// lane builds the execution-lane view of stage s, replica j.
+func (e *engine) lane(s, j int) *laneCtx {
+	return &laneCtx{
+		s:      s,
+		j:      j,
+		probe:  e.live.probe(s, j),
+		run:    e.runners[s][j],
+		inj:    e.injs[j],
+		recIdx: e.live.offs[s] + j,
+		tomb:   e.plan.needTomb[s],
 	}
 }
 
 func (e *engine) getToken() *token {
 	t := e.tokPool.Get().(*token)
+	t.ctx.DeferEvents = true
+	return t
+}
+
+// takeToken is the source side's token allocator: it prefers the batches
+// recycled whole through freeBatches and falls back to the pool. Only the
+// head/dispatcher goroutine calls it.
+func (e *engine) takeToken() *token {
+	if len(e.spare) == 0 {
+		select {
+		case sb := <-e.freeBatches:
+			e.spare = sb
+		default:
+		}
+		if len(e.spare) == 0 {
+			return e.getToken()
+		}
+	}
+	n := len(e.spare) - 1
+	t := e.spare[n]
+	e.spare[n] = nil
+	e.spare = e.spare[:n]
+	if n == 0 {
+		e.putBatch(e.spare)
+		e.spare = nil
+	}
 	t.ctx.DeferEvents = true
 	return t
 }
@@ -395,6 +504,8 @@ func (t *token) reset() {
 	t.slots = nil
 	t.iter = 0
 	t.degradedAt = 0
+	t.shard = 0
+	t.dead = false
 }
 
 func (e *engine) putToken(t *token) {
@@ -410,6 +521,28 @@ func (e *engine) putBatch(b []*token) {
 	e.batchPool.Put(b[:0]) //nolint:staticcheck // slices are pooled by header
 }
 
+// recycleBatch resets a retired batch's tokens in place and hands the
+// whole batch back to the source through freeBatches — one channel
+// operation instead of per-token pool traffic. Overflow (or a full
+// freelist) falls back to the pools.
+func (e *engine) recycleBatch(b []*token) {
+	if len(b) == 0 {
+		e.putBatch(b)
+		return
+	}
+	for _, t := range b {
+		t.reset()
+	}
+	select {
+	case e.freeBatches <- b:
+	default:
+		for _, t := range b {
+			e.tokPool.Put(t)
+		}
+		e.putBatch(b)
+	}
+}
+
 // span records one phase interval when tracing is enabled.
 func (e *engine) span(stage int, iter int64, n int, phase obsv.Phase, start time.Time, dur time.Duration) {
 	if e.tr == nil {
@@ -421,20 +554,72 @@ func (e *engine) span(stage int, iter int64, n int, phase obsv.Phase, start time
 	})
 }
 
-// send forwards a batch on out, wrapping sendRing with the transmit-phase
-// instrumentation: when observability is on, the time from first probe to
-// ring acceptance (or shed) becomes a PhaseTx span. It returns false when
-// the run was canceled mid-wait.
-func (e *engine) send(out chan []*token, b []*token, k int) bool {
-	if !e.timed {
-		return e.sendRing(out, b, k)
+// outPort is a stage replica's outbound side: either one ring (aligned
+// junction, or this replica's private lane into a fan-in) or a scatterer
+// (1 -> P junction).
+type outPort struct {
+	ring chan []*token
+	sc   *scatterer
+}
+
+// outFor wires the outbound port of lc's stage replica; nil at the sink.
+func (e *engine) outFor(lc *laneCtx) *outPort {
+	s := lc.s
+	if s == len(e.runners)-1 {
+		return nil
 	}
-	// Capture before sendRing: a shed batch is recycled inside.
+	if e.plan.reps[s+1] > e.plan.reps[s] { // scatter
+		var sq *seqStream
+		if e.plan.seqFor[s] >= 0 {
+			sq = e.seqs[e.plan.seqFor[s]]
+		}
+		return &outPort{sc: newScatterer(e.rings[s], sq)}
+	}
+	return &outPort{ring: e.rings[s][lc.j]}
+}
+
+// send forwards a batch through the port with the transmit-phase
+// instrumentation. It returns false when the run was canceled mid-wait.
+func (o *outPort) send(e *engine, b []*token, lc *laneCtx) bool {
+	if !e.timed {
+		if o.sc != nil {
+			return o.sc.send(e, b, lc)
+		}
+		return e.sendRing(o.ring, b, lc)
+	}
+	// Capture before sending: a shed batch is recycled inside.
 	iter, n := b[0].iter, len(b)
 	start := time.Now()
-	ok := e.sendRing(out, b, k)
-	e.span(k+1, iter, n, obsv.PhaseTx, start, time.Since(start))
+	var ok bool
+	if o.sc != nil {
+		ok = o.sc.send(e, b, lc)
+	} else {
+		ok = e.sendRing(o.ring, b, lc)
+	}
+	e.span(lc.s+1, iter, n, obsv.PhaseTx, start, time.Since(start))
 	return ok
+}
+
+// close relinquishes the port: the producer owns its ring(s), so channel
+// closure is the end-of-stream signal downstream.
+func (o *outPort) close() {
+	if o.sc != nil {
+		o.sc.close()
+		return
+	}
+	close(o.ring)
+}
+
+// trySend is the non-blocking ring put; on success the batch (and its
+// accounting) belongs to the consumer.
+func (e *engine) trySend(out chan []*token, b []*token, p *stageProbe) bool {
+	select {
+	case out <- b:
+		p.out.Add(int64(len(b)))
+		return true
+	default:
+		return false
+	}
 }
 
 // sendRing forwards a batch on out, counting a stall when the ring is
@@ -443,10 +628,10 @@ func (e *engine) send(out chan []*token, b []*token, k int) bool {
 // then engages the policy — dropping the batch (Shed) or marking it
 // degraded and forwarding it for pass-through delivery (Degrade). It
 // returns false when the run was canceled mid-wait.
-func (e *engine) sendRing(out chan []*token, b []*token, k int) bool {
-	p := &e.live.probes[k]
+func (e *engine) sendRing(out chan []*token, b []*token, lc *laneCtx) bool {
+	p := lc.probe
 	if e.inj != nil {
-		e.inj.BeforeSend(e.ictx, k+1, b[0].iter)
+		lc.inj.BeforeSend(e.ictx, lc.s+1, b[0].iter)
 	}
 	select {
 	case out <- b:
@@ -482,7 +667,7 @@ func (e *engine) sendRing(out chan []*token, b []*token, k int) bool {
 	case OverloadShed:
 		n := int64(len(b))
 		for _, t := range b {
-			e.record(k, FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "shed", Reason: "ring saturated past watermark"})
+			e.record(lc.recIdx, FaultRecord{Iter: t.iter, Stage: lc.s + 1, Disposition: "shed", Reason: "ring saturated past watermark"})
 			e.putToken(t)
 		}
 		p.shed.Add(n)
@@ -492,9 +677,9 @@ func (e *engine) sendRing(out chan []*token, b []*token, k int) bool {
 	default: // OverloadDegrade
 		var n int64
 		for _, t := range b {
-			if t.degradedAt == 0 {
-				t.degradedAt = k + 2
-				e.record(k, FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "degraded", Reason: "ring saturated past watermark"})
+			if t.degradedAt == 0 && !t.dead {
+				t.degradedAt = lc.s + 2
+				e.record(lc.recIdx, FaultRecord{Iter: t.iter, Stage: lc.s + 1, Disposition: "degraded", Reason: "ring saturated past watermark"})
 				n++
 			}
 		}
@@ -518,37 +703,44 @@ type tokOutcome uint8
 const (
 	tokOK          tokOutcome = iota // executed; token continues
 	tokQuarantined                   // removed from the pipeline, recorded
+	tokDead                          // quarantined but forwarded as a tombstone (fan-in upstream)
 	tokFatal                         // unrecoverable runtime error; abort the serve
 )
 
-// runToken executes one iteration at stage k (0-based) with the full
-// recovery machinery: injected faults, panic recovery, the per-stage
-// deadline, and bounded retry with exponential backoff for transient
-// faults. Quarantined tokens are recorded and recycled; their buffered
-// events never reach the trace.
-func (e *engine) runToken(k int, run stageRunner, t *token, p *stageProbe) tokOutcome {
+// runToken executes one iteration at lc's stage with the full recovery
+// machinery: injected faults, panic recovery, the per-stage deadline, and
+// bounded retry with exponential backoff for transient faults.
+// Quarantined tokens are recorded and recycled — or, inside a sharded
+// segment that ends in a fan-in, tombstoned and forwarded so the dispatch
+// sequence stays gap-free; their buffered events never reach the trace
+// either way.
+func (e *engine) runToken(lc *laneCtx, t *token) tokOutcome {
 	backoff := e.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		err := e.execOnce(k, run, t)
+		err := e.execOnce(lc, t)
 		if err == nil {
 			return tokOK
 		}
 		var fatal *fatalError
 		if errors.As(err, &fatal) {
-			e.fail(fmt.Errorf("stage %d: %w", k+1, fatal.err))
+			e.fail(fmt.Errorf("stage %d: %w", lc.s+1, fatal.err))
 			e.putToken(t)
 			return tokFatal
 		}
 		if errors.Is(err, errs.ErrTransientFault) && attempt < e.cfg.Retry {
-			p.retries.Add(1)
+			lc.probe.retries.Add(1)
 			if backoff > 0 {
 				sleepCtx(e.ictx, backoff)
 				backoff *= 2
 			}
 			continue
 		}
-		p.quarantined.Add(1)
-		e.record(k, FaultRecord{Iter: t.iter, Stage: k + 1, Disposition: "quarantined", Reason: err.Error()})
+		lc.probe.quarantined.Add(1)
+		e.record(lc.recIdx, FaultRecord{Iter: t.iter, Stage: lc.s + 1, Disposition: "quarantined", Reason: err.Error()})
+		if lc.tomb {
+			t.dead = true
+			return tokDead
+		}
 		e.putToken(t)
 		return tokQuarantined
 	}
@@ -565,7 +757,7 @@ func (f *fatalError) Unwrap() error { return f.err }
 // execOnce is one execution attempt: fault hooks, the stage body, and the
 // deadline check, under a recover that converts any panic — injected or
 // genuine — into a quarantinable errs.ErrStagePanic.
-func (e *engine) execOnce(k int, run stageRunner, t *token) (err error) {
+func (e *engine) execOnce(lc *laneCtx, t *token) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", errs.ErrStagePanic, r)
@@ -577,23 +769,23 @@ func (e *engine) execOnce(k int, run stageRunner, t *token) (err error) {
 		start = time.Now()
 	}
 	if e.inj != nil {
-		if ferr := e.inj.BeforeStage(e.ictx, k+1, t.iter); ferr != nil {
+		if ferr := lc.inj.BeforeStage(e.ictx, lc.s+1, t.iter); ferr != nil {
 			return ferr
 		}
 		if deadline > 0 && time.Since(start) > deadline {
 			// The injected stall alone blew the deadline: quarantine before
 			// the body runs, leaving persistent state untouched.
 			return fmt.Errorf("%w: stage %d stalled past the %v deadline",
-				errs.ErrStageDeadline, k+1, deadline)
+				errs.ErrStageDeadline, lc.s+1, deadline)
 		}
 	}
-	sent, rerr := run.RunIteration(t.ctx, t.slots)
+	sent, rerr := lc.run.RunIteration(t.ctx, t.slots)
 	if rerr != nil {
 		return &fatalError{err: rerr}
 	}
 	t.slots = sent
 	if deadline > 0 && time.Since(start) > deadline {
-		return fmt.Errorf("%w: stage %d exceeded the %v deadline", errs.ErrStageDeadline, k+1, deadline)
+		return fmt.Errorf("%w: stage %d exceeded the %v deadline", errs.ErrStageDeadline, lc.s+1, deadline)
 	}
 	return nil
 }
@@ -609,32 +801,55 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 }
 
 // retire merges a finished batch's events into the trace in iteration
-// order and recycles the tokens. Only the sink stage's goroutine calls
-// it, so the trace append is single-writer.
-func (e *engine) retire(b []*token, p *stageProbe) {
+// order and recycles the whole batch. Only the (single) sink goroutine
+// calls it, so the trace append is single-writer.
+func (e *engine) retire(b []*token, lc *laneCtx) {
+	var alive int64
 	for _, t := range b {
+		if t.dead {
+			continue
+		}
 		e.appendTrace(t.ctx.Events)
-		e.putToken(t)
+		alive++
 	}
-	e.live.packets.Add(int64(len(b)))
-	p.out.Add(int64(len(b)))
-	e.putBatch(b)
+	e.live.packets.Add(alive)
+	lc.probe.out.Add(alive)
+	e.recycleBatch(b)
 }
 
-// head is the stage-1 goroutine: it paces the pipeline by pulling one
-// packet per iteration from the Source, executes the first stage, and
-// forwards batches downstream (or retires them directly when D == 1).
-// Poisoned packets are quarantined here, before a token is even built; the
-// head's In counter tallies every packet pulled from the source, which is
-// the total the FaultReport accounting is reconciled against.
-func (e *engine) head() {
-	p := &e.live.probes[0]
-	run := e.runners[0]
-	var out chan []*token
-	if len(e.rings) > 0 {
-		out = e.rings[0]
-		defer close(out)
+// retireSharded is retire for one replica of a sharded sink: events land
+// in the replica's own collector, keyed by iteration, for the post-join
+// k-way merge.
+func (e *engine) retireSharded(b []*token, col *sinkCollector, lc *laneCtx) {
+	var alive int64
+	for _, t := range b {
+		if t.dead {
+			continue
+		}
+		col.add(t.iter, t.ctx.Events)
+		alive++
 	}
+	e.live.packets.Add(alive)
+	lc.probe.out.Add(alive)
+	e.recycleBatch(b)
+}
+
+// head is the stage-1 goroutine of an undispatched run (stage 0
+// unreplicated): it paces the pipeline by pulling one packet per iteration
+// from the Source, executes the first stage, and forwards batches
+// downstream (or retires them directly when D == 1). Poisoned packets are
+// quarantined here, before a token is even built; the head's In counter
+// tallies every packet pulled from the source, which is the total the
+// FaultReport accounting is reconciled against. When a later cut scatters,
+// the head also stamps each token's lane from the flow hash.
+func (e *engine) head() {
+	lc := e.lane(0, 0)
+	p := lc.probe
+	out := e.outFor(lc)
+	if out != nil {
+		defer out.close()
+	}
+	sharded := e.plan.sharded()
 	var iter int64
 	for {
 		select {
@@ -659,18 +874,25 @@ func (e *engine) head() {
 			if e.inj != nil {
 				if bad, poisoned := e.inj.AtSource(i, pkt); poisoned {
 					p.quarantined.Add(1)
-					e.record(0, FaultRecord{Iter: i, Stage: 1, Disposition: "quarantined",
+					e.record(lc.recIdx, FaultRecord{Iter: i, Stage: 1, Disposition: "quarantined",
 						Reason: fmt.Sprintf("%v: %d malformed bytes at source", errs.ErrPoisonPacket, len(bad))})
 					continue
 				}
 			}
-			t := e.getToken()
+			t := e.takeToken()
 			t.iter = i
 			t.ctx.Pending, t.ctx.HasPending = pkt, true
-			switch e.runToken(0, run, t, p) {
+			if sharded {
+				// Before the stage body: it may rewrite packet bytes.
+				t.shard = int32(shardOf(e.shardKey(pkt), e.plan.p))
+			}
+			switch e.runToken(lc, t) {
 			case tokOK:
 				b = append(b, t)
-			case tokQuarantined:
+			case tokQuarantined, tokDead:
+				// tomb is never set at an unreplicated head (needTomb
+				// covers replicated stages only), so tokDead is unreachable
+				// here; quarantines just drop.
 				continue
 			case tokFatal:
 				p.busyNs.Add(int64(time.Since(t0)))
@@ -685,8 +907,8 @@ func (e *engine) head() {
 				e.fillHist[0].Observe(int64(len(b)))
 			}
 			if out == nil {
-				e.retire(b, p)
-			} else if !e.send(out, b, 0) {
+				e.retire(b, lc)
+			} else if !out.send(e, b, lc) {
 				return
 			}
 		} else {
@@ -698,18 +920,156 @@ func (e *engine) head() {
 	}
 }
 
-// stage is the goroutine for stages 2..D: receive a batch, run each
-// iteration with the live-set slots its predecessor packed, and forward
-// (or retire, at the sink). Degraded tokens pass through without
-// executing; quarantined tokens are compacted out of the batch.
-func (e *engine) stage(k int) {
-	p := &e.live.probes[k]
-	run := e.runners[k]
-	in := e.rings[k-1]
-	var out chan []*token
-	if k < len(e.rings) {
-		out = e.rings[k]
-		defer close(out)
+// dispatch is the source goroutine of a run whose first stage is
+// replicated: it pulls packets, assigns iteration indices, quarantines
+// poisons, stamps each token's lane from the flow hash, and forwards
+// per-lane batches into the head rings — recording the lane sequence for
+// the paired fan-in when one exists. It is lossless (pure backpressure):
+// the overload policies act at the inter-stage rings.
+func (e *engine) dispatch() {
+	lc := e.dispLane()
+	p := lc.probe
+	P := e.plan.reps[0]
+	var sq *seqStream
+	if e.plan.dispSeq >= 0 {
+		sq = e.seqs[e.plan.dispSeq]
+	}
+	pend := make([][]*token, P)
+	for j := range pend {
+		pend[j] = e.getBatch()
+	}
+	var iter int64
+loop:
+	for {
+		select {
+		case <-e.ictx.Done():
+			break loop
+		default:
+		}
+		pkt, ok := e.src.Next()
+		if !ok {
+			// Source drained: flush the partial lane batches in one last
+			// sequenced round.
+			if sq != nil {
+				sq.flush()
+			}
+			for j := range pend {
+				if len(pend[j]) == 0 {
+					e.putBatch(pend[j])
+					continue
+				}
+				if !e.dispFlush(pend, j, p) {
+					break loop
+				}
+				pend[j] = nil
+			}
+			break loop
+		}
+		i := iter
+		iter++
+		p.in.Add(1)
+		if e.inj != nil {
+			if bad, poisoned := e.inj.AtSource(i, pkt); poisoned {
+				// Dropped before sequencing, so no tombstone is needed.
+				p.quarantined.Add(1)
+				e.record(lc.recIdx, FaultRecord{Iter: i, Stage: 1, Disposition: "quarantined",
+					Reason: fmt.Sprintf("%v: %d malformed bytes at source", errs.ErrPoisonPacket, len(bad))})
+				continue
+			}
+		}
+		t := e.takeToken()
+		t.iter = i
+		t.ctx.Pending, t.ctx.HasPending = pkt, true
+		lane := shardOf(e.shardKey(pkt), P)
+		t.shard = int32(lane)
+		if sq != nil {
+			sq.add(lane)
+		}
+		pend[lane] = append(pend[lane], t)
+		if len(pend[lane]) >= e.cfg.Batch {
+			if sq != nil {
+				sq.flush()
+			}
+			if !e.dispFlush(pend, lane, p) {
+				break loop
+			}
+			pend[lane] = e.getBatch()
+		}
+	}
+	for _, r := range e.headRing {
+		close(r)
+	}
+	if sq != nil {
+		sq.close()
+	}
+}
+
+// dispLane is the dispatcher's lane view: the extra probe and record
+// buffer past the per-replica ones. It never executes a stage body.
+func (e *engine) dispLane() *laneCtx {
+	return &laneCtx{s: 0, probe: e.live.disp, inj: e.inj, recIdx: len(e.live.probes)}
+}
+
+// dispFlush delivers pend[lane] into its head ring. When the ring is
+// full, it repeatedly try-flushes every other pending lane while waiting:
+// the fan-in downstream consumes lanes in dispatch order, so a starved
+// lane's partial batch must be able to leave even while the dispatcher is
+// parked on a saturated one — the cross-lane deadlock guard.
+func (e *engine) dispFlush(pend [][]*token, lane int, p *stageProbe) bool {
+	if e.trySend(e.headRing[lane], pend[lane], p) {
+		return true
+	}
+	p.stalls.Add(1)
+	for {
+		for j := range pend {
+			if j == lane || len(pend[j]) == 0 {
+				continue
+			}
+			if e.trySend(e.headRing[j], pend[j], p) {
+				pend[j] = e.getBatch()
+			}
+		}
+		tick := time.NewTimer(overloadTick)
+		select {
+		case e.headRing[lane] <- pend[lane]:
+			tick.Stop()
+			p.out.Add(int64(len(pend[lane])))
+			return true
+		case <-e.ictx.Done():
+			tick.Stop()
+			return false
+		case <-tick.C:
+		}
+	}
+}
+
+// stageLoop is the goroutine of one replica of a non-source stage (and of
+// the source stage's replicas, fed by the dispatcher): receive a batch —
+// from the head ring, the private lane ring, or the fan-in merger — run
+// each live iteration with the live-set slots its predecessor packed, and
+// forward (or retire, at the sink). Degraded and tombstoned tokens pass
+// through without executing; quarantined tokens are compacted out of the
+// batch (or tombstoned, when a fan-in is downstream).
+func (e *engine) stageLoop(lc *laneCtx) {
+	s := lc.s
+	p := lc.probe
+	var in chan []*token
+	var mg *merger
+	switch {
+	case s == 0:
+		in = e.headRing[lc.j]
+	case e.plan.faninSeq[s-1] >= 0:
+		mg = e.newMerger(s-1, lc)
+	default:
+		in = e.rings[s-1][lc.j]
+	}
+	out := e.outFor(lc)
+	if out != nil {
+		defer out.close()
+	}
+	var col *sinkCollector
+	if out == nil && e.cols != nil {
+		col = e.cols[lc.j]
 	}
 	for {
 		var wStart time.Time
@@ -717,37 +1077,51 @@ func (e *engine) stage(k int) {
 			wStart = time.Now()
 		}
 		var b []*token
-		var ok bool
-		select {
-		case <-e.ictx.Done():
-			return
-		case b, ok = <-in:
-			if !ok {
+		last := false
+		if mg != nil {
+			var more bool
+			b, more = mg.nextBatch(e.cfg.Batch)
+			last = !more
+		} else {
+			var ok bool
+			select {
+			case <-e.ictx.Done():
+				return
+			case b, ok = <-in:
+				if !ok {
+					return
+				}
+			}
+			p.occSum.Add(int64(len(in)))
+			p.occSamples.Add(1)
+		}
+		if len(b) == 0 {
+			e.putBatch(b)
+			if last {
 				return
 			}
+			continue
 		}
 		if e.timed {
 			wait := time.Since(wStart)
-			e.span(k+1, b[0].iter, len(b), obsv.PhaseWait, wStart, wait)
-			if h := e.waitHist[k]; h != nil {
+			e.span(s+1, b[0].iter, len(b), obsv.PhaseWait, wStart, wait)
+			if h := e.waitHist[s]; h != nil {
 				h.Observe(wait.Microseconds())
 			}
-			e.fillHist[k].Observe(int64(len(b)))
+			e.fillHist[s].Observe(int64(len(b)))
 		}
-		p.occSum.Add(int64(len(in)))
-		p.occSamples.Add(1)
 		p.in.Add(int64(len(b)))
 		firstIter := b[0].iter
 		n := len(b)
 		t0 := time.Now()
 		keep := b[:0]
 		for _, t := range b {
-			if t.degradedAt > 0 && k+1 >= t.degradedAt {
+			if t.dead || (t.degradedAt > 0 && s+1 >= t.degradedAt) {
 				keep = append(keep, t)
 				continue
 			}
-			switch e.runToken(k, run, t, p) {
-			case tokOK:
+			switch e.runToken(lc, t) {
+			case tokOK, tokDead:
 				keep = append(keep, t)
 			case tokQuarantined:
 			case tokFatal:
@@ -759,15 +1133,21 @@ func (e *engine) stage(k int) {
 		busy := time.Since(t0)
 		p.busyNs.Add(int64(busy))
 		if e.timed {
-			e.span(k+1, firstIter, n, obsv.PhaseExec, t0, busy)
+			e.span(s+1, firstIter, n, obsv.PhaseExec, t0, busy)
 		}
-		if len(b) == 0 {
+		switch {
+		case len(b) == 0:
 			e.putBatch(b)
-			continue
+		case out != nil:
+			if !out.send(e, b, lc) {
+				return
+			}
+		case col != nil:
+			e.retireSharded(b, col, lc)
+		default:
+			e.retire(b, lc)
 		}
-		if out == nil {
-			e.retire(b, p)
-		} else if !e.send(out, b, k) {
+		if last {
 			return
 		}
 	}
@@ -782,8 +1162,9 @@ var (
 
 // wireObservability prepares the engine's instrument fields from the
 // config: the tracer (reset to this run's origin), the registry mirror
-// (computed gauges over the live probes, histograms for batch fill and
-// ring wait), and the timed flag that gates the extra clock reads.
+// (computed gauges over the live probes — aggregated across a stage's
+// replicas — plus histograms for batch fill and ring wait), and the timed
+// flag that gates the extra clock reads.
 func (e *engine) wireObservability(d int) {
 	obs := e.cfg.Obs
 	e.fillHist = make([]*obsv.Histogram, d)
@@ -801,26 +1182,27 @@ func (e *engine) wireObservability(d int) {
 	}
 	reg := obs.Registry
 	l := e.live
-	reg.Func("pipeline.stages", func() int64 { return int64(len(l.probes)) })
+	reg.Func("pipeline.stages", func() int64 { return int64(len(l.reps)) })
+	reg.Func("pipeline.shards", func() int64 { return int64(l.shards) })
 	reg.Func("pipeline.packets", l.packets.Load)
 	reg.Func("pipeline.elapsed_ns", func() int64 { return int64(l.Snapshot().Elapsed) })
 	for k := 0; k < d; k++ {
-		p := &l.probes[k]
+		k := k
 		prefix := "pipeline.stage" + strconv.Itoa(k+1) + "."
-		reg.Func(prefix+"in", p.in.Load)
-		reg.Func(prefix+"out", p.out.Load)
-		reg.Func(prefix+"stalls", p.stalls.Load)
-		reg.Func(prefix+"shed", p.shed.Load)
-		reg.Func(prefix+"degraded", p.degraded.Load)
-		reg.Func(prefix+"quarantined", p.quarantined.Load)
-		reg.Func(prefix+"retries", p.retries.Load)
-		reg.Func(prefix+"busy_ns", p.busyNs.Load)
+		reg.Func(prefix+"in", func() int64 { return l.stageStats(k).In })
+		reg.Func(prefix+"out", func() int64 { return l.stageStats(k).Out })
+		reg.Func(prefix+"stalls", func() int64 { return l.stageStats(k).Stalls })
+		reg.Func(prefix+"shed", func() int64 { return l.stageStats(k).Shed })
+		reg.Func(prefix+"degraded", func() int64 { return l.stageStats(k).Degraded })
+		reg.Func(prefix+"quarantined", func() int64 { return l.stageStats(k).Quarantined })
+		reg.Func(prefix+"retries", func() int64 { return l.stageStats(k).Retries })
+		reg.Func(prefix+"busy_ns", func() int64 { return int64(l.stageStats(k).Busy) })
 		reg.Func(prefix+"ring_occ_milli", func() int64 {
-			n := p.occSamples.Load()
-			if n == 0 {
+			st := l.stageStats(k)
+			if st.occSamples == 0 {
 				return 0
 			}
-			return p.occSum.Load() * 1000 / n
+			return st.occSum * 1000 / st.occSamples
 		})
 		e.fillHist[k] = reg.Histogram(prefix+"batch_fill", fillBounds)
 		if k > 0 {
@@ -850,21 +1232,24 @@ func (e *engine) logLoop(stop <-chan struct{}) {
 }
 
 // Serve runs the partitioned stages concurrently — one goroutine per
-// stage, bounded rings between neighbors — against the packet stream of
-// src, with world supplying route tables and persistent state. It returns
-// when the source is exhausted and the pipeline has drained, or when ctx
-// is canceled (in-flight iterations are then discarded; the returned
-// error is the context's).
+// stage replica, bounded rings between neighbors — against the packet
+// stream of src, with world supplying route tables and persistent state.
+// It returns when the source is exhausted and the pipeline has drained,
+// or when ctx is canceled (in-flight iterations are then discarded; the
+// returned error is the context's).
 //
-// The returned Metrics hold the merged observable trace in exact
-// sequential-oracle order plus per-stage counters. On normal completion
-// the trace is also appended to world.Trace, matching the convention of
-// the oracle paths.
+// With cfg.Shards = P > 1, stages without cross-flow state run as P
+// replicas fed by a flow-hash dispatcher; stages with cross-flow state
+// run unsharded behind a deterministic fan-in. The returned Metrics hold
+// the merged observable trace in exact sequential-oracle order plus
+// per-stage counters aggregated across replicas. On normal completion the
+// trace is also appended to world.Trace, matching the convention of the
+// oracle paths.
 //
-// Each stage goroutine runs under a pprof label ("stage" = its 1-based
-// index), so CPU profiles attribute samples per stage; cfg.Obs attaches
-// the rest of the observability layer and cfg.OnLive exposes the live
-// counter probes for mid-run snapshots.
+// Each goroutine runs under a pprof label ("stage" = its 1-based index,
+// plus "lane" for replicas), so CPU profiles attribute samples per stage;
+// cfg.Obs attaches the rest of the observability layer and cfg.OnLive
+// exposes the live counter probes for mid-run snapshots.
 func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src Source, cfg Config) (*Metrics, error) {
 	if err := Validate(stages); err != nil {
 		return nil, err
@@ -884,28 +1269,66 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 	if err := cfg.Faults.Validate(D); err != nil {
 		return nil, err
 	}
-	runners := newStageRunners(cfg.Backend, stages, world)
+	shapes := classifyStages(stages)
+	plan := newShardPlan(shapes, cfg.Shards, cfg.ShardKey != nil)
+	if plan.hasFanin() && cfg.Overload == OverloadShed {
+		return nil, fmt.Errorf("%w: the shed policy cannot drop tokens upstream of a sharded fan-in; use block or degrade, or serve unsharded",
+			errs.ErrConflictingOptions)
+	}
+	runners := newShardRunners(cfg.Backend, stages, world, plan, shapes)
 
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	start := time.Now()
+	hasDisp := plan.reps[0] > 1
+	key := cfg.ShardKey
+	if key == nil {
+		key = DefaultShardKey
+	}
 	e := &engine{
-		ictx:    ictx,
-		cancel:  cancel,
-		cfg:     cfg,
-		src:     src,
-		runners: runners,
-		rings:   make([]chan []*token, D-1),
-		m:       &Metrics{},
-		inj:     fault.NewInjector(cfg.Faults, D),
-		live:    newLive(D, start),
-		recs:    make([][]FaultRecord, D),
+		ictx:     ictx,
+		cancel:   cancel,
+		cfg:      cfg,
+		src:      src,
+		plan:     plan,
+		runners:  runners,
+		rings:    make([][]chan []*token, D-1),
+		m:        &Metrics{},
+		inj:      fault.NewInjector(cfg.Faults, D),
+		shardKey: key,
+		live:     newLive(plan.reps, hasDisp, plan.width(), start),
+	}
+	e.recs = make([][]FaultRecord, len(e.live.probes)+1)
+	e.injs = make([]*fault.Injector, plan.width())
+	e.injs[0] = e.inj
+	for j := 1; j < len(e.injs); j++ {
+		e.injs[j] = e.inj.Lane()
 	}
 	e.wireObservability(D)
 	e.tokPool.New = func() any { return &token{ctx: interp.NewIterCtx()} }
 	e.batchPool.New = func() any { return make([]*token, 0, cfg.Batch) }
-	for i := range e.rings {
-		e.rings[i] = make(chan []*token, cfg.RingCapacity)
+	e.freeBatches = make(chan []*token, 4+plan.width()*(cfg.RingCapacity+2))
+	for k := range e.rings {
+		e.rings[k] = make([]chan []*token, plan.lanes(k))
+		for j := range e.rings[k] {
+			e.rings[k][j] = make(chan []*token, cfg.RingCapacity)
+		}
+	}
+	if hasDisp {
+		e.headRing = make([]chan []*token, plan.reps[0])
+		for j := range e.headRing {
+			e.headRing[j] = make(chan []*token, cfg.RingCapacity)
+		}
+	}
+	e.seqs = make([]*seqStream, plan.nSeqs)
+	for i := range e.seqs {
+		e.seqs[i] = newSeqStream()
+	}
+	if plan.reps[D-1] > 1 {
+		e.cols = make([]*sinkCollector, plan.reps[D-1])
+		for j := range e.cols {
+			e.cols[j] = &sinkCollector{}
+		}
 	}
 	if cfg.OnLive != nil {
 		cfg.OnLive(e.live)
@@ -923,17 +1346,34 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 	}
 
 	var wg sync.WaitGroup
-	wg.Add(D)
-	go func() {
-		defer wg.Done()
-		pprof.Do(ictx, pprof.Labels("stage", "1"), func(context.Context) { e.head() })
-	}()
-	for k := 1; k < D; k++ {
-		k := k
+	if hasDisp {
+		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pprof.Do(ictx, pprof.Labels("stage", strconv.Itoa(k+1)), func(context.Context) { e.stage(k) })
+			pprof.Do(ictx, pprof.Labels("stage", "dispatch"), func(context.Context) { e.dispatch() })
 		}()
+	}
+	for s := 0; s < D; s++ {
+		if s == 0 && !hasDisp {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pprof.Do(ictx, pprof.Labels("stage", "1"), func(context.Context) { e.head() })
+			}()
+			continue
+		}
+		for j := 0; j < plan.reps[s]; j++ {
+			s, j := s, j
+			lbl := pprof.Labels("stage", strconv.Itoa(s+1))
+			if plan.reps[s] > 1 {
+				lbl = pprof.Labels("stage", strconv.Itoa(s+1), "lane", strconv.Itoa(j))
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pprof.Do(ictx, lbl, func(context.Context) { e.stageLoop(e.lane(s, j)) })
+			}()
+		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -945,12 +1385,17 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 
 	// Freeze the final Metrics from the probes, then reconcile the fault
 	// ledger (both happen strictly after the stage goroutines joined).
-	e.m.Trace = e.assembleTrace()
+	if e.cols != nil {
+		e.m.Trace = mergeShardTraces(e.cols)
+	} else {
+		e.m.Trace = e.assembleTrace()
+	}
 	e.m.Elapsed = elapsed
 	e.m.Packets = e.live.packets.Load()
+	e.m.Shards = plan.width()
 	e.m.Stages = make([]StageStats, D)
 	for k := range e.m.Stages {
-		e.m.Stages[k] = e.live.probes[k].stats(k + 1)
+		e.m.Stages[k] = e.live.stageStats(k)
 	}
 	e.m.Faults = e.faultReport()
 
@@ -975,28 +1420,38 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 	return e.m, nil
 }
 
-// newStageRunners builds one stage runner per pipeline stage on the
-// selected backend, sharing one persistent store per the partitioning
-// invariant. Every runner is confined to the iteration context's pre-pulled
-// packet (RxFromCtx), so concurrent stages never race on the World's packet
-// cursor.
-func newStageRunners(b Backend, stages []*ir.Program, world *interp.World) []stageRunner {
-	out := make([]stageRunner, len(stages))
-	if b == BackendInterp {
-		for i, r := range interp.NewStageRunners(stages, world) {
-			r.RxFromCtx = true
-			out[i] = r
+// newShardRunners builds the per-replica stage runners on the selected
+// backend. All replicas share one fully-materialized persistent store —
+// except the flow-keyed arrays of replicated stages, which each replica
+// forks so its partition of the table is private (shard.go explains when
+// that is sound). Every runner is confined to the iteration context's
+// pre-pulled packet (RxFromCtx), so concurrent replicas never race on the
+// World's packet cursor.
+func newShardRunners(b Backend, stages []*ir.Program, world *interp.World, plan *shardPlan, shapes []stageShape) [][]stageRunner {
+	base := interp.NewStore(stages...)
+	out := make([][]stageRunner, len(stages))
+	for s, prog := range stages {
+		out[s] = make([]stageRunner, plan.reps[s])
+		for j := range out[s] {
+			store := base
+			if plan.reps[s] > 1 && len(shapes[s].flowArrs) > 0 {
+				store = base.Fork(shapes[s].flowArrs)
+			}
+			if b == BackendInterp {
+				r := interp.NewRunnerShared(prog, world, store)
+				r.RxFromCtx = true
+				out[s][j] = r
+			} else {
+				r := exec.NewRunnerShared(prog, world, store)
+				r.RxFromCtx = true
+				out[s][j] = r
+			}
 		}
-		return out
-	}
-	for i, r := range exec.NewStageRunners(stages, world) {
-		r.RxFromCtx = true
-		out[i] = r
 	}
 	return out
 }
 
-// faultReport flushes the per-stage quarantine/shed accounting into one
+// faultReport flushes the per-lane quarantine/shed accounting into one
 // report, after the final join — the drain path runs it on cancellation
 // too, so partially-served runs still account for every fault they took.
 func (e *engine) faultReport() *FaultReport {
@@ -1007,7 +1462,9 @@ func (e *engine) faultReport() *FaultReport {
 		rep.Shed += s.Shed
 		rep.Quarantined += s.Quarantined
 		rep.Retries += s.Retries
-		rep.Records = append(rep.Records, e.recs[k]...)
+	}
+	for i := range e.recs {
+		rep.Records = append(rep.Records, e.recs[i]...)
 	}
 	sort.Slice(rep.Records, func(i, j int) bool {
 		a, b := rep.Records[i], rep.Records[j]

@@ -1,0 +1,400 @@
+package runtime
+
+// Sharded serving: the flow-hash partitioning layer that runs P replicas
+// of (the shardable stages of) a realized pipeline and restores the
+// sequential trace order at deterministic merge points.
+//
+// The shape of a sharded run is a shardPlan: each stage gets a replica
+// count of either 1 or P, derived from a static classification of its
+// persistent state (classifyStages). Runs of replicated stages form
+// sharded segments; the junction between two stages is either aligned
+// (same width — a private ring per lane), a scatter (1 -> P: the single
+// upstream replica splits each batch by the tokens' shard index), or a
+// fan-in (P -> 1: the single downstream replica merges lanes back into
+// global packet order). When the first stage itself is replicated, a
+// dedicated dispatcher goroutine plays the scatter role at the source.
+//
+// Determinism argument. Global order is re-established at every fan-in by
+// a sequence side-channel: the scatter that feeds a fan-in records the
+// shard index of every token in dispatch (= global iteration) order, and
+// the fan-in pops exactly the lane the next sequence entry names — each
+// lane individually preserves order, so following the sequence reproduces
+// the global order without comparing iteration numbers across lanes (and
+// without the head-of-line deadlock a min-iter merge hits under flow
+// skew, where it would wait on a lane that has nothing in flight).
+// Quarantines inside a sharded segment that ends in a fan-in would leave
+// holes in that sequence, so such segments forward quarantined tokens as
+// tombstones (token.dead) and the fan-in recycles them silently. When the
+// final segment is sharded there is no live fan-in: each sink replica
+// collects its own trace chunks keyed by iteration, and one k-way merge
+// after the join rebuilds the sequential trace. Stages classified as
+// cross-flow run unsharded behind a fan-in, therefore observe packets in
+// exact global order and mutate their state identically to the sequential
+// oracle — which is why the merged trace stays byte-identical even for
+// stateful pipelines like the QM and Scheduler PPSes.
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/ir"
+)
+
+// MaxShards bounds the accepted shard count (pipeline replica width).
+const MaxShards = 64
+
+// shardSeed seeds the shard-index reduction so raw flow keys do not map
+// onto replicas through their low bits alone.
+const shardSeed = 0x9E3779B97F4A7C15
+
+// mix64 is the splitmix64 finalizer — the seeded fast integer hash the
+// shard layer runs flow keys through before reducing to a lane index.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// shardOf reduces a flow key to a lane in [0, p) by multiply-shift on the
+// mixed high bits (avoids the modulo and its low-bit bias).
+func shardOf(key uint64, p int) int {
+	h := mix64(key^shardSeed) >> 32
+	return int(h * uint64(p) >> 32)
+}
+
+// DefaultShardKey is the shard key used when none is configured: an
+// FNV-1a hash of the whole packet. It spreads arbitrary traffic evenly
+// but is NOT flow-affine (two packets of one flow that differ anywhere —
+// an IPv4 identification field, a TTL — may land on different replicas).
+// That is sound for pipelines without flow-keyed state, because the merge
+// restores global packet order regardless of lane assignment; pipelines
+// whose persistent state is partitioned by flow must configure a real
+// flow key (Config.ShardKey; netbench.FlowKey for the benchmark frames).
+func DefaultShardKey(pkt []byte) uint64 {
+	k := uint64(0xcbf29ce484222325)
+	for _, b := range pkt {
+		k = (k ^ uint64(b)) * 0x100000001b3
+	}
+	return k
+}
+
+// stateClass classifies one stage's persistent state for sharding.
+type stateClass uint8
+
+const (
+	// classStateless: no persistent writes — replicas share everything.
+	classStateless stateClass = iota
+	// classFlowKeyed: every access to every written persistent array is
+	// indexed by a packet-derived value; replicas run with forked copies
+	// of those arrays, which partitions the table by flow as long as the
+	// configured shard key refines the index (the flow-key contract).
+	classFlowKeyed
+	// classCrossFlow: persistent state whose access pattern cannot be
+	// attributed to the packet (queues, counters, schedulers); the stage
+	// must run unsharded so it observes the global packet order.
+	classCrossFlow
+)
+
+// stageShape is one stage's classification plus the persistent arrays a
+// flow-keyed replica must fork.
+type stageShape struct {
+	class    stateClass
+	flowArrs []*ir.Array
+}
+
+// Register taint classes for the packet-derivation dataflow. The lattice
+// is ordered (join = max): a value is regBot until a def is seen, regConst
+// if built only from constants, regPkt if at least one packet byte flowed
+// in (and nothing worse), regOther if anything non-packet-derived did —
+// loads, queue results, metadata, route lookups.
+const (
+	regBot uint8 = iota
+	regConst
+	regPkt
+	regOther
+)
+
+// pktCalls yield packet-derived results; mixCalls are pure mixers whose
+// class is the join of their argument classes.
+var (
+	pktCalls = map[string]bool{"pkt_rx": true, "pkt_len": true, "pkt_byte": true, "pkt_word": true}
+	mixCalls = map[string]bool{"csum_fold": true, "hash_crc": true}
+)
+
+// classifyStages derives each stage's shardability from its IR. Register
+// classes propagate across cuts through the live-set transmissions: stage
+// k's OpSendLS argument classes seed stage k+1's OpRecvLS destinations, so
+// an index computed from packet bytes upstream still counts as
+// packet-derived downstream. The rules are conservative — anything not
+// provably packet-derived (phi of a loop counter, a queue read, metadata)
+// demotes to regOther, and any written persistent array with a
+// non-packet-derived access index makes the whole stage cross-flow.
+func classifyStages(stages []*ir.Program) []stageShape {
+	shapes := make([]stageShape, len(stages))
+	var inSlots []uint8 // classes of the live-set slots entering this stage
+	for s, prog := range stages {
+		cls, outSlots := classifyRegs(prog, inSlots)
+		shapes[s] = classifyStage(prog, cls)
+		inSlots = outSlots
+	}
+	return shapes
+}
+
+// classifyRegs runs the packet-derivation fixpoint over one stage and
+// returns the register classes plus the classes of the slots it sends to
+// the next stage.
+func classifyRegs(prog *ir.Program, inSlots []uint8) ([]uint8, []uint8) {
+	maxReg := 0
+	for _, b := range prog.Func.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst > maxReg {
+				maxReg = in.Dst
+			}
+			for _, a := range in.Args {
+				if a > maxReg {
+					maxReg = a
+				}
+			}
+			for _, d := range in.Dsts {
+				if d > maxReg {
+					maxReg = d
+				}
+			}
+		}
+	}
+	cls := make([]uint8, maxReg+2)
+	join := func(reg int, c uint8) bool {
+		if reg < 0 || c <= cls[reg] {
+			return false
+		}
+		cls[reg] = c
+		return true
+	}
+	argJoin := func(args []int) uint8 {
+		c := regConst
+		for _, a := range args {
+			if cls[a] > c {
+				c = cls[a]
+			}
+		}
+		return c
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range prog.Func.Blocks {
+			for _, in := range b.Instrs {
+				switch {
+				case in.Op == ir.OpConst:
+					changed = join(in.Dst, regConst) || changed
+				case in.Op == ir.OpCopy, in.Op == ir.OpPhi, in.Op.IsBinary(), in.Op.IsUnary():
+					changed = join(in.Dst, argJoin(in.Args)) || changed
+				case in.Op == ir.OpLoad:
+					changed = join(in.Dst, regOther) || changed
+				case in.Op == ir.OpCall:
+					if in.Dst == ir.NoReg {
+						continue
+					}
+					switch {
+					case pktCalls[in.Call]:
+						changed = join(in.Dst, regPkt) || changed
+					case mixCalls[in.Call]:
+						changed = join(in.Dst, argJoin(in.Args)) || changed
+					default:
+						changed = join(in.Dst, regOther) || changed
+					}
+				case in.Op == ir.OpRecvLS:
+					for i, d := range in.Dsts {
+						c := regOther
+						if i < len(inSlots) {
+							c = inSlots[i]
+						}
+						changed = join(d, c) || changed
+					}
+				}
+			}
+		}
+	}
+	var outSlots []uint8
+	for _, b := range prog.Func.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpSendLS {
+				continue
+			}
+			if outSlots == nil {
+				outSlots = make([]uint8, len(in.Args))
+			}
+			for i, a := range in.Args {
+				if i < len(outSlots) && cls[a] > outSlots[i] {
+					outSlots[i] = cls[a]
+				}
+			}
+		}
+	}
+	return cls, outSlots
+}
+
+// classifyStage folds one stage's instruction stream over the register
+// classes into its shape.
+func classifyStage(prog *ir.Program, cls []uint8) stageShape {
+	written := map[int]*ir.Array{}
+	indexOK := map[int]bool{} // array ID -> all access indices packet-derived so far
+	crossFlow := false
+	note := func(a *ir.Array, idxReg int) {
+		if _, seen := indexOK[a.ID]; !seen {
+			indexOK[a.ID] = true
+		}
+		if cls[idxReg] != regPkt {
+			indexOK[a.ID] = false
+		}
+	}
+	for _, b := range prog.Func.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpCall:
+				if intr, ok := costmodel.Intrinsics[in.Call]; ok {
+					for _, ef := range intr.Effects {
+						if ef.Persistent {
+							// Queues and any future persistent channel are
+							// inherently cross-flow: shared ordered state.
+							crossFlow = true
+						}
+					}
+				}
+			case ir.OpLoad:
+				if in.Arr != nil && in.Arr.Persistent {
+					note(in.Arr, in.Args[0])
+				}
+			case ir.OpStore:
+				if in.Arr != nil && in.Arr.Persistent {
+					note(in.Arr, in.Args[0])
+					written[in.Arr.ID] = in.Arr
+				}
+			}
+		}
+	}
+	shape := stageShape{class: classStateless}
+	for id, a := range written {
+		if !indexOK[id] {
+			crossFlow = true
+			continue
+		}
+		shape.flowArrs = append(shape.flowArrs, a)
+	}
+	if crossFlow {
+		return stageShape{class: classCrossFlow}
+	}
+	if len(shape.flowArrs) > 0 {
+		shape.class = classFlowKeyed
+	}
+	return shape
+}
+
+// shardPlan is the realized topology of one sharded serve: per-stage
+// replica counts plus the junction bookkeeping the goroutines wire up
+// from.
+type shardPlan struct {
+	p    int   // configured shard count
+	reps []int // per-stage replica count: 1 or p
+
+	// needTomb marks stages whose sharded segment ends in a fan-in:
+	// quarantined tokens there are forwarded dead instead of dropped, so
+	// the fan-in's dispatch sequence stays gap-free.
+	needTomb []bool
+
+	// seqFor maps a scatter's cut index to the sequence stream consumed by
+	// its paired fan-in (-1: no downstream fan-in, no sequence needed).
+	// dispSeq is the same for the dispatcher (the virtual cut before stage
+	// 0); faninSeq maps a fan-in's cut index to that stream.
+	seqFor   []int
+	faninSeq []int
+	dispSeq  int
+	nSeqs    int
+}
+
+// newShardPlan assigns replica counts and pairs scatters with fan-ins.
+// Flow-keyed stages shard only when the caller configured an explicit
+// shard key (haveKey): partitioned tables are only correct when the lane
+// assignment refines the table index, which the default whole-packet hash
+// does not promise.
+func newShardPlan(shapes []stageShape, p int, haveKey bool) *shardPlan {
+	d := len(shapes)
+	pl := &shardPlan{
+		p:        p,
+		reps:     make([]int, d),
+		needTomb: make([]bool, d),
+		seqFor:   make([]int, max(d-1, 0)),
+		faninSeq: make([]int, max(d-1, 0)),
+		dispSeq:  -1,
+	}
+	for s := range pl.reps {
+		pl.reps[s] = 1
+		if p > 1 {
+			switch shapes[s].class {
+			case classStateless:
+				pl.reps[s] = p
+			case classFlowKeyed:
+				if haveKey {
+					pl.reps[s] = p
+				}
+			}
+		}
+	}
+	for k := range pl.seqFor {
+		pl.seqFor[k] = -1
+		pl.faninSeq[k] = -1
+	}
+	// Pair each fan-in with the nearest upstream scatter (or the
+	// dispatcher) and allocate its sequence stream; mark the sharded
+	// segment feeding it as tombstoning.
+	lastScatter := -2 // -2: none; -1: dispatcher; >=0: cut index
+	if pl.reps[0] > 1 {
+		lastScatter = -1
+	}
+	for k := 0; k < d-1; k++ {
+		switch {
+		case pl.reps[k] == 1 && pl.reps[k+1] > 1: // scatter
+			lastScatter = k
+		case pl.reps[k] > 1 && pl.reps[k+1] == 1: // fan-in
+			idx := pl.nSeqs
+			pl.nSeqs++
+			pl.faninSeq[k] = idx
+			if lastScatter == -1 {
+				pl.dispSeq = idx
+			} else if lastScatter >= 0 {
+				pl.seqFor[lastScatter] = idx
+			}
+			for s := k; s >= 0 && pl.reps[s] > 1; s-- {
+				pl.needTomb[s] = true
+			}
+		}
+	}
+	return pl
+}
+
+// sharded reports whether any stage actually runs replicated.
+func (pl *shardPlan) sharded() bool {
+	for _, r := range pl.reps {
+		if r > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasFanin reports whether the plan contains a live P->1 merge junction.
+func (pl *shardPlan) hasFanin() bool { return pl.nSeqs > 0 }
+
+// width returns the effective shard width the run executes with: p when
+// anything sharded, 1 otherwise (e.g. a fully cross-flow pipeline).
+func (pl *shardPlan) width() int {
+	if pl.sharded() {
+		return pl.p
+	}
+	return 1
+}
+
+// lanes is the ring-lane count of cut k: the wider side's replica count.
+func (pl *shardPlan) lanes(k int) int {
+	return max(pl.reps[k], pl.reps[k+1])
+}

@@ -1,0 +1,270 @@
+package runtime
+
+// White-box coverage of the sharding layer: the flow-hash lane reduction,
+// the static state classification that decides which stages may replicate,
+// the plan topology (scatter/fan-in pairing, tombstone marking), and the
+// end-to-end flow-keyed serve path that depends on all three.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/errs"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/netbench"
+	"repro/internal/ppc"
+)
+
+// TestShardOfDeterministicAndInRange: the lane reduction must be a pure
+// function of (key, p) with results in [0, p) for every accepted width.
+func TestShardOfDeterministicAndInRange(t *testing.T) {
+	keys := []uint64{0, 1, 42, 1 << 31, ^uint64(0), 0xdeadbeefcafef00d}
+	for i := uint64(0); i < 1000; i++ {
+		keys = append(keys, mix64(i))
+	}
+	for _, p := range []int{1, 2, 3, 4, 7, 16, MaxShards} {
+		for _, k := range keys {
+			lane := shardOf(k, p)
+			if lane < 0 || lane >= p {
+				t.Fatalf("shardOf(%#x, %d) = %d, out of range", k, p, lane)
+			}
+			if again := shardOf(k, p); again != lane {
+				t.Fatalf("shardOf(%#x, %d) not deterministic: %d then %d", k, p, lane, again)
+			}
+		}
+	}
+	// All lanes must be reachable for a modest key population.
+	hit := make([]bool, 8)
+	for _, k := range keys {
+		hit[shardOf(k, 8)] = true
+	}
+	for lane, ok := range hit {
+		if !ok {
+			t.Errorf("lane %d unreachable across %d keys", lane, len(keys))
+		}
+	}
+}
+
+// classesOf compiles and partitions a netbench PPS and returns its stage
+// classification.
+func classesOf(t *testing.T, name string, d int) []stageShape {
+	t.Helper()
+	pps, ok := netbench.ByName(name)
+	if !ok {
+		t.Fatalf("benchmark %s missing", name)
+	}
+	prog, err := pps.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Partition(prog, core.Options{Stages: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return classifyStages(res.Stages)
+}
+
+// TestClassifyNetbenchStages pins the classification of the benchmark
+// pipelines: the IPv4 PPS is stateless end to end (its only shared state
+// is the read-only route table), while the QM PPS at D=4 alternates
+// stateless header stages with cross-flow queue/counter stages — the shape
+// that forces every junction kind at once.
+func TestClassifyNetbenchStages(t *testing.T) {
+	for _, sh := range classesOf(t, "IPv4", 4) {
+		if sh.class != classStateless {
+			t.Errorf("IPv4 stage classified %d, want stateless", sh.class)
+		}
+	}
+	qm := classesOf(t, "QM", 4)
+	want := []stateClass{classStateless, classCrossFlow, classStateless, classCrossFlow}
+	if len(qm) != len(want) {
+		t.Fatalf("QM D=4 has %d stages, want %d", len(qm), len(want))
+	}
+	for s, sh := range qm {
+		if sh.class != want[s] {
+			t.Errorf("QM stage %d classified %d, want %d", s+1, sh.class, want[s])
+		}
+	}
+}
+
+// flowTableSrc is a PPS whose only persistent state is a table indexed by
+// a packet byte — the flow-keyed case. The index is computed early so a
+// D=2 cut separates its computation from the store, which also exercises
+// packet-derivation propagation across the live-set transmission.
+const flowTableSrc = `
+pps FlowCount {
+	persistent var tbl[256];
+	loop {
+		var len = pkt_rx();
+		var idx = pkt_byte(0);
+		var a = pkt_byte(1);
+		var b = pkt_byte(2);
+		var mixed = hash_crc(a * 251 + b);
+		tbl[idx] = tbl[idx] + 1;
+		trace(idx * 100000 + tbl[idx] * 100 + mixed - mixed);
+	}
+}`
+
+// TestClassifyFlowKeyedTable: a persistent table whose every access index
+// is packet-derived classifies flow-keyed (with the table listed for
+// forking), both unpartitioned and when the index computation and the
+// store land in different stages.
+func TestClassifyFlowKeyedTable(t *testing.T) {
+	prog, err := ppc.Compile(flowTableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := classifyStages([]*ir.Program{prog})
+	if single[0].class != classFlowKeyed || len(single[0].flowArrs) != 1 {
+		t.Fatalf("unpartitioned: class=%d arrs=%d, want flow-keyed with 1 array",
+			single[0].class, len(single[0].flowArrs))
+	}
+	res, err := core.Partition(prog.Clone(), core.Options{Stages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := classifyStages(res.Stages)
+	if split[0].class != classStateless {
+		t.Errorf("stage 1 classified %d, want stateless", split[0].class)
+	}
+	if split[1].class != classFlowKeyed || len(split[1].flowArrs) != 1 {
+		t.Errorf("stage 2: class=%d arrs=%d, want flow-keyed with 1 array",
+			split[1].class, len(split[1].flowArrs))
+	}
+}
+
+// TestNewShardPlanJunctions pins the plan topology on the shapes that
+// matter: the QM alternation (dispatcher, fan-in, scatter, second fan-in,
+// tombstoned sharded segments), the flow-keyed gating on an explicit key,
+// and the degenerate all-cross-flow and P=1 plans.
+func TestNewShardPlanJunctions(t *testing.T) {
+	qmish := []stageShape{{class: classStateless}, {class: classCrossFlow},
+		{class: classStateless}, {class: classCrossFlow}}
+	pl := newShardPlan(qmish, 4, false)
+	if got, want := pl.reps, []int{4, 1, 4, 1}; !equalInts(got, want) {
+		t.Fatalf("reps = %v, want %v", got, want)
+	}
+	if !pl.sharded() || !pl.hasFanin() || pl.width() != 4 {
+		t.Fatalf("sharded=%v fanin=%v width=%d, want true/true/4", pl.sharded(), pl.hasFanin(), pl.width())
+	}
+	if pl.dispSeq != 0 || !equalInts(pl.faninSeq, []int{0, -1, 1}) || !equalInts(pl.seqFor, []int{-1, 1, -1}) {
+		t.Fatalf("sequence pairing wrong: dispSeq=%d faninSeq=%v seqFor=%v", pl.dispSeq, pl.faninSeq, pl.seqFor)
+	}
+	if !pl.needTomb[0] || pl.needTomb[1] || !pl.needTomb[2] || pl.needTomb[3] {
+		t.Fatalf("tombstone marking wrong: %v", pl.needTomb)
+	}
+	if pl.lanes(0) != 4 || pl.lanes(1) != 4 || pl.lanes(2) != 4 {
+		t.Fatalf("lane widths wrong: %d %d %d", pl.lanes(0), pl.lanes(1), pl.lanes(2))
+	}
+
+	keyed := []stageShape{{class: classStateless}, {class: classFlowKeyed}}
+	if pl := newShardPlan(keyed, 4, false); pl.reps[1] != 1 {
+		t.Errorf("flow-keyed stage replicated without an explicit shard key: reps=%v", pl.reps)
+	}
+	if pl := newShardPlan(keyed, 4, true); pl.reps[1] != 4 || pl.hasFanin() {
+		t.Errorf("flow-keyed stage with key: reps=%v fanin=%v, want [4 4] and no fan-in", pl.reps, pl.hasFanin())
+	}
+
+	cross := []stageShape{{class: classCrossFlow}, {class: classCrossFlow}}
+	if pl := newShardPlan(cross, 4, true); pl.sharded() || pl.width() != 1 {
+		t.Errorf("all-cross-flow pipeline must stay width 1, got reps=%v width=%d", pl.reps, pl.width())
+	}
+	if pl := newShardPlan(qmish, 1, true); pl.sharded() || pl.hasFanin() {
+		t.Errorf("P=1 plan must be unsharded, got reps=%v", pl.reps)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// flowTraffic builds packets whose first byte is the flow id — the index
+// flowTableSrc keys its table by.
+func flowTraffic(n, flows int) [][]byte {
+	pkts := make([][]byte, n)
+	for i := range pkts {
+		pkts[i] = []byte{byte(i % flows), byte(i), byte(i * 3), byte(i >> 3), 7, 7, 7, 7}
+	}
+	return pkts
+}
+
+// TestServeShardedFlowKeyedTable is the end-to-end flow-partitioned-state
+// check: a pipeline whose persistent table is keyed by packet byte 0,
+// served at P=4 with a shard key the table index refines, must produce a
+// trace byte-identical to the sequential oracle — each table slot is only
+// ever touched by one replica's forked copy. Without a configured key the
+// stateful stage must fall back to a fan-in (replicas=1) and still match.
+func TestServeShardedFlowKeyedTable(t *testing.T) {
+	const n = 60
+	prog, err := ppc.Compile(flowTableSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Partition(prog.Clone(), core.Options{Stages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := flowTraffic(n, 5)
+	seq, err := interp.RunSequential(prog, interp.NewWorld(traffic), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, withKey := range []bool{true, false} {
+		cfg := DefaultConfig()
+		cfg.Shards = 4
+		if withKey {
+			cfg.ShardKey = func(p []byte) uint64 { return uint64(p[0]) }
+		}
+		m, err := Serve(context.Background(), res.Stages, interp.NewWorld(nil), Packets(traffic), cfg)
+		if err != nil {
+			t.Fatalf("withKey=%v: %v", withKey, err)
+		}
+		if m.Packets != n || m.Shards != 4 {
+			t.Fatalf("withKey=%v: served %d packets at width %d, want %d at 4", withKey, m.Packets, m.Shards, n)
+		}
+		if diff := interp.TraceEqual(seq, m.Trace); diff != "" {
+			t.Fatalf("withKey=%v: trace diverges from oracle: %s", withKey, diff)
+		}
+		wantReps := 4
+		if !withKey {
+			wantReps = 1 // table stage must not replicate under the default key
+		}
+		if m.Stages[1].Replicas != wantReps {
+			t.Errorf("withKey=%v: table stage ran %d replicas, want %d", withKey, m.Stages[1].Replicas, wantReps)
+		}
+	}
+}
+
+// TestServeShardedShedRejected: OverloadShed is incompatible with a plan
+// containing a fan-in (a shed token would leave a hole in the dispatch
+// sequence), so Serve must refuse the combination up front.
+func TestServeShardedShedRejected(t *testing.T) {
+	pps, _ := netbench.ByName("QM")
+	prog, err := pps.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Partition(prog, core.Options{Stages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	cfg.Overload = OverloadShed
+	cfg.Watermark = 1
+	_, err = Serve(context.Background(), res.Stages, netbench.NewWorld(nil), Packets(pps.Traffic(8)), cfg)
+	if !errors.Is(err, errs.ErrConflictingOptions) {
+		t.Fatalf("Serve = %v, want ErrConflictingOptions for shed+fan-in", err)
+	}
+}

@@ -7,10 +7,10 @@ import (
 	"time"
 )
 
-// stageProbe is the live form of one stage's counters: each field is an
-// atomic written by the owning stage goroutine and readable at any moment
+// stageProbe is the live form of one stage replica's counters: each field
+// is an atomic written by the owning goroutine and readable at any moment
 // by Live.Snapshot, the registry's computed gauges, and the periodic
-// logger. The padding keeps neighboring stages' probes off one cache
+// logger. The padding keeps neighboring replicas' probes off one cache
 // line, so the single-writer updates never false-share.
 type stageProbe struct {
 	in, out, stalls             atomic.Int64
@@ -39,23 +39,73 @@ func (p *stageProbe) stats(stage int) StageStats {
 	}
 }
 
-// Live is a handle on an in-flight serve run: a set of per-stage atomic
+// Live is a handle on an in-flight serve run: a set of per-replica atomic
 // probes that can be snapshotted at any moment — mid-serve, from any
 // goroutine, race-free — without perturbing the stage goroutines beyond
-// their ordinary atomic counter updates. Serve publishes it through
-// Config.OnLive before the first packet moves; repro.Pipeline.Snapshot is
-// the public face.
+// their ordinary atomic counter updates. Probes are flattened stage-major
+// (offs[s] is stage s's first replica); disp is the extra probe of the
+// flow-hash dispatcher when the first stage is replicated. Serve
+// publishes it through Config.OnLive before the first packet moves;
+// repro.Pipeline.Snapshot is the public face.
 type Live struct {
 	start     time.Time
+	reps      []int
+	offs      []int
 	probes    []stageProbe
+	disp      *stageProbe
+	shards    int
 	packets   atomic.Int64
 	done      atomic.Bool
 	elapsedNs atomic.Int64
 }
 
-// newLive builds the probe set for a D-stage run.
-func newLive(d int, start time.Time) *Live {
-	return &Live{start: start, probes: make([]stageProbe, d)}
+// newLive builds the probe set for a run with the given per-stage replica
+// counts.
+func newLive(reps []int, dispatched bool, shards int, start time.Time) *Live {
+	offs := make([]int, len(reps))
+	n := 0
+	for s, r := range reps {
+		offs[s] = n
+		n += r
+	}
+	l := &Live{start: start, reps: reps, offs: offs, probes: make([]stageProbe, n), shards: shards}
+	if dispatched {
+		l.disp = &stageProbe{}
+	}
+	return l
+}
+
+// probe is stage s, replica j's counter block.
+func (l *Live) probe(s, j int) *stageProbe { return &l.probes[l.offs[s]+j] }
+
+// stageStats aggregates stage s's counters across its replicas. When a
+// dispatcher paces the source, stage 1's In is the dispatcher's pull
+// count (every packet that left the source, poisons included) and its
+// stall/quarantine counts fold in the dispatcher's — preserving the
+// ledger invariant Delivered + Shed + Quarantined == Stages[0].In at any
+// shard width.
+func (l *Live) stageStats(s int) StageStats {
+	agg := l.probe(s, 0).stats(s + 1)
+	for j := 1; j < l.reps[s]; j++ {
+		st := l.probe(s, j).stats(s + 1)
+		agg.In += st.In
+		agg.Out += st.Out
+		agg.Stalls += st.Stalls
+		agg.Shed += st.Shed
+		agg.Degraded += st.Degraded
+		agg.Quarantined += st.Quarantined
+		agg.Retries += st.Retries
+		agg.Busy += st.Busy
+		agg.occSum += st.occSum
+		agg.occSamples += st.occSamples
+	}
+	agg.Replicas = l.reps[s]
+	if s == 0 && l.disp != nil {
+		agg.In = l.disp.in.Load()
+		agg.Stalls += l.disp.stalls.Load()
+		agg.Quarantined += l.disp.quarantined.Load()
+	}
+	return agg
 }
 
 // finish freezes the elapsed clock; Serve calls it after the final join.
@@ -75,15 +125,16 @@ func (l *Live) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Running: !l.done.Load(),
 		Packets: l.packets.Load(),
-		Stages:  make([]StageStats, len(l.probes)),
+		Shards:  l.shards,
+		Stages:  make([]StageStats, len(l.reps)),
 	}
 	if s.Running {
 		s.Elapsed = time.Since(l.start)
 	} else {
 		s.Elapsed = time.Duration(l.elapsedNs.Load())
 	}
-	for k := range l.probes {
-		s.Stages[k] = l.probes[k].stats(k + 1)
+	for k := range l.reps {
+		s.Stages[k] = l.stageStats(k)
 	}
 	return s
 }
@@ -101,7 +152,10 @@ type Snapshot struct {
 	Elapsed time.Duration
 	// Packets counts iterations retired at the sink so far.
 	Packets int64
-	// Stages holds the per-stage counters at snapshot time.
+	// Shards is the effective shard width of the run (1 when unsharded).
+	Shards int
+	// Stages holds the per-stage counters at snapshot time, aggregated
+	// across each stage's replicas.
 	Stages []StageStats
 }
 
@@ -126,6 +180,9 @@ func (s *Snapshot) Line() string {
 	}
 	fmt.Fprintf(&b, "serve %s +%v: %d pkts (%.0f pkt/s)", state,
 		s.Elapsed.Round(time.Millisecond), s.Packets, s.PacketsPerSecond())
+	if s.Shards > 1 {
+		fmt.Fprintf(&b, " P=%d", s.Shards)
+	}
 	for _, st := range s.Stages {
 		fmt.Fprintf(&b, " | s%d in=%d out=%d stall=%d occ=%.1f", st.Stage, st.In, st.Out, st.Stalls, st.MeanOccupancy())
 		if lost := st.Shed + st.Quarantined; lost > 0 {
@@ -145,11 +202,19 @@ func (s *Snapshot) String() string {
 	if s.Running {
 		state = "in flight"
 	}
-	fmt.Fprintf(&b, "serve %s: %d packets in %v (%.0f pkt/s)\n",
+	fmt.Fprintf(&b, "serve %s: %d packets in %v (%.0f pkt/s)",
 		state, s.Packets, s.Elapsed.Round(time.Microsecond), s.PacketsPerSecond())
+	if s.Shards > 1 {
+		fmt.Fprintf(&b, " across %d shards", s.Shards)
+	}
+	b.WriteString("\n")
 	for _, st := range s.Stages {
-		fmt.Fprintf(&b, "  stage %d: in %d out %d  stalls %d  busy %v  occ %.2f\n",
+		fmt.Fprintf(&b, "  stage %d: in %d out %d  stalls %d  busy %v  occ %.2f",
 			st.Stage, st.In, st.Out, st.Stalls, st.Busy.Round(time.Microsecond), st.MeanOccupancy())
+		if st.Replicas > 1 {
+			fmt.Fprintf(&b, "  x%d", st.Replicas)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

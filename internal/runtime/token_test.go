@@ -24,6 +24,8 @@ func dirtyToken(t *token) {
 	t.slots = []int64{1, 2, 3}
 	t.iter = 17
 	t.degradedAt = 2
+	t.shard = 3
+	t.dead = true
 }
 
 // checkPristine fails if any per-iteration state survived a reset.
@@ -53,6 +55,9 @@ func checkPristine(t *testing.T, tok *token) {
 	if tok.iter != 0 || tok.degradedAt != 0 {
 		t.Errorf("recycled token leaks control state: iter=%d degradedAt=%d", tok.iter, tok.degradedAt)
 	}
+	if tok.shard != 0 || tok.dead {
+		t.Errorf("recycled token leaks shard routing state: shard=%d dead=%v", tok.shard, tok.dead)
+	}
 }
 
 // TestTokenResetClearsIterationState checks reset directly: every field a
@@ -62,6 +67,31 @@ func TestTokenResetClearsIterationState(t *testing.T) {
 	dirtyToken(tok)
 	tok.reset()
 	checkPristine(t, tok)
+}
+
+// TestBatchRecycleNeverLeaks drives the batch-granular fast path: whole
+// retired batches handed back through recycleBatch must come out of
+// takeToken pristine and in deferred-events mode, exactly like the
+// per-token pool path they replace on the serve hot loop.
+func TestBatchRecycleNeverLeaks(t *testing.T) {
+	e := &engine{freeBatches: make(chan []*token, 2)}
+	e.tokPool.New = func() any { return &token{ctx: interp.NewIterCtx()} }
+	e.batchPool.New = func() any { return make([]*token, 0, 8) }
+	for round := 0; round < 50; round++ {
+		b := e.getBatch()
+		for i := 0; i < 4; i++ {
+			tok := e.takeToken()
+			if !tok.ctx.DeferEvents {
+				t.Fatal("takeToken must hand out tokens in deferred-events mode")
+			}
+			tok.ctx.DeferEvents = false // neutralize for checkPristine's event check
+			checkPristine(t, tok)
+			tok.ctx.DeferEvents = true
+			dirtyToken(tok)
+			b = append(b, tok)
+		}
+		e.recycleBatch(b)
+	}
 }
 
 // TestTokenPoolRecycleNeverLeaks drives the engine's actual pool path:

@@ -80,10 +80,15 @@ var (
 	// ErrBadBackend: WithBackend carrying an unknown stage-execution
 	// backend selector.
 	ErrBadBackend = errs.ErrBadBackend
+	// ErrBadShards: WithShards outside 0..MaxShards.
+	ErrBadShards = errs.ErrBadShards
 )
 
 // MaxStages bounds the accepted pipelining degree.
 const MaxStages = core.MaxStages
+
+// MaxShards bounds the accepted shard width of WithShards.
+const MaxShards = runtime.MaxShards
 
 // config is the one configuration record behind every entry point. The
 // deprecated Options/ExploreOptions/SimConfig structs each mapped onto a
@@ -119,6 +124,9 @@ type config struct {
 	onLive func(*runtime.Live)
 	// execution backend (serve)
 	backend Backend
+	// sharding (serve)
+	shards   int
+	shardKey func([]byte) uint64
 }
 
 // Option configures any repro entry point. Each option merely records a
@@ -222,6 +230,24 @@ func WithObserver(o *Observer) Option { return func(c *config) { c.obs = o } }
 // byte-identical traces; the compiled backend merely gets there faster.
 func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
 
+// WithShards sets the serve-path shard width P: stages without cross-flow
+// state run as P concurrent replicas, packets are dispatched to replicas
+// by a flow hash, and the output is merged back into exact source order —
+// the served trace stays byte-identical to the sequential oracle at any
+// P. Stages with cross-flow state (queues, schedulers) keep running
+// unsharded behind a deterministic fan-in. 0 and 1 both mean unsharded;
+// widths outside 0..MaxShards are rejected as ErrBadShards.
+func WithShards(p int) Option { return func(c *config) { c.shards = p } }
+
+// WithShardKey sets the flow key the shard dispatcher hashes packets
+// with (default: a whole-packet hash — even spread, but not flow-affine).
+// Pipelines with flow-keyed persistent tables shard those stages only
+// when an explicit key is configured; netbench.FlowKey is the canonical
+// key for the benchmark's POS frames. Nil restores the default.
+func WithShardKey(fn func(pkt []byte) uint64) Option {
+	return func(c *config) { c.shardKey = fn }
+}
+
 // WithOptions imports a deprecated Options struct into the functional
 // style, easing migration call site by call site.
 func WithOptions(o Options) Option {
@@ -300,6 +326,9 @@ func (c *config) validate() error {
 	if c.backend < BackendCompiled || c.backend > BackendInterp {
 		return fmt.Errorf("repro: %w: %d", ErrBadBackend, int(c.backend))
 	}
+	if c.shards < 0 || c.shards > MaxShards {
+		return fmt.Errorf("repro: %w: %d (want 0..%d)", ErrBadShards, c.shards, MaxShards)
+	}
 	return nil
 }
 
@@ -371,6 +400,8 @@ func (c *config) serveConfig() runtime.Config {
 		Obs:           c.obs,
 		OnLive:        c.onLive,
 		Backend:       c.backend,
+		Shards:        c.shards,
+		ShardKey:      c.shardKey,
 	}
 }
 

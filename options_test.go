@@ -49,6 +49,7 @@ var sentinelTable = []struct {
 	{"ErrTransientFault", repro.ErrTransientFault, errs.ErrTransientFault},
 	{"ErrBadObserver", repro.ErrBadObserver, errs.ErrBadObserver},
 	{"ErrBadBackend", repro.ErrBadBackend, errs.ErrBadBackend},
+	{"ErrBadShards", repro.ErrBadShards, errs.ErrBadShards},
 }
 
 func TestSentinelsComplete(t *testing.T) {
@@ -60,9 +61,9 @@ func TestSentinelsComplete(t *testing.T) {
 			t.Errorf("%s: empty message", s.name)
 		}
 	}
-	// internal/errs currently declares 28 sentinels; bump this alongside the
+	// internal/errs currently declares 29 sentinels; bump this alongside the
 	// table when adding one.
-	if len(sentinelTable) != 28 {
+	if len(sentinelTable) != 29 {
 		t.Errorf("sentinel table covers %d errors", len(sentinelTable))
 	}
 }
@@ -115,6 +116,10 @@ func TestOptionsRejectInvalid(t *testing.T) {
 		{"unknown execution backend",
 			[]repro.Option{repro.WithBackend(repro.Backend(99))},
 			repro.ErrBadBackend},
+		{"negative shard count",
+			[]repro.Option{repro.WithShards(-1)}, repro.ErrBadShards},
+		{"huge shard count",
+			[]repro.Option{repro.WithShards(repro.MaxShards + 1)}, repro.ErrBadShards},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -129,8 +129,12 @@ func (p *Pipeline) simRun(ctx context.Context, world *World, opts []Option) (con
 // goroutine per stage, bounded rings (WithRing) between neighbors, batched
 // transmissions (WithBatch), serving src until it is exhausted or ctx is
 // canceled. The environment (route tables, queues) comes from WithWorld.
-// The returned Metrics carry measured throughput, per-stage counters, and
-// the observable trace in exact sequential-oracle order.
+// With WithShards(P), stages free of cross-flow state run as P parallel
+// replicas behind a flow-hash dispatcher (WithShardKey selects the key)
+// and the output is deterministically re-merged. The returned Metrics
+// carry measured throughput, per-stage counters (aggregated across
+// replicas when sharded), and the observable trace in exact
+// sequential-oracle order at any shard width.
 func (p *Pipeline) Serve(ctx context.Context, src Source, opts ...ServeOption) (*Metrics, error) {
 	cfg, err := p.cfg.with(opts)
 	if err != nil {
@@ -150,6 +154,7 @@ func (p *Pipeline) Serve(ctx context.Context, src Source, opts ...ServeOption) (
 // goroutine, Snapshot from a monitoring loop on another). The returned
 // value is a plain-field copy — inspect it freely. Returns nil if Serve
 // has not been called on this Pipeline. Works with or without an Observer
-// attached; for the full trace and fault records, use the Metrics that
-// Serve returns.
+// attached; under WithShards the per-stage counters are aggregated across
+// each stage's replicas. For the full trace and fault records, use the
+// Metrics that Serve returns.
 func (p *Pipeline) Snapshot() *Snapshot { return p.live.Load().Snapshot() }

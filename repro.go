@@ -40,6 +40,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/netbench"
 	"repro/internal/npsim"
 	"repro/internal/obsv"
 	"repro/internal/ppc"
@@ -169,6 +170,13 @@ func RepeatSource(pkts [][]byte, total int) Source { return runtime.Repeat(pkts,
 
 // SourceFunc adapts a closure to the Source interface.
 func SourceFunc(f func() ([]byte, bool)) Source { return runtime.SourceFunc(f) }
+
+// FlowKey derives a flow-affine shard key from a raw packet in the POS
+// framing the toolkit's benchmarks use: it hashes the IPv4/IPv6 5-tuple
+// (addresses, protocol, and — for TCP/UDP — ports), so every packet of one
+// transport flow lands on the same shard under WithShards+WithShardKey.
+// Non-IP and truncated frames fall back to hashing the whole packet.
+func FlowKey(pkt []byte) uint64 { return netbench.FlowKey(pkt) }
 
 // Compile parses PPC source and lowers it to IR.
 func Compile(src string) (*Program, error) { return ppc.Compile(src) }
