@@ -278,9 +278,13 @@ func BenchmarkInterpreter(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	oracle, err := repro.Partition(prog, repro.WithStages(1))
+	if err != nil {
+		b.Fatal(err)
+	}
 	world := netbench.NewWorld(p.Traffic(b.N))
 	b.ResetTimer()
-	if _, err := repro.RunSequential(prog, world, b.N); err != nil {
+	if _, err := oracle.Run(context.Background(), world, repro.WithIterations(b.N)); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim|serve|chaos|profile] [-j N] [-json FILE]
+//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim|serve|adapt|chaos|profile] [-j N] [-json FILE]
 //	          [-backend compiled|interp] [-shards LIST] [-baseline FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Every PPS is analyzed once and the independent (PPS × degree) and
@@ -16,6 +16,11 @@
 // -experiment serve measures the host-native streaming runtime (wall-clock
 // packets per second through goroutine pipelines); -json FILE additionally
 // writes those points as JSON (CI emits BENCH_serve.json this way).
+// -experiment adapt runs the closed-loop adaptive serving experiment:
+// hand-picked reference configurations are measured directly, then a
+// deliberately mis-tuned pipeline is handed to Serve(WithAutotune) and the
+// committed choice is re-measured; with -baseline FILE the auto-selected
+// configuration must reach 90% of the best checked-in serve point.
 // -experiment chaos sweeps the runtime's fault-injection layer, reporting
 // delivery accounting and surviving throughput versus injected fault rate.
 // -experiment profile serves with the observability layer fully attached
@@ -261,6 +266,42 @@ func realMain() int {
 		}
 		if *jsonOut != "" {
 			data, err := json.MarshalIndent(pts, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+	runTimed("adapt", func() error {
+		fmt.Println("Closed-loop adaptive serving (IPv4 PPS, mis-tuned start: D=4, batch=1)")
+		rep, err := experiments.Adapt("IPv4", *servePkts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  hand-picked points:")
+		for _, h := range rep.Hand {
+			fmt.Printf("    %-22s %12.0f pkt/s\n", h.Label, h.PktPerS)
+		}
+		fit := "uncalibrated"
+		if rep.Calibrated {
+			fit = fmt.Sprintf("calibrated, R²=%.3f, %.2f ns/weight", rep.R2, rep.NsPerWeight)
+		}
+		fmt.Printf("  adaptive run (probes + swap): %12.0f pkt/s  (%s)\n", rep.AdaptivePktPerS, fit)
+		fmt.Printf("  auto-selected, re-measured:\n    %-22s %12.0f pkt/s\n", rep.Auto.Label, rep.Auto.PktPerS)
+		fmt.Printf("  decision: %s\n", rep.Why)
+		fmt.Println()
+		if *baseline != "" {
+			if err := experiments.CheckAdaptGate(rep, *baseline); err != nil {
+				return err
+			}
+			fmt.Printf("adapt gate vs %s: within tolerance\n", *baseline)
+		}
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
 			if err != nil {
 				return err
 			}

@@ -153,7 +153,11 @@ func main() {
 	}
 	if *verify > 0 {
 		packets := testPackets(*verify)
-		seq, err := repro.RunSequential(prog, repro.NewWorld(packets), *verify)
+		oracle, err := repro.Partition(prog, repro.WithStages(1))
+		if err != nil {
+			fatal(err)
+		}
+		seq, err := oracle.Run(context.Background(), repro.NewWorld(packets), repro.WithIterations(*verify))
 		if err != nil {
 			fatal(err)
 		}

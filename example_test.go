@@ -2,10 +2,42 @@ package repro_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro"
 )
+
+// Example_sentinelErrors shows the error-handling idiom the whole API
+// supports: every entry point wraps one of the typed sentinels grouped in
+// options.go, so a single errors.Is distinguishes failure modes no matter
+// which call or option produced them.
+func Example_sentinelErrors() {
+	prog := repro.MustCompile(`pps P { loop {
+		var n = pkt_rx();
+		trace(n & 0xFF);
+		pkt_send(0);
+	} }`)
+
+	// An out-of-range degree, whichever entry point sees it.
+	_, err := repro.Partition(prog, repro.WithStages(-1))
+	fmt.Println("bad degree:", errors.Is(err, repro.ErrBadDegree))
+
+	// An option applied outside its scope (the matrix in options.go).
+	pipe, _ := repro.Partition(prog, repro.WithStages(2))
+	_, err = pipe.Serve(context.Background(),
+		repro.PacketSource([][]byte{{1}}), repro.WithThreads(8))
+	fmt.Println("out of scope:", errors.Is(err, repro.ErrConflictingOptions))
+
+	// A malformed adaptive objective.
+	_, err = pipe.Serve(context.Background(),
+		repro.PacketSource([][]byte{{1}}), repro.WithObjective(repro.ThroughputUnderP99(0)))
+	fmt.Println("bad objective:", errors.Is(err, repro.ErrBadObjective))
+	// Output:
+	// bad degree: true
+	// out of scope: true
+	// bad objective: true
+}
 
 // ExamplePartition pipelines the paper's figure-2 program (MyPPS2) two
 // ways and shows that the observable behaviour is unchanged while the work
@@ -39,7 +71,8 @@ func ExamplePartition() {
 	}
 
 	packets := [][]byte{{1, 2, 3}, {}}
-	seq, _ := repro.RunSequential(prog, repro.NewWorld(packets), 2)
+	oracle, _ := repro.Partition(prog, repro.WithStages(1))
+	seq, _ := oracle.Run(context.Background(), repro.NewWorld(packets))
 	got, _ := pipe.Run(context.Background(), repro.NewWorld(packets))
 
 	fmt.Println("stages:", pipe.Degree())
@@ -72,7 +105,8 @@ func ExamplePipeline_Serve() {
 	if err != nil {
 		panic(err)
 	}
-	seq, _ := repro.RunSequential(prog, repro.NewWorld(packets), len(packets))
+	oracle, _ := repro.Partition(prog, repro.WithStages(1))
+	seq, _ := oracle.Run(context.Background(), repro.NewWorld(packets))
 
 	fmt.Println("packets:", m.Packets)
 	fmt.Println("stages measured:", len(m.Stages))

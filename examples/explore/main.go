@@ -54,8 +54,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			seq, err := repro.RunSequential(prog.Clone(),
-				netbench.NewWorld(pps.Traffic(iters)), iters)
+			oracle, err := repro.Partition(prog, repro.WithStages(1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			seq, err := oracle.Run(context.Background(),
+				netbench.NewWorld(pps.Traffic(iters)), repro.WithIterations(iters))
 			if err != nil {
 				log.Fatal(err)
 			}

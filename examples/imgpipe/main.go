@@ -103,7 +103,11 @@ func main() {
 		tiles[i] = t
 	}
 
-	seq, err := repro.RunSequential(prog, repro.NewWorld(tiles), len(tiles))
+	oracle, err := repro.Partition(prog, repro.WithStages(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := oracle.Run(context.Background(), repro.NewWorld(tiles))
 	if err != nil {
 		log.Fatal(err)
 	}

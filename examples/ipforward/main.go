@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,11 @@ func main() {
 			}
 			// Verify against the sequential trace while we are at it.
 			seqWorld := netbench.NewWorld(traffic.gen(packets))
-			seq, _ := repro.RunSequential(prog.Clone(), seqWorld, packets)
+			oracle, err := repro.Partition(prog, repro.WithStages(1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			seq, _ := oracle.Run(context.Background(), seqWorld, repro.WithIterations(packets))
 			if diff := repro.TraceEqual(seq, world.Trace); diff != "" {
 				log.Fatalf("D=%d: %s", d, diff)
 			}

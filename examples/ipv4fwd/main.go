@@ -28,7 +28,11 @@ func main() {
 		}
 
 		traffic := pps.Traffic(packets)
-		seq, err := repro.RunSequential(prog, netbench.NewWorld(traffic), packets)
+		oracle, err := repro.Partition(prog, repro.WithStages(1))
+		if err != nil {
+			log.Fatalf("%s: %v", pps.Name, err)
+		}
+		seq, err := oracle.Run(context.Background(), netbench.NewWorld(traffic), repro.WithIterations(packets))
 		if err != nil {
 			log.Fatalf("%s: %v", pps.Name, err)
 		}

@@ -59,7 +59,11 @@ func main() {
 	}
 	iters := len(packets)
 
-	seq, err := repro.RunSequential(prog, repro.NewWorld(packets), iters)
+	oracle, err := repro.Partition(prog, repro.WithStages(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := oracle.Run(context.Background(), repro.NewWorld(packets), repro.WithIterations(iters))
 	if err != nil {
 		log.Fatal(err)
 	}

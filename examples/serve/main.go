@@ -47,7 +47,11 @@ func main() {
 	verify := pps.Traffic(256)
 	seqWorld := netbench.NewWorld(nil)
 	seqWorld.Packets = repeatTo(verify, packets)
-	seq, err := repro.RunSequential(prog.Clone(), seqWorld, packets)
+	oracle, err := repro.Partition(prog, repro.WithStages(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := oracle.Run(context.Background(), seqWorld, repro.WithIterations(packets))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,10 @@
 //  2. Every fenced ```go block in README.md that declares a package
 //     compiles against the current module. Documentation that drifts
 //     from the API fails the gate instead of rotting.
+//  3. Every exported sentinel error (a var named Err...) documents its
+//     trigger in the standard form: the doc comment must contain
+//     "is returned when", so a reader scanning the grouped sentinels in
+//     options.go learns when each fires, not just that it exists.
 //
 // Exit status is non-zero with one line per finding.
 package main
@@ -113,8 +117,17 @@ func checkFile(fset *token.FileSet, path string, file *ast.File) []string {
 					// undocumented group needs per-spec docs (the
 					// sentinel-error convention).
 					for _, id := range s.Names {
-						if id.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						if !id.IsExported() {
+							continue
+						}
+						if d.Doc == nil && s.Doc == nil && s.Comment == nil {
 							report(id.Pos(), "value", id.Name)
+							continue
+						}
+						if strings.HasPrefix(id.Name, "Err") && !sentinelDocOK(s) {
+							findings = append(findings, fmt.Sprintf(
+								"%s:%d: sentinel %s: doc comment must say \"is returned when ...\"",
+								path, fset.Position(id.Pos()).Line, id.Name))
 						}
 					}
 				}
@@ -122,6 +135,19 @@ func checkFile(fset *token.FileSet, path string, file *ast.File) []string {
 		}
 	}
 	return findings
+}
+
+// sentinelDocOK reports whether a sentinel error's own doc (or trailing
+// comment) states its trigger in the "is returned when" form. The spec
+// must document itself — a shared group comment cannot describe when each
+// individual sentinel fires.
+func sentinelDocOK(s *ast.ValueSpec) bool {
+	for _, cg := range []*ast.CommentGroup{s.Doc, s.Comment} {
+		if cg != nil && strings.Contains(cg.Text(), "is returned when") {
+			return true
+		}
+	}
+	return false
 }
 
 // receiverType extracts the receiver's type name, unwrapping pointers and

@@ -3,112 +3,134 @@
 // validates its inputs against these (wrapped with context via %w) instead
 // of panicking or returning ad-hoc fmt.Errorf strings, so callers can
 // errors.Is-match failures across the whole API surface. The root repro
-// package re-exports them.
+// package re-exports them, grouped by lifecycle.
 package errs
 
 import "errors"
 
 var (
-	// ErrNilProgram reports a nil *ir.Program where a compiled PPS was
-	// required (Analyze, Partition, RunSequential).
+	// ErrNilProgram is returned when a nil *ir.Program is passed where a
+	// compiled PPS was required (Analyze, Partition, Run).
 	ErrNilProgram = errors.New("nil program")
 
-	// ErrBadDegree reports a pipelining degree outside 1..MaxStages.
+	// ErrBadDegree is returned when a pipelining degree falls outside
+	// 1..MaxStages.
 	ErrBadDegree = errors.New("bad pipelining degree")
 
-	// ErrBadEpsilon reports a balance variance outside (0, 1].
+	// ErrBadEpsilon is returned when a balance variance falls outside (0, 1].
 	ErrBadEpsilon = errors.New("bad balance variance")
 
-	// ErrUnbalanced reports that no finite balanced cut exists for the
+	// ErrUnbalanced is returned when no finite balanced cut exists for the
 	// requested degree and variance.
 	ErrUnbalanced = errors.New("no balanced cut")
 
-	// ErrBadBudget reports a non-positive per-packet budget for Explore.
+	// ErrBadBudget is returned when Explore is given a non-positive
+	// per-packet budget.
 	ErrBadBudget = errors.New("bad per-packet budget")
 
-	// ErrArchMismatch reports options carrying a different cost model than
-	// the analysis they are applied to.
+	// ErrArchMismatch is returned when options carry a different cost model
+	// than the analysis they are applied to.
 	ErrArchMismatch = errors.New("cost model differs from analysis")
 
-	// ErrNoStages reports an empty pipeline where stage programs were
-	// required (Run, Simulate, Serve).
+	// ErrBadCalibration is returned when cost-model calibration has no
+	// usable measurements to fit (no stage with both a positive measured
+	// time and a positive static weight), or the fit degenerates.
+	ErrBadCalibration = errors.New("bad calibration input")
+
+	// ErrNoStages is returned when an empty pipeline is executed where
+	// stage programs were required (Run, Simulate, Serve).
 	ErrNoStages = errors.New("empty pipeline")
 
-	// ErrNilStage reports a nil entry in a stage list.
+	// ErrNilStage is returned when a stage list contains a nil entry.
 	ErrNilStage = errors.New("nil stage program")
 
-	// ErrNilWorld reports a nil execution environment.
+	// ErrNilWorld is returned when a nil execution environment is supplied.
 	ErrNilWorld = errors.New("nil world")
 
-	// ErrNilSource reports a nil packet source for Serve.
+	// ErrNilSource is returned when Serve is given a nil packet source.
 	ErrNilSource = errors.New("nil packet source")
 
-	// ErrBadRing reports a non-positive inter-stage ring capacity.
+	// ErrBadRing is returned when an inter-stage ring capacity is not
+	// positive.
 	ErrBadRing = errors.New("bad ring capacity")
 
-	// ErrBadBatch reports a non-positive serve batch size.
+	// ErrBadBatch is returned when a serve batch size is not positive.
 	ErrBadBatch = errors.New("bad batch size")
 
-	// ErrNotServable reports a pipeline the streaming runtime cannot host:
-	// the stages must contain exactly one pkt_rx site (it paces the packet
-	// stream) and each persistent channel (queues, persistent arrays) must
-	// be confined to a single stage.
+	// ErrNotServable is returned when the streaming runtime cannot host a
+	// pipeline: the stages must contain exactly one pkt_rx site (it paces
+	// the packet stream) and each persistent channel (queues, persistent
+	// arrays) must be confined to a single stage.
 	ErrNotServable = errors.New("pipeline not servable")
 
-	// ErrBadThreads reports a negative simulated-thread count.
+	// ErrBadThreads is returned when a simulated-thread count is negative.
 	ErrBadThreads = errors.New("bad thread count")
 
-	// ErrBadArrival reports a negative simulated arrival interval.
+	// ErrBadArrival is returned when a simulated arrival interval is
+	// negative.
 	ErrBadArrival = errors.New("bad arrival interval")
 
-	// ErrBadIterations reports a negative iteration override.
+	// ErrBadIterations is returned when an iteration override is negative.
 	ErrBadIterations = errors.New("bad iteration count")
 
-	// ErrBadPolicy reports an unknown overload policy value.
+	// ErrBadPolicy is returned when an overload policy value is unknown.
 	ErrBadPolicy = errors.New("bad overload policy")
 
-	// ErrBadWatermark reports a negative overload watermark.
+	// ErrBadWatermark is returned when an overload watermark is negative.
 	ErrBadWatermark = errors.New("bad overload watermark")
 
-	// ErrBadDeadline reports a negative per-stage deadline.
+	// ErrBadDeadline is returned when a per-stage deadline is negative.
 	ErrBadDeadline = errors.New("bad stage deadline")
 
-	// ErrBadRetry reports a negative retry count or backoff.
+	// ErrBadRetry is returned when a retry count or backoff is negative.
 	ErrBadRetry = errors.New("bad retry configuration")
 
-	// ErrConflictingOptions reports a combination of individually valid
-	// options that contradict each other (an overload watermark under the
-	// blocking policy, a retry backoff with retries disabled, a serve batch
-	// larger than the ring it must fit through).
+	// ErrConflictingOptions is returned when individually valid options
+	// contradict each other or are applied to an entry point outside their
+	// scope (an overload watermark under the blocking policy, a retry
+	// backoff with retries disabled, WithThreads passed to Serve).
 	ErrConflictingOptions = errors.New("conflicting options")
 
-	// ErrBadFaultPlan reports a fault-injection plan that names a stage
+	// ErrBadFaultPlan is returned when a fault-injection plan names a stage
 	// outside the pipeline, an unknown fault kind, or a negative trigger.
 	ErrBadFaultPlan = errors.New("bad fault plan")
 
-	// ErrStagePanic reports a panic recovered inside a stage body; the
-	// offending packet is quarantined and the pipeline keeps serving.
+	// ErrStagePanic is returned when a panic is recovered inside a stage
+	// body; the offending packet is quarantined and the pipeline keeps
+	// serving.
 	ErrStagePanic = errors.New("stage panic")
 
-	// ErrPoisonPacket reports a malformed (poisoned) packet detected at the
-	// source and quarantined before entering the pipeline.
+	// ErrPoisonPacket is returned when a malformed (poisoned) packet is
+	// detected at the source and quarantined before entering the pipeline.
 	ErrPoisonPacket = errors.New("poison packet")
 
-	// ErrStageDeadline reports an iteration that exceeded the per-stage
+	// ErrStageDeadline is returned when an iteration exceeds the per-stage
 	// deadline; the packet is quarantined.
 	ErrStageDeadline = errors.New("stage deadline exceeded")
 
-	// ErrTransientFault reports an injected transient stage fault; the
-	// runtime retries with backoff and quarantines on exhaustion.
+	// ErrTransientFault is returned when an injected transient stage fault
+	// fires; the runtime retries with backoff and quarantines on
+	// exhaustion.
 	ErrTransientFault = errors.New("transient stage fault")
 
-	// ErrBadObserver reports an unusable observability configuration (a
-	// negative periodic-log interval).
+	// ErrBadObserver is returned when an observability configuration is
+	// unusable (a negative periodic-log interval).
 	ErrBadObserver = errors.New("bad observer configuration")
 
-	// ErrBadBackend reports an unknown stage-execution backend selector.
+	// ErrBadBackend is returned when a stage-execution backend selector is
+	// unknown.
 	ErrBadBackend = errors.New("bad execution backend")
 
-	// ErrBadShards reports a shard count outside 1..MaxShards.
+	// ErrBadShards is returned when a shard count falls outside
+	// 1..MaxShards.
 	ErrBadShards = errors.New("bad shard count")
+
+	// ErrBadObjective is returned when a serve objective is malformed (a
+	// non-positive p99 latency bound, or a nil Objective passed to
+	// WithObjective).
+	ErrBadObjective = errors.New("bad objective")
+
+	// ErrBadAutotune is returned when an autotune configuration is
+	// malformed (a non-positive probe window or candidate count).
+	ErrBadAutotune = errors.New("bad autotune configuration")
 )

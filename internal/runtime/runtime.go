@@ -151,6 +151,15 @@ type Config struct {
 	// Faults is the deterministic fault-injection schedule (nil: none).
 	Faults *fault.Plan
 
+	// Store, when non-nil, supplies the persistent-array storage the stage
+	// runners execute against instead of a freshly initialized one. The
+	// adaptive serve path passes the same store to every round so
+	// persistent state (route tables, counters, flow tables) survives
+	// re-cuts and configuration swaps; arrays the current stage programs
+	// reference are materialized into it before the goroutines start.
+	// nil keeps the classic semantics: fresh state per Serve call.
+	Store *interp.Store
+
 	// Obs attaches the observability layer — span tracing, registry
 	// mirroring, periodic progress lines. nil disables all of it at the
 	// cost of one pointer check per batch.
@@ -1275,7 +1284,7 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 		return nil, fmt.Errorf("%w: the shed policy cannot drop tokens upstream of a sharded fan-in; use block or degrade, or serve unsharded",
 			errs.ErrConflictingOptions)
 	}
-	runners := newShardRunners(cfg.Backend, stages, world, plan, shapes)
+	runners := newShardRunners(cfg.Backend, stages, world, plan, shapes, cfg.Store)
 
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -1424,11 +1433,18 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 // backend. All replicas share one fully-materialized persistent store —
 // except the flow-keyed arrays of replicated stages, which each replica
 // forks so its partition of the table is private (shard.go explains when
-// that is sound). Every runner is confined to the iteration context's
-// pre-pulled packet (RxFromCtx), so concurrent replicas never race on the
-// World's packet cursor.
-func newShardRunners(b Backend, stages []*ir.Program, world *interp.World, plan *shardPlan, shapes []stageShape) [][]stageRunner {
-	base := interp.NewStore(stages...)
+// that is sound). A caller-supplied store (Config.Store) is used in place
+// of a fresh one so state survives across Serve rounds; the current stage
+// programs' arrays are materialized into it up front, preserving the
+// read-only-on-hot-path invariant. Every runner is confined to the
+// iteration context's pre-pulled packet (RxFromCtx), so concurrent
+// replicas never race on the World's packet cursor.
+func newShardRunners(b Backend, stages []*ir.Program, world *interp.World, plan *shardPlan, shapes []stageShape, base *interp.Store) [][]stageRunner {
+	if base == nil {
+		base = interp.NewStore(stages...)
+	} else {
+		base.Materialize(stages...)
+	}
 	out := make([][]stageRunner, len(stages))
 	for s, prog := range stages {
 		out[s] = make([]stageRunner, plan.reps[s])

@@ -158,12 +158,6 @@ func TestStructuralSentinels(t *testing.T) {
 	if _, err := repro.Partition(nil); !errors.Is(err, repro.ErrNilProgram) {
 		t.Errorf("Partition(nil) err = %v, want ErrNilProgram", err)
 	}
-	if _, err := repro.Simulate(nil, repro.NewWorld(nil), 1, repro.DefaultSimConfig()); !errors.Is(err, repro.ErrNoStages) {
-		t.Errorf("Simulate(no stages) err = %v, want ErrNoStages", err)
-	}
-	if _, err := repro.SimulateThreads([]*repro.Program{nil}, repro.NewWorld(nil), 1, repro.DefaultSimConfig()); !errors.Is(err, repro.ErrNilStage) {
-		t.Errorf("SimulateThreads([nil]) err = %v, want ErrNilStage", err)
-	}
 
 	pipe, err := repro.Partition(prog, repro.WithStages(2))
 	if err != nil {

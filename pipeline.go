@@ -16,20 +16,26 @@ import (
 // the sequential oracle (Run), the cycle-approximate IXP simulators
 // (Simulate, SimulateThreads), and the concurrent host runtime (Serve).
 // A Pipeline is immutable and safe for concurrent use; each execution
-// method builds its own run state. The one piece of mutable state is the
-// atomically published handle of the most recent Serve run, which backs
-// Snapshot.
+// method builds its own run state. The mutable state is two atomically
+// published handles: the counters of the most recent Serve run (Snapshot)
+// and the live realization plan (Plan).
 type Pipeline struct {
-	stages []*Program
-	report *Report
-	cfg    config
-	live   atomic.Pointer[runtime.Live]
+	stages   []*Program
+	report   *Report
+	cfg      config
+	analysis *core.Analysis // the cut's parent analysis; Reweigh seam of the adaptive loop
+	live     atomic.Pointer[runtime.Live]
+	plan     atomic.Pointer[Plan]
 }
 
 // newPipeline wraps a core result with the configuration it was cut under,
-// so execution defaults (ring kind, capacities) follow the partition.
-func newPipeline(res *core.Result, cfg config) *Pipeline {
-	return &Pipeline{stages: res.Stages, report: res.Report, cfg: cfg}
+// so execution defaults (ring kind, capacities) follow the partition, and
+// with the parent analysis, so an adaptive serve can re-cut it under
+// calibrated weights.
+func newPipeline(res *core.Result, cfg config, an *core.Analysis) *Pipeline {
+	p := &Pipeline{stages: res.Stages, report: res.Report, cfg: cfg, analysis: an}
+	p.plan.Store(staticPlan(res.Report, cfg))
+	return p
 }
 
 // Stages returns the realized per-stage programs, connected by live-set
@@ -44,13 +50,20 @@ func (p *Pipeline) Degree() int { return len(p.stages) }
 // live sets, speedup and overhead metrics).
 func (p *Pipeline) Report() *Report { return p.report }
 
+// Plan returns the pipeline's live realization: the configuration serving
+// (or, before any adaptive serve, the static cut), the cost model behind
+// it, and the rationale for choosing it. After a WithAutotune serve
+// commits to a winner, Plan reflects that winner — safe to call from any
+// goroutine, including while a serve is in flight.
+func (p *Pipeline) Plan() *Plan { return p.plan.Load() }
+
 // Run executes the pipeline on the sequential oracle: every iteration runs
 // to completion through all stages before the next begins, which preserves
 // the sequential trace order exactly. It runs one iteration per input
 // packet of world (override with WithIterations) and returns the
 // observable trace. Cancellation is checked between iterations.
 func (p *Pipeline) Run(ctx context.Context, world *World, opts ...Option) ([]Event, error) {
-	cfg, err := p.cfg.with(opts)
+	cfg, err := p.cfg.with(opts, scopeRun)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +101,7 @@ func (p *Pipeline) Run(ctx context.Context, world *World, opts ...Option) ([]Eve
 // predicted throughput alongside behaviour. It simulates one iteration per
 // input packet of world (override with WithIterations); the simulation
 // itself is bounded and not interruptible, so ctx is only checked on entry.
-func (p *Pipeline) Simulate(ctx context.Context, world *World, opts ...SimOption) (*SimResult, error) {
+func (p *Pipeline) Simulate(ctx context.Context, world *World, opts ...Option) (*SimResult, error) {
 	cfg, iters, err := p.simRun(ctx, world, opts)
 	if err != nil {
 		return nil, err
@@ -99,7 +112,7 @@ func (p *Pipeline) Simulate(ctx context.Context, world *World, opts ...SimOption
 // SimulateThreads runs the fine-grained thread-level simulator: every
 // hardware thread of every engine is modeled explicitly, so memory latency
 // hiding is directly observable. Iteration semantics match Simulate.
-func (p *Pipeline) SimulateThreads(ctx context.Context, world *World, opts ...SimOption) (*ThreadSimResult, error) {
+func (p *Pipeline) SimulateThreads(ctx context.Context, world *World, opts ...Option) (*ThreadSimResult, error) {
 	cfg, iters, err := p.simRun(ctx, world, opts)
 	if err != nil {
 		return nil, err
@@ -108,7 +121,7 @@ func (p *Pipeline) SimulateThreads(ctx context.Context, world *World, opts ...Si
 }
 
 func (p *Pipeline) simRun(ctx context.Context, world *World, opts []Option) (config, int, error) {
-	cfg, err := p.cfg.with(opts)
+	cfg, err := p.cfg.with(opts, scopeSim)
 	if err != nil {
 		return config{}, 0, err
 	}
@@ -131,20 +144,34 @@ func (p *Pipeline) simRun(ctx context.Context, world *World, opts []Option) (con
 // canceled. The environment (route tables, queues) comes from WithWorld.
 // With WithShards(P), stages free of cross-flow state run as P parallel
 // replicas behind a flow-hash dispatcher (WithShardKey selects the key)
-// and the output is deterministically re-merged. The returned Metrics
-// carry measured throughput, per-stage counters (aggregated across
-// replicas when sharded), and the observable trace in exact
-// sequential-oracle order at any shard width.
-func (p *Pipeline) Serve(ctx context.Context, src Source, opts ...ServeOption) (*Metrics, error) {
-	cfg, err := p.cfg.with(opts)
+// and the output is deterministically re-merged. With WithAutotune, Serve
+// becomes the closed adaptive loop (see adaptive.go): it calibrates the
+// cost model against measured stage times, re-cuts the program, probes the
+// best candidate configurations with real traffic, and commits to the
+// measured winner — the served trace stays byte-identical to the
+// sequential oracle throughout, and Plan reports what was chosen and why.
+// The returned Metrics carry measured throughput, per-stage counters
+// (aggregated across replicas when sharded), and the observable trace in
+// exact sequential-oracle order.
+func (p *Pipeline) Serve(ctx context.Context, src Source, opts ...Option) (*Metrics, error) {
+	cfg, err := p.cfg.with(opts, scopeSrv)
 	if err != nil {
 		return nil, err
+	}
+	cfg.onLive = func(l *runtime.Live) { p.live.Store(l) }
+	if cfg.autotune != nil {
+		if src == nil {
+			return nil, ErrNilSource
+		}
+		if len(p.stages) == 0 {
+			return nil, ErrNoStages
+		}
+		return p.serveAdaptive(ctx, src, cfg)
 	}
 	world := cfg.world
 	if world == nil {
 		world = NewWorld(nil)
 	}
-	cfg.onLive = func(l *runtime.Live) { p.live.Store(l) }
 	return runtime.Serve(ctx, p.stages, world, src, cfg.serveConfig())
 }
 

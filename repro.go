@@ -26,8 +26,12 @@
 // once and Partition per configuration; see Analysis. Configuration is
 // uniform functional options (WithStages, WithTxMode, WithRing, ...)
 // validated centrally against typed errors (ErrBadDegree, ErrUnbalanced,
-// ...); see options.go and DESIGN.md for the mapping from the deprecated
-// struct-based config styles.
+// ...); each entry point accepts exactly the options that mean something
+// to it (the matrix in options.go) and rejects the rest. A served pipeline
+// can also tune itself: WithAutotune turns Serve into a closed loop that
+// calibrates the cost model against measured stage times, re-cuts the
+// program, and commits to the measured best configuration (see
+// WithObjective and Pipeline.Plan).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured results.
@@ -244,7 +248,7 @@ func (a *Analysis) Seq() PathCost { return a.a.Seq() }
 // Analysis, so any number of Partition calls may run concurrently on one
 // receiver, each returning a deterministic Pipeline.
 func (a *Analysis) Partition(opts ...Option) (*Pipeline, error) {
-	cfg, err := a.cfg.with(opts)
+	cfg, err := a.cfg.with(opts, scopeAll)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +256,7 @@ func (a *Analysis) Partition(opts ...Option) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newPipeline(res, cfg), nil
+	return newPipeline(res, cfg, a.a), nil
 }
 
 // Exploration is the outcome of a budget-driven degree search.
@@ -276,7 +280,7 @@ type CandidateCost = core.CandidateCost
 // required) — the compiler-driver behaviour the paper sketches in §2.2.
 // WithMaxPEs bounds the search and WithWorkers fans candidates out.
 func (a *Analysis) Explore(opts ...Option) (*Exploration, error) {
-	cfg, err := a.cfg.with(opts)
+	cfg, err := a.cfg.with(opts, scopeAll)
 	if err != nil {
 		return nil, err
 	}
@@ -287,7 +291,7 @@ func (a *Analysis) Explore(opts ...Option) (*Exploration, error) {
 	return &Exploration{
 		Degree:     ex.Degree,
 		Met:        ex.Met,
-		Pipeline:   newPipeline(ex.Result, cfg),
+		Pipeline:   newPipeline(ex.Result, cfg, a.a),
 		Candidates: ex.Candidates,
 	}, nil
 }

@@ -18,6 +18,22 @@ const facadeSrc = `pps Demo { loop {
 	pkt_send(x & 3);
 } }`
 
+// seqTrace computes the sequential-oracle trace of an unpartitioned
+// program: the degree-1 cut is the identity realization, so its Run is the
+// reference every other execution path is compared against.
+func seqTrace(t testing.TB, prog *repro.Program, packets [][]byte, iters int) []repro.Event {
+	t.Helper()
+	oracle, err := repro.Partition(prog, repro.WithStages(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := oracle.Run(context.Background(), repro.NewWorld(packets), repro.WithIterations(iters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
 func testPackets(n int) [][]byte {
 	packets := make([][]byte, n)
 	for i := range packets {
@@ -39,10 +55,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("got %d stages", pipe.Degree())
 	}
 	packets := [][]byte{{1, 2}, {3}, {4, 5, 6}}
-	seq, err := repro.RunSequential(prog, repro.NewWorld(packets), 3)
-	if err != nil {
-		t.Fatal(err)
-	}
+	seq := seqTrace(t, prog, packets, 3)
 	got, err := pipe.Run(context.Background(), repro.NewWorld(packets))
 	if err != nil {
 		t.Fatal(err)
@@ -74,10 +87,7 @@ func TestServeEndToEnd(t *testing.T) {
 
 	const n = 10000
 	packets := testPackets(n)
-	seq, err := repro.RunSequential(prog.Clone(), repro.NewWorld(packets), n)
-	if err != nil {
-		t.Fatal(err)
-	}
+	seq := seqTrace(t, prog, packets, n)
 
 	m, err := pipe.Serve(context.Background(), repro.PacketSource(packets))
 	if err != nil {
@@ -147,16 +157,6 @@ func TestNilInputs(t *testing.T) {
 	if _, err := repro.Analyze(nil); !errors.Is(err, repro.ErrNilProgram) {
 		t.Errorf("Analyze(nil) err = %v, want ErrNilProgram", err)
 	}
-	if _, err := repro.RunSequential(nil, repro.NewWorld(nil), 1); !errors.Is(err, repro.ErrNilProgram) {
-		t.Errorf("RunSequential(nil) err = %v, want ErrNilProgram", err)
-	}
-	if _, err := repro.Simulate(nil, repro.NewWorld(nil), 1, repro.DefaultSimConfig()); !errors.Is(err, repro.ErrNoStages) {
-		t.Errorf("Simulate(nil stages) err = %v, want ErrNoStages", err)
-	}
-	if _, err := repro.SimulateThreads([]*repro.Program{nil}, repro.NewWorld(nil), 1, repro.DefaultSimConfig()); !errors.Is(err, repro.ErrNilStage) {
-		t.Errorf("SimulateThreads([nil]) err = %v, want ErrNilStage", err)
-	}
-
 	prog := repro.MustCompile(facadeSrc)
 	pipe, err := repro.Partition(prog, repro.WithStages(2))
 	if err != nil {
@@ -211,36 +211,43 @@ func TestOptionValidation(t *testing.T) {
 	}
 }
 
-// TestDeprecatedSurface keeps the pre-Pipeline API compiling and behaving:
-// the struct-configured wrappers must agree with the option-configured path.
-func TestDeprecatedSurface(t *testing.T) {
+// TestOptionScopes pins the per-entry-point option scoping: an option
+// passed where it means nothing is rejected as ErrConflictingOptions (not
+// silently ignored), while the analysis-phase entry points accept every
+// option as pipeline-wide defaults.
+func TestOptionScopes(t *testing.T) {
 	prog := repro.MustCompile(facadeSrc)
-	old, err := repro.PartitionResult(prog, repro.Options{Stages: 3, Tx: repro.TxPacked})
+	ctx := context.Background()
+
+	// Partition accepts execution options as inherited defaults.
+	pipe, err := repro.Partition(prog, repro.WithStages(3),
+		repro.WithBatch(4), repro.WithThreads(4), repro.WithIterations(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pipe, err := repro.Partition(prog, repro.WithOptions(repro.Options{Stages: 3, Tx: repro.TxPacked}))
-	if err != nil {
-		t.Fatal(err)
+	packets := testPackets(3)
+	world := repro.NewWorld(packets)
+	src := repro.PacketSource(packets)
+
+	if _, err := pipe.Serve(ctx, src, repro.WithThreads(4)); !errors.Is(err, repro.ErrConflictingOptions) {
+		t.Errorf("Serve(WithThreads) err = %v, want ErrConflictingOptions", err)
 	}
-	if len(old.Stages) != pipe.Degree() {
-		t.Fatalf("struct path cut %d stages, option path %d", len(old.Stages), pipe.Degree())
+	if _, err := pipe.Run(ctx, world, repro.WithBatch(8)); !errors.Is(err, repro.ErrConflictingOptions) {
+		t.Errorf("Run(WithBatch) err = %v, want ErrConflictingOptions", err)
 	}
-	if old.Report.Speedup != pipe.Report().Speedup {
-		t.Errorf("reports disagree: %v vs %v", old.Report.Speedup, pipe.Report().Speedup)
+	if _, err := pipe.Simulate(ctx, world, repro.WithShards(2)); !errors.Is(err, repro.ErrConflictingOptions) {
+		t.Errorf("Simulate(WithShards) err = %v, want ErrConflictingOptions", err)
+	}
+	if _, err := pipe.Simulate(ctx, world, repro.WithStages(2)); !errors.Is(err, repro.ErrConflictingOptions) {
+		t.Errorf("Simulate(WithStages) err = %v, want ErrConflictingOptions", err)
 	}
 
-	packets := testPackets(6)
-	seq, err := repro.RunSequential(prog, repro.NewWorld(packets), len(packets))
-	if err != nil {
-		t.Fatal(err)
+	// In-scope calls still work, inheriting the Partition-time defaults.
+	if _, err := pipe.Run(ctx, world, repro.WithIterations(2)); err != nil {
+		t.Errorf("Run(WithIterations) err = %v", err)
 	}
-	got, err := repro.RunPipeline(old.Stages, repro.NewWorld(packets), len(packets))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if diff := repro.TraceEqual(seq, got); diff != "" {
-		t.Fatal(diff)
+	if _, err := pipe.Serve(ctx, repro.PacketSource(packets), repro.WithBatch(2)); err != nil {
+		t.Errorf("Serve(WithBatch) err = %v", err)
 	}
 }
 

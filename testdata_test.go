@@ -42,10 +42,7 @@ func TestTestdataPrograms(t *testing.T) {
 				}
 				packets[i] = p
 			}
-			seq, err := repro.RunSequential(prog, repro.NewWorld(packets), len(packets))
-			if err != nil {
-				t.Fatalf("sequential: %v", err)
-			}
+			seq := seqTrace(t, prog, packets, len(packets))
 			if len(seq) == 0 {
 				t.Fatal("sample program produced no observable events")
 			}
