@@ -186,13 +186,24 @@ type Plan struct {
 	// StageWeights is the per-stage worst-case path cost under the plan's
 	// weights — calibrated units after adaptation, static units before.
 	StageWeights []int64
+	// FusedCuts lists the 1-based cuts realized by stage fusion — cut k
+	// joins stages k and k+1 into one execution unit instead of an SPSC
+	// ring. Empty when every cut keeps its ring (including under
+	// FusionOff).
+	FusedCuts []int
+	// FusionWhy records the fusion valuator's per-cut verdicts in cut
+	// order: the two-bound arithmetic behind each fuse/keep call. Empty
+	// when the pipeline has one stage or fusion is off.
+	FusionWhy []string
 	// Why is the human-readable rationale: how the plan was chosen, with
 	// the probe evidence when the autotuner chose it.
 	Why string
 }
 
-// staticPlan renders the plan of a freshly cut, not-yet-adapted pipeline.
-func staticPlan(report *Report, cfg config) *Plan {
+// staticPlan renders the plan of a freshly cut, not-yet-adapted pipeline,
+// including the fusion valuator's verdict on the static weights (under
+// FusionAuto; FusionOff keeps every ring and records nothing).
+func staticPlan(stages []*Program, report *Report, cfg config) *Plan {
 	p := &Plan{
 		Degree:    len(report.Stages),
 		Batch:     max(1, cfg.batch),
@@ -203,6 +214,10 @@ func staticPlan(report *Report, cfg config) *Plan {
 	}
 	for _, s := range report.Stages {
 		p.StageWeights = append(p.StageWeights, s.Cost.Total)
+	}
+	if cfg.fusion == FusionAuto {
+		_, p.FusedCuts, p.FusionWhy = planFusion(stages, p.StageWeights, 1.0,
+			p.Batch, p.Shards, cfg.shardKey != nil, fusionCores())
 	}
 	return p
 }
@@ -326,18 +341,22 @@ func (p *Pipeline) serveAdaptive(ctx context.Context, src Source, cfg config) (*
 	}
 
 	// Cut a candidate realization per feasible degree under the (possibly
-	// calibrated) weights, and enumerate the (degree, batch, shards) space
-	// with the model's predicted throughput as prior. The prediction takes
-	// the tighter of two bounds: the pipeline bound (the bottleneck stage,
-	// divided across shard replicas) and the CPU bound (all stages' work
-	// must share the host's processors — on a small host a deep pipeline
-	// buys nothing, and the prior must know that or it would spend every
-	// probe on candidates that cannot win). ringSyncNs is a crude fixed
-	// per-ring-entry synchronization estimate — it only has to order batch
-	// sizes plausibly; measurements make the actual choice.
-	const ringSyncNs = 1500.0
+	// calibrated) weights, and enumerate the (degree, batch, shards,
+	// fused) space with the model's predicted throughput as prior. The
+	// prediction takes the tighter of two bounds: the pipeline bound (the
+	// bottleneck stage, divided across shard replicas) and the CPU bound
+	// (all stages' work must share the host's processors — on a small host
+	// a deep pipeline buys nothing, and the prior must know that or it
+	// would spend every probe on candidates that cannot win). ringSyncNs
+	// (fusion.go) is a crude fixed per-ring-entry synchronization estimate
+	// — it only has to order batch sizes plausibly; measurements make the
+	// actual choice. When the fusion valuator finds cuts not worth their
+	// ring at a given (degree, batch), the fused realization enters the
+	// space as its own candidate and competes on the same two bounds, with
+	// the handoff tax charged per realized unit instead of per stage.
 	ncpu := float64(stdruntime.GOMAXPROCS(0))
 	cuts := map[int]*core.Result{}
+	fusePlans := map[[2]int]costmodel.FusionPlan{} // (degree, batch) -> valuation
 	var cands []tuner.Candidate
 	maxD := min(at.MaxDegree, MaxStages)
 	for d := 1; d <= maxD; d++ {
@@ -350,12 +369,20 @@ func (p *Pipeline) serveAdaptive(ctx context.Context, src Source, cfg config) (*
 		cuts[d] = res
 		bottleneck := float64(res.Report.Stages[res.Report.LongestStage-1].Cost.Total) * nsPerWeight
 		var work float64
-		for _, s := range res.Report.Stages {
-			work += float64(s.Cost.Total)
+		stageNs := make([]float64, d)
+		for i, s := range res.Report.Stages {
+			stageNs[i] = float64(s.Cost.Total) * nsPerWeight
+			work += stageNs[i]
 		}
-		work *= nsPerWeight
 		for _, b := range at.Batches {
 			sync := ringSyncNs / float64(b)
+			var fp costmodel.FusionPlan
+			if cfg.fusion != FusionOff && d > 1 {
+				fp = costmodel.PlanFusion(stageNs, sync, int(ncpu))
+				if fp.Units < d {
+					fusePlans[[2]int{d, b}] = fp
+				}
+			}
 			for _, ps := range at.Shards {
 				if ps != effShards(res.Stages, ps) {
 					continue // forked flow state: replica widths unsound across rounds
@@ -366,6 +393,26 @@ func (p *Pipeline) serveAdaptive(ctx context.Context, src Source, cfg config) (*
 				cands = append(cands, tuner.Candidate{
 					Degree: d, Batch: b, Shards: ps, Prior: 1e9 / perPkt,
 				})
+				if fp.Units > 0 && fp.Units < d {
+					// The fused realization of the same shape: fewer units,
+					// fewer handoffs, a (possibly) taller bottleneck. Shard
+					// junctions may veto individual cuts at serve time; the
+					// prior ignores that, measurements correct it.
+					us := fusedUnitCosts(stageNs, fp.FuseCuts)
+					var btlU float64
+					for _, u := range us {
+						btlU = math.Max(btlU, u)
+					}
+					pipeF := btlU / float64(ps)
+					if len(us) > 1 {
+						pipeF += sync
+					}
+					cpuF := (work + float64(len(us))*sync) / ncpu
+					cands = append(cands, tuner.Candidate{
+						Degree: d, Batch: b, Shards: ps, Fused: true,
+						Prior: 1e9 / math.Max(pipeF, cpuF),
+					})
+				}
 			}
 		}
 	}
@@ -383,6 +430,10 @@ func (p *Pipeline) serveAdaptive(ctx context.Context, src Source, cfg config) (*
 		rc := baseRC
 		rc.Batch = c.Batch
 		rc.Shards = c.Shards
+		rc.FuseCuts = nil
+		if c.Fused {
+			rc.FuseCuts = fusePlans[[2]int{c.Degree, c.Batch}].FuseCuts
+		}
 		rc.Obs = nil
 		var tr *obsv.Tracer
 		if obj.P99Bound > 0 {
@@ -433,11 +484,26 @@ func (p *Pipeline) serveAdaptive(ctx context.Context, src Source, cfg config) (*
 	for _, s := range cuts[win.Degree].Report.Stages {
 		plan.StageWeights = append(plan.StageWeights, s.Cost.Total)
 	}
-	p.plan.Store(plan)
-
 	rc = baseRC
 	rc.Batch = win.Batch
 	rc.Shards = win.Shards
+	if win.Fused {
+		// Publish what will actually fuse: the valuator's mask intersected
+		// with the winner's shard-aligned cuts (junctions keep their ring).
+		fp := fusePlans[[2]int{win.Degree, win.Batch}]
+		rc.FuseCuts = fp.FuseCuts
+		aligned := runtime.AlignedCuts(cuts[win.Degree].Stages, rc.Shards, cfg.shardKey != nil)
+		for k, f := range fp.FuseCuts {
+			if f && aligned[k] {
+				plan.FusedCuts = append(plan.FusedCuts, k+1)
+			}
+		}
+		for _, dec := range fp.Decisions {
+			plan.FusionWhy = append(plan.FusionWhy, dec.Why)
+		}
+	}
+	p.plan.Store(plan)
+
 	if _, err := round(cuts[win.Degree].Stages, rc, -1); err != nil {
 		return nil, err
 	}

@@ -291,8 +291,9 @@ func BenchmarkInterpreter(b *testing.B) {
 
 // benchmarkServe measures the host-native streaming runtime on the IPv4
 // PPS: packets per second through a D-stage goroutine pipeline executing
-// stages on the given backend.
-func benchmarkServe(b *testing.B, degree, batch int, backend repro.Backend) {
+// stages on the given backend. Extra serve options (fusion mode, shards)
+// are passed through.
+func benchmarkServe(b *testing.B, degree, batch int, backend repro.Backend, opts ...repro.Option) {
 	p, _ := netbench.ByName("IPv4")
 	prog, err := p.Compile()
 	if err != nil {
@@ -306,7 +307,7 @@ func benchmarkServe(b *testing.B, degree, batch int, backend repro.Backend) {
 	world := netbench.NewWorld(nil)
 	b.ResetTimer()
 	m, err := pipe.Serve(context.Background(), repro.RepeatSource(traffic, b.N),
-		repro.WithWorld(world), repro.WithBatch(batch), repro.WithBackend(backend))
+		append([]repro.Option{repro.WithWorld(world), repro.WithBatch(batch), repro.WithBackend(backend)}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -332,6 +333,18 @@ func BenchmarkServeIPv4D4(b *testing.B) { benchmarkServe(b, 4, 1, repro.BackendC
 // BenchmarkServeIPv4D4Batch32 adds transmission batching, amortizing ring
 // synchronization over 32 iterations per ring entry.
 func BenchmarkServeIPv4D4Batch32(b *testing.B) { benchmarkServe(b, 4, 32, repro.BackendCompiled) }
+
+// BenchmarkServeIPv4D4Fused and BenchmarkServeIPv4D4Unfused are the
+// fusion-comparison pair at the perf-gate shape (D=4, batch 32): Fused
+// lets the valuator realize ring-unworthy cuts as fused units
+// (FusionAuto, the serve default); Unfused pins every cut to an SPSC
+// ring. On hosts where the valuator fuses (few cores, or stage work far
+// below the ring tax), Fused measures the zero-copy handoff path.
+func BenchmarkServeIPv4D4Fused(b *testing.B) { benchmarkServe(b, 4, 32, repro.BackendCompiled) }
+
+func BenchmarkServeIPv4D4Unfused(b *testing.B) {
+	benchmarkServe(b, 4, 32, repro.BackendCompiled, repro.WithFusion(repro.FusionOff))
+}
 
 // BenchmarkServeIPv4D1Batch32Compiled and its Interp twin are the
 // backend-comparison pair: one stage, batch 32, so ring synchronization is

@@ -14,8 +14,10 @@
 // The printed tables are byte-identical for every -j value.
 //
 // -experiment serve measures the host-native streaming runtime (wall-clock
-// packets per second through goroutine pipelines); -json FILE additionally
-// writes those points as JSON (CI emits BENCH_serve.json this way).
+// packets per second through goroutine pipelines); every multi-stage shape
+// is measured both ringed and fused (all cuts realized as in-goroutine
+// handoffs); -json FILE additionally writes those points as JSON (CI emits
+// BENCH_serve.json this way).
 // -experiment adapt runs the closed-loop adaptive serving experiment:
 // hand-picked reference configurations are measured directly, then a
 // deliberately mis-tuned pipeline is handed to Serve(WithAutotune) and the
@@ -37,8 +39,9 @@
 // also measured replicated P ways behind the flow-hash dispatcher).
 // -baseline FILE gates the serve experiment against a checked-in
 // BENCH_serve.json: a >10% pkt/s regression at any guarded point — (D=1,
-// batch=32, P=1), (D=1, batch=32, P=4), or (D=4, batch=32, P=1) — fails
-// the run before -json overwrites the file. -cpuprofile and -memprofile
+// batch=32, P=1), (D=1, batch=32, P=4), (D=4, batch=32, P=1), or the
+// fused (D=4, batch=32, P=1) realization — fails the run before -json
+// overwrites the file. -cpuprofile and -memprofile
 // write pprof profiles of whatever experiment ran.
 package main
 
@@ -253,8 +256,12 @@ func realMain() int {
 			return err
 		}
 		for _, p := range pts {
-			fmt.Printf("  %d stage(s), batch %2d, P=%d: %12.0f pkt/s  (%.2fx vs sequential)\n",
-				p.Degree, p.Batch, p.Shards, p.PktPerS, p.Speedup)
+			tag := "      "
+			if p.Fused {
+				tag = " fused"
+			}
+			fmt.Printf("  %d stage(s), batch %2d, P=%d%s: %12.0f pkt/s  (%.2fx vs sequential)\n",
+				p.Degree, p.Batch, p.Shards, tag, p.PktPerS, p.Speedup)
 		}
 		fmt.Println()
 		// Gate against the checked-in baseline before -json may overwrite it.

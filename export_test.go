@@ -1,0 +1,10 @@
+package repro
+
+// Test-only seams. SetFusionCoresForTest pins the core budget the fusion
+// valuator plans for, so golden Plan fixtures are host-independent; the
+// returned func restores the real GOMAXPROCS-backed seam.
+func SetFusionCoresForTest(cores int) (restore func()) {
+	prev := fusionCores
+	fusionCores = func() int { return cores }
+	return func() { fusionCores = prev }
+}

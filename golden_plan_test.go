@@ -1,0 +1,84 @@
+package repro_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+var updatePlans = flag.Bool("update", false, "rewrite the golden Plan fixtures")
+
+// renderPlan serializes the fusion-relevant face of a Plan: the realized
+// shape, the per-stage weights the valuator saw, which cuts it fused, and
+// the stated per-cut rationale. Everything here is a pure function of the
+// program, the options, and the pinned core budget — no measured times —
+// so the rendering must be byte-stable across runs and machines.
+func renderPlan(p *repro.Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "degree %d batch %d shards %d\n", p.Degree, p.Batch, p.Shards)
+	fmt.Fprintf(&b, "stage weights %v\n", p.StageWeights)
+	fmt.Fprintf(&b, "fused cuts %v\n", p.FusedCuts)
+	for _, why := range p.FusionWhy {
+		fmt.Fprintf(&b, "  %s\n", why)
+	}
+	return b.String()
+}
+
+// TestPlanFusionGolden locks down which cuts the fusion valuator fuses —
+// and the exact arithmetic it states for each — for a fixed program under
+// pinned core budgets. One core must fuse everything (rings are pure tax
+// with no parallelism to buy); a generous core budget must justify every
+// verdict it makes in the rationale; FusionOff must record nothing.
+// Regenerate with: go test . -run TestPlanFusionGolden -update
+func TestPlanFusionGolden(t *testing.T) {
+	prog, err := repro.Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		cores int
+		opts  []repro.Option
+	}{
+		{"d3_1core", 1, []repro.Option{repro.WithStages(3)}},
+		{"d3_8core", 8, []repro.Option{repro.WithStages(3)}},
+		{"d4_1core", 1, []repro.Option{repro.WithStages(4)}},
+		{"d3_off", 1, []repro.Option{repro.WithStages(3), repro.WithFusion(repro.FusionOff)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			restore := repro.SetFusionCoresForTest(tc.cores)
+			defer restore()
+			pipe, err := repro.Partition(prog, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := pipe.Plan()
+			if strings.Contains(tc.name, "1core") && len(plan.FusedCuts) != plan.Degree-1 {
+				t.Errorf("on one core every cut must fuse; got %v of %d cuts", plan.FusedCuts, plan.Degree-1)
+			}
+			if strings.HasSuffix(tc.name, "_off") && (len(plan.FusedCuts) != 0 || len(plan.FusionWhy) != 0) {
+				t.Errorf("FusionOff must record no fusion: cuts %v why %v", plan.FusedCuts, plan.FusionWhy)
+			}
+			got := renderPlan(plan)
+			path := filepath.Join("testdata", "plan_"+tc.name+".golden")
+			if *updatePlans {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package costmodel
+
+import "testing"
+
+// TestPlanFusionSingleCoreFusesEverything: with one core there is no
+// pipeline parallelism to buy, so every ring is pure tax and the whole
+// pipeline collapses to one unit.
+func TestPlanFusionSingleCoreFusesEverything(t *testing.T) {
+	p := PlanFusion([]float64{100, 100, 100, 100}, 1500, 1)
+	if p.Units != 1 {
+		t.Fatalf("Units = %d, want 1 (everything fused on one core)", p.Units)
+	}
+	for k, f := range p.FuseCuts {
+		if !f {
+			t.Errorf("cut %d not fused on a single core", k)
+		}
+	}
+	if len(p.Decisions) != 3 {
+		t.Fatalf("got %d decisions, want 3", len(p.Decisions))
+	}
+	for _, d := range p.Decisions {
+		if d.Why == "" {
+			t.Errorf("cut %d decision has empty rationale", d.Cut)
+		}
+	}
+}
+
+// TestPlanFusionCheapRingsKeepCuts: balanced stages whose per-stage work
+// dwarfs the sync cost should keep every cut on a host with enough cores
+// — that is exactly when pipelining pays.
+func TestPlanFusionCheapRingsKeepCuts(t *testing.T) {
+	p := PlanFusion([]float64{10_000, 10_000, 10_000, 10_000}, 100, 8)
+	if p.Units != 4 {
+		t.Fatalf("Units = %d, want 4 (no fusion when rings are cheap)", p.Units)
+	}
+	for k, f := range p.FuseCuts {
+		if f {
+			t.Errorf("cut %d fused despite cheap rings and spare cores", k)
+		}
+	}
+}
+
+// TestPlanFusionFoldsTinyStageIntoNeighbor: a stage far below the
+// bottleneck cannot pay for its ring; it should fold into a neighbor
+// while the expensive balanced cut survives.
+func TestPlanFusionFoldsTinyStageIntoNeighbor(t *testing.T) {
+	// Stages: 10000, 50, 10000. The 50ns stage's two rings buy nothing
+	// (the bottleneck stays 10000 either way); at least one of its cuts
+	// must fuse, and the pipeline must keep at least two units so the
+	// two heavy stages still overlap.
+	p := PlanFusion([]float64{10_000, 50, 10_000}, 1500, 4)
+	if p.Units != 2 {
+		t.Fatalf("Units = %d, want 2 (tiny stage folded, heavy cut kept)", p.Units)
+	}
+	if !p.FuseCuts[0] && !p.FuseCuts[1] {
+		t.Fatalf("neither cut around the 50ns stage fused: %v", p.FuseCuts)
+	}
+	if p.FuseCuts[0] && p.FuseCuts[1] {
+		t.Fatalf("both cuts fused, losing the heavy stages' overlap: %v", p.FuseCuts)
+	}
+}
+
+// TestPlanFusionDegenerateInputs: single stage and zero cores must not
+// panic and must return a sane empty/clamped plan.
+func TestPlanFusionDegenerateInputs(t *testing.T) {
+	p := PlanFusion([]float64{100}, 1500, 0)
+	if p.Units != 1 || len(p.FuseCuts) != 0 || len(p.Decisions) != 0 {
+		t.Fatalf("single-stage plan not empty: %+v", p)
+	}
+	p = PlanFusion(nil, 1500, 4)
+	if p.Units != 0 || p.FuseCuts != nil {
+		t.Fatalf("nil-stage plan not empty: %+v", p)
+	}
+}

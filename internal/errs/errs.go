@@ -133,4 +133,8 @@ var (
 	// ErrBadAutotune is returned when an autotune configuration is
 	// malformed (a non-positive probe window or candidate count).
 	ErrBadAutotune = errors.New("bad autotune configuration")
+
+	// ErrBadFusion is returned when a stage-fusion mode selector is
+	// unknown.
+	ErrBadFusion = errors.New("bad fusion mode")
 )

@@ -120,6 +120,12 @@ type Runner struct {
 	recv []int64
 	sent []int64
 	err  error
+
+	// sendDst, when non-nil, is a caller-owned buffer OpSendLS writes the
+	// outgoing live set into instead of allocating (set per call by
+	// RunIterationInto). It is only reused when its capacity covers the
+	// live set; an iteration that executes no OpSendLS leaves it untouched.
+	sendDst []int64
 }
 
 // NewRunner compiles prog against freshly initialized persistent state.
@@ -176,7 +182,18 @@ func wrapIndex(i int64, size int) int {
 // values sent by OpSendLS are returned. The semantics — including error
 // cases and the MaxSteps bound — match interp.Runner.RunIteration exactly.
 func (m *Runner) RunIteration(ctx *interp.IterCtx, recv []int64) ([]int64, error) {
-	m.ctx, m.recv, m.sent, m.err = ctx, recv, nil, nil
+	return m.RunIterationInto(ctx, recv, nil)
+}
+
+// RunIterationInto is RunIteration with a caller-owned destination buffer
+// for the outgoing live set: when dst has capacity for the slots OpSendLS
+// emits, the returned slice aliases dst and the handoff allocates nothing.
+// A nil (or too-small) dst falls back to allocating, and an iteration that
+// sends nothing still returns nil. The streaming runtime threads each
+// token's spare buffer through here so a steady-state handoff is a few
+// word copies into memory the token already owns.
+func (m *Runner) RunIterationInto(ctx *interp.IterCtx, recv, dst []int64) ([]int64, error) {
+	m.ctx, m.recv, m.sent, m.err, m.sendDst = ctx, recv, nil, nil, dst
 	copy(m.regs, m.template)
 	for i, a := range m.localArrs {
 		m.localBind[i] = ctx.Local(a.ID, a.Size)
@@ -207,7 +224,7 @@ loop:
 		bi = b.term(m)
 	}
 	sent, err := m.sent, m.err
-	m.ctx, m.recv, m.sent, m.err = nil, nil, nil, nil
+	m.ctx, m.recv, m.sent, m.err, m.sendDst = nil, nil, nil, nil, nil
 	if bi == pcErr {
 		return nil, err
 	}
@@ -771,7 +788,12 @@ func (m *Runner) compileInstr(c *compiler, blk *ir.Block, in *ir.Instr) instrFn 
 			ptrs[i] = &regs[a]
 		}
 		return func(m *Runner) int {
-			vals := make([]int64, len(ptrs))
+			vals := m.sendDst
+			if cap(vals) >= len(ptrs) {
+				vals = vals[:len(ptrs)]
+			} else {
+				vals = make([]int64, len(ptrs))
+			}
 			for i, p := range ptrs {
 				vals[i] = *p
 			}

@@ -33,6 +33,11 @@ type ServePoint struct {
 	// with ("compiled" or "interp"). Omitted in old baselines, which
 	// predate the compiled backend and were measured on the interpreter.
 	Backend string `json:"backend,omitempty"`
+	// Fused marks the stage-fusion realization of the same shape: every
+	// aligned cut fused (runtime.Config.FuseCuts all true), so handoffs
+	// are in-goroutine word copies instead of ring entries. Omitted —
+	// false — for ringed points and in pre-fusion baselines.
+	Fused bool `json:"fused,omitempty"`
 }
 
 // ServeThroughput measures the host-native streaming runtime: the named
@@ -76,41 +81,56 @@ func ServeThroughput(name string, degrees, batches, shardCounts []int, packets i
 		}
 		for _, batch := range batches {
 			for _, shards := range shardCounts {
-				cfg := runtime.Config{Batch: batch, Backend: backend,
-					Shards: shards, ShardKey: netbench.FlowKey}
+				// Each shape is measured twice past degree 1: fully ringed,
+				// and with every aligned cut fused (all-true mask — host-
+				// independent, so baselines compare like against like).
+				for _, fused := range []bool{false, true} {
+					if fused && d == 1 {
+						continue
+					}
+					cfg := runtime.Config{Batch: batch, Backend: backend,
+						Shards: shards, ShardKey: netbench.FlowKey}
+					if fused {
+						cfg.FuseCuts = make([]bool, d-1)
+						for k := range cfg.FuseCuts {
+							cfg.FuseCuts[k] = true
+						}
+					}
 
-				// Behaviour first: the timed configuration must match the oracle.
-				vw := netbench.NewWorld(nil)
-				vm, err := runtime.Serve(context.Background(), res.Stages, vw, runtime.Packets(verify), cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s D=%d batch=%d P=%d: %w", name, d, batch, shards, err)
-				}
-				if diff := interp.TraceEqual(seq, vm.Trace); diff != "" {
-					return nil, fmt.Errorf("%s D=%d batch=%d P=%d diverged: %s", name, d, batch, shards, diff)
-				}
+					// Behaviour first: the timed configuration must match the oracle.
+					vw := netbench.NewWorld(nil)
+					vm, err := runtime.Serve(context.Background(), res.Stages, vw, runtime.Packets(verify), cfg)
+					if err != nil {
+						return nil, fmt.Errorf("%s D=%d batch=%d P=%d fused=%t: %w", name, d, batch, shards, fused, err)
+					}
+					if diff := interp.TraceEqual(seq, vm.Trace); diff != "" {
+						return nil, fmt.Errorf("%s D=%d batch=%d P=%d fused=%t diverged: %s", name, d, batch, shards, fused, diff)
+					}
 
-				m, err := runtime.Serve(context.Background(), res.Stages, netbench.NewWorld(nil),
-					runtime.Repeat(traffic, packets), cfg)
-				if err != nil {
-					return nil, fmt.Errorf("%s D=%d batch=%d P=%d: %w", name, d, batch, shards, err)
+					m, err := runtime.Serve(context.Background(), res.Stages, netbench.NewWorld(nil),
+						runtime.Repeat(traffic, packets), cfg)
+					if err != nil {
+						return nil, fmt.Errorf("%s D=%d batch=%d P=%d fused=%t: %w", name, d, batch, shards, fused, err)
+					}
+					p := ServePoint{
+						PPS:     name,
+						Degree:  d,
+						Batch:   batch,
+						Shards:  shards,
+						Packets: m.Packets,
+						NsTotal: m.Elapsed.Nanoseconds(),
+						PktPerS: m.PacketsPerSecond(),
+						Backend: backend.String(),
+						Fused:   fused,
+					}
+					if d == 1 && batch == batches[0] && shards == shardCounts[0] {
+						base = p.PktPerS
+					}
+					if base > 0 {
+						p.Speedup = p.PktPerS / base
+					}
+					pts = append(pts, p)
 				}
-				p := ServePoint{
-					PPS:     name,
-					Degree:  d,
-					Batch:   batch,
-					Shards:  shards,
-					Packets: m.Packets,
-					NsTotal: m.Elapsed.Nanoseconds(),
-					PktPerS: m.PacketsPerSecond(),
-					Backend: backend.String(),
-				}
-				if d == 1 && batch == batches[0] && shards == shardCounts[0] {
-					base = p.PktPerS
-				}
-				if base > 0 {
-					p.Speedup = p.PktPerS / base
-				}
-				pts = append(pts, p)
 			}
 		}
 	}
@@ -122,11 +142,12 @@ func ServeThroughput(name string, degrees, batches, shardCounts []int, packets i
 // reports an error if any guarded configuration's pkt_per_s regressed more
 // than 10% below the baseline's same point. Guarded points: the historical
 // single-pipeline fast path (D=1, batch=32, P=1), the sharded width-4
-// point (D=1, batch=32, P=4), and a deep-pipeline point (D=4, batch=32,
-// P=1). A baseline point with Shards omitted (schema v1) is read as P=1. A
-// missing baseline file or a baseline/measurement without a guarded point
-// skips that point (nothing to regress against), so the gate bootstraps
-// cleanly on first run and after schema bumps.
+// point (D=1, batch=32, P=4), a deep-pipeline point (D=4, batch=32, P=1),
+// and the same deep point fused (D=4, batch=32, P=1, fused). A baseline
+// point with Shards omitted (schema v1) is read as P=1; a point with Fused
+// omitted is ringed. A missing baseline file or a baseline/measurement
+// without a guarded point skips that point (nothing to regress against),
+// so the gate bootstraps cleanly on first run and after schema bumps.
 func CheckServeBaseline(pts []ServePoint, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -139,31 +160,39 @@ func CheckServeBaseline(pts []ServePoint, path string) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
-	find := func(pts []ServePoint, d, batch, shards int) *ServePoint {
+	find := func(pts []ServePoint, d, batch, shards int, fused bool) *ServePoint {
 		for i := range pts {
 			s := pts[i].Shards
 			if s == 0 {
 				s = 1
 			}
-			if pts[i].Degree == d && pts[i].Batch == batch && s == shards {
+			if pts[i].Degree == d && pts[i].Batch == batch && s == shards && pts[i].Fused == fused {
 				return &pts[i]
 			}
 		}
 		return nil
 	}
 	const tolerance = 0.10
-	for _, g := range []struct{ d, batch, shards int }{
-		{1, 32, 1},
-		{1, 32, 4},
-		{4, 32, 1},
+	for _, g := range []struct {
+		d, batch, shards int
+		fused            bool
+	}{
+		{1, 32, 1, false},
+		{1, 32, 4, false},
+		{4, 32, 1, false},
+		{4, 32, 1, true},
 	} {
-		want, got := find(base, g.d, g.batch, g.shards), find(pts, g.d, g.batch, g.shards)
+		want, got := find(base, g.d, g.batch, g.shards, g.fused), find(pts, g.d, g.batch, g.shards, g.fused)
 		if want == nil || got == nil {
 			continue
 		}
 		if got.PktPerS < want.PktPerS*(1-tolerance) {
-			return fmt.Errorf("serve throughput regression at D=%d batch=%d P=%d: %.0f pkt/s is %.1f%% below the %s baseline of %.0f pkt/s (gate: -%.0f%%)",
-				g.d, g.batch, g.shards, got.PktPerS, 100*(1-got.PktPerS/want.PktPerS), path, want.PktPerS, 100*tolerance)
+			tag := ""
+			if g.fused {
+				tag = " fused"
+			}
+			return fmt.Errorf("serve throughput regression at D=%d batch=%d P=%d%s: %.0f pkt/s is %.1f%% below the %s baseline of %.0f pkt/s (gate: -%.0f%%)",
+				g.d, g.batch, g.shards, tag, got.PktPerS, 100*(1-got.PktPerS/want.PktPerS), path, want.PktPerS, 100*tolerance)
 		}
 	}
 	return nil

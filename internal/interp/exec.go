@@ -181,7 +181,18 @@ func wrapIndex(i int64, size int) int {
 // per-iteration context. recv supplies the live-set slot values consumed by
 // OpRecvLS (nil for a first stage / sequential program); the values sent by
 // OpSendLS are returned.
-func (r *Runner) RunIteration(ctx *IterCtx, recv []int64) (sent []int64, err error) {
+func (r *Runner) RunIteration(ctx *IterCtx, recv []int64) ([]int64, error) {
+	return r.RunIterationInto(ctx, recv, nil)
+}
+
+// RunIterationInto is RunIteration with a caller-owned destination buffer
+// for the outgoing live set: when dst has capacity for the slots OpSendLS
+// emits, the returned slice aliases dst and the handoff allocates nothing.
+// A nil (or too-small) dst falls back to allocating, and an iteration that
+// sends nothing still returns nil. This mirrors the compiled backend's
+// method of the same name so the streaming runtime can drive either
+// backend through one zero-copy handoff path.
+func (r *Runner) RunIterationInto(ctx *IterCtx, recv, dst []int64) (sent []int64, err error) {
 	f := r.Prog.Func
 	if cap(r.regs) < f.NumRegs {
 		r.regs = make([]int64, f.NumRegs)
@@ -254,7 +265,12 @@ func (r *Runner) RunIteration(ctx *IterCtx, recv []int64) (sent []int64, err err
 					regs[in.Dst] = v
 				}
 			case ir.OpSendLS:
-				vals := make([]int64, len(in.Args))
+				vals := dst
+				if cap(vals) >= len(in.Args) {
+					vals = vals[:len(in.Args)]
+				} else {
+					vals = make([]int64, len(in.Args))
+				}
 				for i, a := range in.Args {
 					vals[i] = regs[a]
 				}

@@ -484,3 +484,54 @@ func TestChaosSeededPlansAccount(t *testing.T) {
 		checkAccounting(t, m)
 	}
 }
+
+// TestChaosFusedStageAttribution: fault attribution must survive stage
+// fusion. When the injected stage runs mid-way through a fused unit (no
+// ring of its own, one goroutine for several stages), a panic and an
+// exhausted transient keyed to that stage must still quarantine exactly
+// their packets, the records must name the original stage index — not the
+// unit — and the ledger must balance to the packet: every packet the
+// source supplied is delivered or quarantined, and the survivors' trace
+// matches the oracle segments.
+func TestChaosFusedStageAttribution(t *testing.T) {
+	const n = 24
+	_, stages := partitionIPv4(t, 4)
+	traffic := ipv4Traffic(n)
+	segs := stageSegments(t, stages, traffic)
+	for _, tc := range []struct {
+		name string
+		fuse []bool
+	}{
+		{"fully_fused", []bool{true, true, true}},
+		{"tail_unit", []bool{false, true, true}}, // stage 3 interior to the 2+3+4 unit
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := runtime.DefaultConfig()
+			cfg.Retry = 1
+			cfg.RetryBackoff = 50 * time.Microsecond
+			cfg.FuseCuts = tc.fuse
+			cfg.Faults = &fault.Plan{Injections: []fault.Injection{
+				{Kind: fault.Panic, Stage: 3, At: 4},
+				{Kind: fault.Transient, Stage: 3, At: 9, Count: 5},
+			}}
+			m := chaosServe(t, stages, traffic, cfg)
+			rep := m.Faults
+			if rep.Quarantined != 2 || rep.Delivered != n-2 {
+				t.Fatalf("quarantined %d delivered %d, want 2 and %d\n%s",
+					rep.Quarantined, rep.Delivered, n-2, rep)
+			}
+			if len(rep.Records) != 2 {
+				t.Fatalf("got %d records, want 2\n%s", len(rep.Records), rep)
+			}
+			for _, rec := range rep.Records {
+				if rec.Stage != 3 || rec.Disposition != "quarantined" {
+					t.Fatalf("fused unit misattributed the fault: %+v", rec)
+				}
+			}
+			if diff := interp.TraceEqual(expectedTrace(segs, rep), m.Trace); diff != "" {
+				t.Fatalf("surviving packets diverge from oracle: %s", diff)
+			}
+			checkAccounting(t, m)
+		})
+	}
+}

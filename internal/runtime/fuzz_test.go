@@ -23,6 +23,12 @@ import (
 // grammar-fuzzer convention in internal/ppc. Seeds that exposed a
 // divergence during development are checked into testdata/fuzz so every
 // future run replays them.
+//
+// Each (degree, batch, backend) point is served twice: fully ringed and
+// with a seed-derived fusion mask (runtime.Config.FuseCuts), so the fused
+// realization — including masks that collide with shard junctions and are
+// partially ignored — faces the same byte-identical-trace bar as the
+// ringed one.
 func FuzzServeVsOracle(f *testing.F) {
 	for seed := int64(0); seed < 8; seed++ {
 		f.Add(seed)
@@ -45,6 +51,9 @@ func FuzzServeVsOracle(f *testing.F) {
 			packets[i] = p
 		}
 		iters := len(packets)
+		// A seed-derived per-cut fusion mask (bit k fuses cut k). Drawn after
+		// the packet bytes so earlier corpus seeds keep their exact traffic.
+		fuseBits := rng.Uint64()
 
 		seq, err := interp.RunSequential(prog.Clone(), interp.NewWorld(packets), iters)
 		if err != nil {
@@ -58,34 +67,42 @@ func FuzzServeVsOracle(f *testing.F) {
 			if runtime.Validate(res.Stages) != nil {
 				continue // not servable (e.g. no pkt_rx pacing point)
 			}
+			seededMask := make([]bool, d-1)
+			for k := range seededMask {
+				seededMask[k] = fuseBits>>uint(k)&1 == 1
+			}
 			for _, batch := range []int{1, 2} {
-				traces := make([][]interp.Event, len(backends))
-				for i, backend := range backends {
-					cfg := runtime.DefaultConfig()
-					cfg.Batch = batch
-					cfg.Backend = backend
-					cfg.Shards = shards
-					m, err := runtime.Serve(context.Background(), res.Stages, interp.NewWorld(nil),
-						runtime.Packets(packets), cfg)
-					if err != nil {
-						t.Fatalf("seed %d D=%d P=%d batch=%d %s: serve: %v\n%s", seed, d, shards, batch, backend, err, src)
+				for fi, fuse := range [][]bool{nil, seededMask} {
+					tag := []string{"ringed", "fused"}[fi]
+					traces := make([][]interp.Event, len(backends))
+					for i, backend := range backends {
+						cfg := runtime.DefaultConfig()
+						cfg.Batch = batch
+						cfg.Backend = backend
+						cfg.Shards = shards
+						cfg.FuseCuts = fuse
+						m, err := runtime.Serve(context.Background(), res.Stages, interp.NewWorld(nil),
+							runtime.Packets(packets), cfg)
+						if err != nil {
+							t.Fatalf("seed %d D=%d P=%d batch=%d %s %s: serve: %v\n%s", seed, d, shards, batch, tag, backend, err, src)
+						}
+						if m.Packets != int64(iters) {
+							t.Fatalf("seed %d D=%d P=%d batch=%d %s %s: served %d packets, want %d\n%s",
+								seed, d, shards, batch, tag, backend, m.Packets, iters, src)
+						}
+						if diff := interp.TraceEqual(seq, m.Trace); diff != "" {
+							t.Fatalf("seed %d D=%d P=%d batch=%d %s %s: trace diverges from oracle: %s\nsource:\n%s",
+								seed, d, shards, batch, tag, backend, diff, src)
+						}
+						if rep := m.Faults; rep.Accounted() != m.Stages[0].In {
+							t.Fatalf("seed %d D=%d P=%d batch=%d %s %s: accounting hole: %s", seed, d, shards, batch, tag, backend, rep)
+						}
+						traces[i] = m.Trace
 					}
-					if m.Packets != int64(iters) {
-						t.Fatalf("seed %d D=%d P=%d batch=%d %s: served %d packets, want %d\n%s",
-							seed, d, shards, batch, backend, m.Packets, iters, src)
+					if diff := interp.TraceEqual(traces[0], traces[1]); diff != "" {
+						t.Fatalf("seed %d D=%d P=%d batch=%d %s: compiled and interp backends diverge: %s\nsource:\n%s",
+							seed, d, shards, batch, tag, diff, src)
 					}
-					if diff := interp.TraceEqual(seq, m.Trace); diff != "" {
-						t.Fatalf("seed %d D=%d P=%d batch=%d %s: trace diverges from oracle: %s\nsource:\n%s",
-							seed, d, shards, batch, backend, diff, src)
-					}
-					if rep := m.Faults; rep.Accounted() != m.Stages[0].In {
-						t.Fatalf("seed %d D=%d P=%d batch=%d %s: accounting hole: %s", seed, d, shards, batch, backend, rep)
-					}
-					traces[i] = m.Trace
-				}
-				if diff := interp.TraceEqual(traces[0], traces[1]); diff != "" {
-					t.Fatalf("seed %d D=%d P=%d batch=%d: compiled and interp backends diverge: %s\nsource:\n%s",
-						seed, d, shards, batch, diff, src)
 				}
 			}
 		}

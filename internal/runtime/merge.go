@@ -235,7 +235,7 @@ func (sc *scatterer) drain(e *engine, lc *laneCtx, held int) bool {
 				var n int64
 				for _, t := range sc.pend[j] {
 					if t.degradedAt == 0 && !t.dead {
-						t.degradedAt = lc.s + 2
+						t.degradedAt = int32(lc.s + 2)
 						e.record(lc.recIdx, FaultRecord{Iter: t.iter, Stage: lc.s + 1,
 							Disposition: "degraded", Reason: "ring saturated past watermark"})
 						n++

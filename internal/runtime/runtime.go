@@ -91,8 +91,12 @@ func (b Backend) String() string {
 
 // stageRunner is the per-stage execution contract both backends satisfy:
 // one in-flight iteration at a time, confined to the stage's goroutine.
+// RunIterationInto is the zero-copy handoff form: when the dst buffer has
+// capacity for the outgoing live set, the returned slice aliases dst and
+// the handoff allocates nothing.
 type stageRunner interface {
 	RunIteration(ctx *interp.IterCtx, recv []int64) ([]int64, error)
+	RunIterationInto(ctx *interp.IterCtx, recv, dst []int64) ([]int64, error)
 }
 
 // Config shapes the streaming executor.
@@ -125,6 +129,18 @@ type Config struct {
 	// partitioned tables are correct only when the lane assignment
 	// refines the table index.
 	ShardKey func(pkt []byte) uint64
+
+	// FuseCuts marks pipeline cuts to realize by fusion: when FuseCuts[k]
+	// is true, stages k+1 and k+2 run in one goroutine with the live-set
+	// handoff folded into token-buffer moves instead of an SPSC ring —
+	// the realization for cuts whose ring tax exceeds their pipeline-bound
+	// gain. nil (the default) fuses nothing. Entries past the last cut are
+	// ignored, and a marked cut is only fused when both sides have the
+	// same replica width (an aligned junction): scatters and fan-ins keep
+	// their ring machinery regardless. Fused stages keep their own probes,
+	// fault-injection indices, and MaxSteps budgets — only the ring
+	// between them disappears.
+	FuseCuts []bool
 
 	// Overload selects what a producer does when its outgoing ring stays
 	// saturated past the watermark: block (default, lossless), shed, or
@@ -319,11 +335,21 @@ func Validate(stages []*ir.Program) error {
 // hash), and dead marks a tombstone: a quarantined iteration that keeps
 // flowing toward its fan-in so the dispatch sequence stays gap-free, then
 // is recycled there without ever reaching the trace.
+//
+// Layout is cache-line aware: the fields every handoff touches — ctx,
+// the two live-set buffers, and iter — pack into the first 64 bytes
+// (8 + 24 + 24 + 8), so the steady-state handoff path dirties a single
+// line; the cold fate flags (degradedAt, shard, dead) trail after it.
+// slots and spare ping-pong: a stage reads its live set from slots and
+// writes the outgoing set into spare (via RunIterationInto), then the two
+// swap, so a handoff is a few word copies into memory the token already
+// owns and the hot path allocates nothing after warmup.
 type token struct {
 	ctx        *interp.IterCtx
 	slots      []int64
+	spare      []int64
 	iter       int64
-	degradedAt int
+	degradedAt int32
 	shard      int32
 	dead       bool
 }
@@ -349,6 +375,7 @@ type engine struct {
 	cfg      Config
 	src      Source
 	plan     *shardPlan
+	fused    []bool            // cut -> realized by fusion (aligned + requested)
 	runners  [][]stageRunner   // stage -> replicas
 	rings    [][]chan []*token // cut -> lane rings
 	headRing []chan []*token   // dispatcher -> stage-0 replicas (nil without a dispatcher)
@@ -472,6 +499,114 @@ func (e *engine) lane(s, j int) *laneCtx {
 	}
 }
 
+// unitEnd returns the last stage of the fused unit starting at stage s:
+// the maximal run of stages joined by fused cuts. With no fusion every
+// unit is the single stage s.
+func (e *engine) unitEnd(s int) int {
+	for s < len(e.fused) && e.fused[s] {
+		s++
+	}
+	return s
+}
+
+// unitSegs builds the execution-lane views of the unit [s..end] for
+// replica j; segs[0] is the receiving segment, segs[len-1] the sending
+// one. Fusion requires aligned replica widths across the unit, so one j
+// indexes every segment.
+func (e *engine) unitSegs(s, end, j int) []*laneCtx {
+	segs := make([]*laneCtx, 0, end-s+1)
+	for k := s; k <= end; k++ {
+		segs = append(segs, e.lane(k, j))
+	}
+	return segs
+}
+
+// effectiveFusion intersects the requested fusion mask with the shard
+// plan's aligned cuts: a cut is realized fused only when it was asked for
+// and both sides have the same replica width (a scatter or fan-in always
+// keeps its junction machinery). The result is defensively sized to the
+// pipeline's D-1 cuts whatever length the request had.
+func effectiveFusion(req []bool, plan *shardPlan, d int) []bool {
+	fused := make([]bool, d-1)
+	for k := range fused {
+		fused[k] = k < len(req) && req[k] && plan.reps[k] == plan.reps[k+1]
+	}
+	return fused
+}
+
+// unitLabel renders a unit's 1-based stage range for pprof labels:
+// "2" for a lone stage, "2+3" for stages 2 and 3 fused.
+func unitLabel(s, end int) string {
+	if s == end {
+		return strconv.Itoa(s + 1)
+	}
+	return strconv.Itoa(s+1) + "+" + strconv.Itoa(end+1)
+}
+
+// AlignedCuts reports, for the given stage list under the given shard
+// width, which cuts join stages of equal replica width — the cuts fusion
+// may realize. Callers that plan fusion (the repro layer's cost-model
+// pass) intersect their wish list with this so the reported plan matches
+// what Serve will actually fuse; Serve itself re-derives the same mask.
+func AlignedCuts(stages []*ir.Program, shards int, explicitKey bool) []bool {
+	shapes := classifyStages(stages)
+	plan := newShardPlan(shapes, max(shards, 1), explicitKey)
+	aligned := make([]bool, len(stages)-1)
+	for k := range aligned {
+		aligned[k] = plan.reps[k] == plan.reps[k+1]
+	}
+	return aligned
+}
+
+// runSegs drives a batch through the trailing segments of a fused unit,
+// stage-major: the whole batch runs through segs[i] before segs[i+1], so
+// each stage's busy time, counters, and fault attribution stay exact even
+// though no ring separates them. The handoff between segments is the
+// token's own slot buffer — zero synchronization, zero copies beyond the
+// words OpSendLS packs. Each interior handoff settles the predecessor's
+// out counter here (the last segment's out is counted at the ring put or
+// retire, exactly as unfused). Quarantined tokens compact out of the
+// batch; degraded and tombstoned tokens pass through. Returns false when
+// a fatal error aborted the run.
+func (e *engine) runSegs(segs []*laneCtx, b *[]*token) bool {
+	for i := 1; i < len(segs); i++ {
+		lc := segs[i]
+		bb := *b
+		if len(bb) == 0 {
+			return true
+		}
+		segs[i-1].probe.out.Add(int64(len(bb)))
+		lc.probe.in.Add(int64(len(bb)))
+		s := lc.s
+		firstIter := bb[0].iter
+		n := len(bb)
+		t0 := time.Now()
+		keep := bb[:0]
+		for _, t := range bb {
+			if t.dead || (t.degradedAt > 0 && s+1 >= int(t.degradedAt)) {
+				keep = append(keep, t)
+				continue
+			}
+			switch e.runToken(lc, t) {
+			case tokOK, tokDead:
+				keep = append(keep, t)
+			case tokQuarantined:
+			case tokFatal:
+				lc.probe.busyNs.Add(int64(time.Since(t0)))
+				return false
+			}
+		}
+		*b = keep
+		busy := time.Since(t0)
+		lc.probe.busyNs.Add(int64(busy))
+		if e.timed {
+			e.span(s+1, firstIter, n, obsv.PhaseExec, t0, busy)
+			e.fillHist[s].Observe(int64(n))
+		}
+	}
+	return true
+}
+
 func (e *engine) getToken() *token {
 	t := e.tokPool.Get().(*token)
 	t.ctx.DeferEvents = true
@@ -507,10 +642,14 @@ func (e *engine) takeToken() *token {
 // reset returns the token to its pristine state for pool reuse. All
 // per-iteration state lives either here or in the IterCtx, whose Reset
 // zeroes the local-array storage in place — a recycled token can never
-// leak a prior packet's locals, metadata, or deferred events.
+// leak a prior packet's locals, metadata, or deferred events. The live-set
+// buffers are truncated, not dropped: their capacity is the zero-copy
+// handoff's working memory, and their stale words are unreachable (OpRecvLS
+// reads only the length OpSendLS wrote this iteration).
 func (t *token) reset() {
 	t.ctx.Reset()
-	t.slots = nil
+	t.slots = t.slots[:0]
+	t.spare = t.spare[:0]
 	t.iter = 0
 	t.degradedAt = 0
 	t.shard = 0
@@ -687,7 +826,7 @@ func (e *engine) sendRing(out chan []*token, b []*token, lc *laneCtx) bool {
 		var n int64
 		for _, t := range b {
 			if t.degradedAt == 0 && !t.dead {
-				t.degradedAt = lc.s + 2
+				t.degradedAt = int32(lc.s + 2)
 				e.record(lc.recIdx, FaultRecord{Iter: t.iter, Stage: lc.s + 1, Disposition: "degraded", Reason: "ring saturated past watermark"})
 				n++
 			}
@@ -788,11 +927,21 @@ func (e *engine) execOnce(lc *laneCtx, t *token) (err error) {
 				errs.ErrStageDeadline, lc.s+1, deadline)
 		}
 	}
-	sent, rerr := lc.run.RunIteration(t.ctx, t.slots)
+	// Zero-copy handoff: the stage reads its live set from t.slots and
+	// writes the outgoing one into t.spare, then the buffers ping-pong.
+	// The two are always distinct arrays, so OpSendLS/OpRecvLS execution
+	// order inside the stage body cannot alias them; after warmup both
+	// have capacity for the widest cut and no handoff allocates.
+	sent, rerr := lc.run.RunIterationInto(t.ctx, t.slots, t.spare)
 	if rerr != nil {
 		return &fatalError{err: rerr}
 	}
-	t.slots = sent
+	if sent != nil {
+		t.spare = t.slots
+		t.slots = sent
+	} else {
+		t.slots = t.slots[:0]
+	}
 	if deadline > 0 && time.Since(start) > deadline {
 		return fmt.Errorf("%w: stage %d exceeded the %v deadline", errs.ErrStageDeadline, lc.s+1, deadline)
 	}
@@ -845,16 +994,18 @@ func (e *engine) retireSharded(b []*token, col *sinkCollector, lc *laneCtx) {
 
 // head is the stage-1 goroutine of an undispatched run (stage 0
 // unreplicated): it paces the pipeline by pulling one packet per iteration
-// from the Source, executes the first stage, and forwards batches
-// downstream (or retires them directly when D == 1). Poisoned packets are
+// from the Source, executes the first stage — plus any stages fused onto
+// it, via runSegs — and forwards batches downstream (or retires them
+// directly when the unit reaches the sink). Poisoned packets are
 // quarantined here, before a token is even built; the head's In counter
 // tallies every packet pulled from the source, which is the total the
 // FaultReport accounting is reconciled against. When a later cut scatters,
 // the head also stamps each token's lane from the flow hash.
-func (e *engine) head() {
-	lc := e.lane(0, 0)
+func (e *engine) head(segs []*laneCtx) {
+	lc := segs[0]
+	tail := segs[len(segs)-1]
 	p := lc.probe
-	out := e.outFor(lc)
+	out := e.outFor(tail)
 	if out != nil {
 		defer out.close()
 	}
@@ -915,9 +1066,14 @@ func (e *engine) head() {
 				e.span(1, firstIter, len(b), obsv.PhaseExec, t0, busy)
 				e.fillHist[0].Observe(int64(len(b)))
 			}
+			if !e.runSegs(segs, &b) {
+				return
+			}
+		}
+		if len(b) > 0 {
 			if out == nil {
-				e.retire(b, lc)
-			} else if !out.send(e, b, lc) {
+				e.retire(b, tail)
+			} else if !out.send(e, b, tail) {
 				return
 			}
 		} else {
@@ -1052,14 +1208,17 @@ func (e *engine) dispFlush(pend [][]*token, lane int, p *stageProbe) bool {
 	}
 }
 
-// stageLoop is the goroutine of one replica of a non-source stage (and of
-// the source stage's replicas, fed by the dispatcher): receive a batch —
+// stageLoop is the goroutine of one replica of a non-source unit (and of
+// the source unit's replicas, fed by the dispatcher): receive a batch —
 // from the head ring, the private lane ring, or the fan-in merger — run
-// each live iteration with the live-set slots its predecessor packed, and
-// forward (or retire, at the sink). Degraded and tombstoned tokens pass
-// through without executing; quarantined tokens are compacted out of the
-// batch (or tombstoned, when a fan-in is downstream).
-func (e *engine) stageLoop(lc *laneCtx) {
+// each live iteration with the live-set slots its predecessor packed,
+// drive it through any stages fused onto this one (runSegs), and forward
+// (or retire, at the sink). Degraded and tombstoned tokens pass through
+// without executing; quarantined tokens are compacted out of the batch
+// (or tombstoned, when a fan-in is downstream).
+func (e *engine) stageLoop(segs []*laneCtx) {
+	lc := segs[0]
+	tail := segs[len(segs)-1]
 	s := lc.s
 	p := lc.probe
 	var in chan []*token
@@ -1072,13 +1231,13 @@ func (e *engine) stageLoop(lc *laneCtx) {
 	default:
 		in = e.rings[s-1][lc.j]
 	}
-	out := e.outFor(lc)
+	out := e.outFor(tail)
 	if out != nil {
 		defer out.close()
 	}
 	var col *sinkCollector
 	if out == nil && e.cols != nil {
-		col = e.cols[lc.j]
+		col = e.cols[tail.j]
 	}
 	for {
 		var wStart time.Time
@@ -1125,7 +1284,7 @@ func (e *engine) stageLoop(lc *laneCtx) {
 		t0 := time.Now()
 		keep := b[:0]
 		for _, t := range b {
-			if t.dead || (t.degradedAt > 0 && s+1 >= t.degradedAt) {
+			if t.dead || (t.degradedAt > 0 && s+1 >= int(t.degradedAt)) {
 				keep = append(keep, t)
 				continue
 			}
@@ -1144,17 +1303,20 @@ func (e *engine) stageLoop(lc *laneCtx) {
 		if e.timed {
 			e.span(s+1, firstIter, n, obsv.PhaseExec, t0, busy)
 		}
+		if !e.runSegs(segs, &b) {
+			return
+		}
 		switch {
 		case len(b) == 0:
 			e.putBatch(b)
 		case out != nil:
-			if !out.send(e, b, lc) {
+			if !out.send(e, b, tail) {
 				return
 			}
 		case col != nil:
-			e.retireSharded(b, col, lc)
+			e.retireSharded(b, col, tail)
 		default:
-			e.retire(b, lc)
+			e.retire(b, tail)
 		}
 		if last {
 			return
@@ -1300,6 +1462,7 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 		cfg:      cfg,
 		src:      src,
 		plan:     plan,
+		fused:    effectiveFusion(cfg.FuseCuts, plan, D),
 		runners:  runners,
 		rings:    make([][]chan []*token, D-1),
 		m:        &Metrics{},
@@ -1318,6 +1481,11 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 	e.batchPool.New = func() any { return make([]*token, 0, cfg.Batch) }
 	e.freeBatches = make(chan []*token, 4+plan.width()*(cfg.RingCapacity+2))
 	for k := range e.rings {
+		if e.fused[k] {
+			// A fused cut has no ring: its stages share a goroutine and
+			// hand the live set over inside the token.
+			continue
+		}
 		e.rings[k] = make([]chan []*token, plan.lanes(k))
 		for j := range e.rings[k] {
 			e.rings[k][j] = make(chan []*token, cfg.RingCapacity)
@@ -1362,27 +1530,33 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 			pprof.Do(ictx, pprof.Labels("stage", "dispatch"), func(context.Context) { e.dispatch() })
 		}()
 	}
-	for s := 0; s < D; s++ {
+	// One goroutine per *unit* replica: a unit is a maximal run of stages
+	// joined by fused cuts (a single stage when nothing fuses).
+	for s := 0; s < D; {
+		end := e.unitEnd(s)
 		if s == 0 && !hasDisp {
 			wg.Add(1)
+			segs := e.unitSegs(0, end, 0)
 			go func() {
 				defer wg.Done()
-				pprof.Do(ictx, pprof.Labels("stage", "1"), func(context.Context) { e.head() })
+				pprof.Do(ictx, pprof.Labels("stage", unitLabel(0, end)), func(context.Context) { e.head(segs) })
 			}()
+			s = end + 1
 			continue
 		}
 		for j := 0; j < plan.reps[s]; j++ {
-			s, j := s, j
-			lbl := pprof.Labels("stage", strconv.Itoa(s+1))
+			segs := e.unitSegs(s, end, j)
+			lbl := pprof.Labels("stage", unitLabel(s, end))
 			if plan.reps[s] > 1 {
-				lbl = pprof.Labels("stage", strconv.Itoa(s+1), "lane", strconv.Itoa(j))
+				lbl = pprof.Labels("stage", unitLabel(s, end), "lane", strconv.Itoa(j))
 			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				pprof.Do(ictx, lbl, func(context.Context) { e.stageLoop(e.lane(s, j)) })
+				pprof.Do(ictx, lbl, func(context.Context) { e.stageLoop(segs) })
 			}()
 		}
+		s = end + 1
 	}
 	wg.Wait()
 	elapsed := time.Since(start)

@@ -22,6 +22,7 @@ func dirtyToken(t *token) {
 	t.ctx.DeferEvents = true
 	t.ctx.Events = append(t.ctx.Events, interp.Event{Kind: interp.EvTrace, Val: 99})
 	t.slots = []int64{1, 2, 3}
+	t.spare = []int64{4, 5}
 	t.iter = 17
 	t.degradedAt = 2
 	t.shard = 3
@@ -49,8 +50,15 @@ func checkPristine(t *testing.T, tok *token) {
 	if len(ctx.Events) != 0 {
 		t.Errorf("recycled token leaks deferred events: %v", ctx.Events)
 	}
-	if tok.slots != nil {
+	// The live-set buffers keep their capacity across recycles — that
+	// backing memory is the zero-copy handoff's working set — but their
+	// visible length must be zero: OpRecvLS reads only the length OpSendLS
+	// wrote this iteration, so truncated buffers can never leak a value.
+	if len(tok.slots) != 0 {
 		t.Errorf("recycled token leaks live-set slots: %v", tok.slots)
+	}
+	if len(tok.spare) != 0 {
+		t.Errorf("recycled token leaks spare live-set buffer: %v", tok.spare)
 	}
 	if tok.iter != 0 || tok.degradedAt != 0 {
 		t.Errorf("recycled token leaks control state: iter=%d degradedAt=%d", tok.iter, tok.degradedAt)

@@ -25,11 +25,17 @@ import (
 )
 
 // Candidate is one point of the configuration space: a pipelining depth, a
-// serve batch size, and a shard width, with the calibrated model's
-// predicted score attached.
+// serve batch size, a shard width, and whether ring-unworthy cuts are
+// realized by stage fusion, with the calibrated model's predicted score
+// attached.
 type Candidate struct {
 	// Degree, Batch, Shards identify the configuration.
 	Degree, Batch, Shards int
+	// Fused marks the realization that fuses the cuts the cost model says
+	// cannot pay for their ring (the caller derives the concrete mask from
+	// Degree and Batch; it competes against the fully ringed realization
+	// of the same shape).
+	Fused bool
 	// Prior is the model-predicted score (higher is better; the adaptive
 	// loop uses predicted packets per second).
 	Prior float64
@@ -38,7 +44,11 @@ type Candidate struct {
 // Key returns the candidate's stable identity, used for deterministic
 // tie-breaking and for reporting.
 func (c Candidate) Key() string {
-	return fmt.Sprintf("d%02d/b%02d/p%02d", c.Degree, c.Batch, c.Shards)
+	k := fmt.Sprintf("d%02d/b%02d/p%02d", c.Degree, c.Batch, c.Shards)
+	if c.Fused {
+		k += "+f"
+	}
+	return k
 }
 
 // Measurement is the outcome of probing one candidate with real traffic.

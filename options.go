@@ -84,6 +84,9 @@ var (
 	// search configuration (a negative probe window, candidate count, or
 	// degree cap).
 	ErrBadAutotune = errs.ErrBadAutotune
+	// ErrBadFusion is returned when WithFusion names an unknown fusion
+	// mode.
+	ErrBadFusion = errs.ErrBadFusion
 	// ErrConflictingOptions is returned when individually valid options
 	// contradict each other (a watermark under the blocking policy, a
 	// retry backoff with retries disabled, a batch larger than the ring
@@ -174,6 +177,7 @@ type config struct {
 	// adaptation (serve)
 	objective *Objective
 	autotune  *Autotune
+	fusion    FusionMode
 }
 
 // optID identifies one option for scope checking; optName must stay in
@@ -205,6 +209,7 @@ const (
 	optShardKey
 	optObjective
 	optAutotune
+	optFusion
 	numOpts
 )
 
@@ -214,7 +219,7 @@ var optName = [numOpts]string{
 	"WithArrivalInterval", "WithIterations", "WithBatch", "WithWorld",
 	"WithOverload", "WithWatermark", "WithDeadline", "WithRetry",
 	"WithFaults", "WithObserver", "WithBackend", "WithShards",
-	"WithShardKey", "WithObjective", "WithAutotune",
+	"WithShardKey", "WithObjective", "WithAutotune", "WithFusion",
 }
 
 // scope is the set of options one entry point accepts.
@@ -240,7 +245,7 @@ var (
 	scopeSim = scopeOf(optArch, optRing, optThreads, optArrival, optIterations)
 	scopeSrv = scopeOf(optRing, optBatch, optWorld, optOverload, optWatermark,
 		optDeadline, optRetry, optFaults, optObserver, optBackend,
-		optShards, optShardKey, optObjective, optAutotune)
+		optShards, optShardKey, optObjective, optAutotune, optFusion)
 )
 
 // scopeName labels a scope in option-misuse errors.
@@ -279,6 +284,7 @@ var scopeName = map[scope]string{
 //	WithShardKey                      yes                -       -        yes
 //	WithObjective                     yes                -       -        yes
 //	WithAutotune                      yes                -       -        yes
+//	WithFusion                        yes                -       -        yes
 //
 // The first column is the defaults-inheritance path: an execution option
 // given at Partition time is recorded on the Pipeline and applies to every
@@ -426,6 +432,34 @@ func WithAutotune(t Autotune) Option {
 	return opt(optAutotune, func(c *config) { c.autotune = &t })
 }
 
+// FusionMode selects how Serve realizes pipeline cuts whose inter-stage
+// ring cannot pay for itself; see WithFusion.
+type FusionMode int
+
+const (
+	// FusionAuto (the default) lets the cost model value each cut: a cut
+	// whose ring synchronization tax exceeds its predicted pipeline-bound
+	// gain is realized by fusing the adjacent stages into one execution
+	// unit — no ring, the live set handed over inside the token — while
+	// cuts that buy real overlap keep their rings. On a single-core host
+	// this typically fuses the whole pipeline; on a wide host with
+	// balanced stages it fuses nothing.
+	FusionAuto FusionMode = iota
+	// FusionOff keeps every cut on an SPSC ring regardless of the cost
+	// model's verdict — the pre-fusion realization, retained as the
+	// baseline for A/B measurement.
+	FusionOff
+)
+
+// WithFusion selects the stage-fusion mode of a served pipeline (default
+// FusionAuto). Fusion is a realization choice, not a semantic one: the
+// served trace, the per-stage counters, and the fault ledger are
+// byte-identical in every mode, and Pipeline.Plan() states which cuts
+// were fused and why. A scatter or fan-in junction (sharded serving)
+// always keeps its ring machinery — fusion applies only to cuts whose
+// two sides run at the same replica width.
+func WithFusion(m FusionMode) Option { return opt(optFusion, func(c *config) { c.fusion = m }) }
+
 // validate is the central gate: every entry point funnels its assembled
 // config through here, so each invalid value maps to one typed error
 // regardless of which option delivered it.
@@ -504,6 +538,9 @@ func (c *config) validate() error {
 	}
 	if err := c.autotune.validate(); err != nil {
 		return err
+	}
+	if c.fusion < FusionAuto || c.fusion > FusionOff {
+		return fmt.Errorf("repro: %w: %d", ErrBadFusion, int(c.fusion))
 	}
 	return nil
 }

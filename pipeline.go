@@ -34,7 +34,7 @@ type Pipeline struct {
 // calibrated weights.
 func newPipeline(res *core.Result, cfg config, an *core.Analysis) *Pipeline {
 	p := &Pipeline{stages: res.Stages, report: res.Report, cfg: cfg, analysis: an}
-	p.plan.Store(staticPlan(res.Report, cfg))
+	p.plan.Store(staticPlan(res.Stages, res.Report, cfg))
 	return p
 }
 
@@ -172,7 +172,15 @@ func (p *Pipeline) Serve(ctx context.Context, src Source, opts ...Option) (*Metr
 	if world == nil {
 		world = NewWorld(nil)
 	}
-	return runtime.Serve(ctx, p.stages, world, src, cfg.serveConfig())
+	rc := cfg.serveConfig()
+	// Static path: value every cut under the serve-time shape and realize
+	// the verdict — cuts whose ring tax exceeds their pipeline gain run
+	// fused (WithFusion(FusionOff) pins every ring). The refreshed plan
+	// records which cuts fused and why.
+	plan := staticPlan(p.stages, p.report, cfg)
+	rc.FuseCuts = fuseMask(plan.FusedCuts, len(p.stages))
+	p.plan.Store(plan)
+	return runtime.Serve(ctx, p.stages, world, src, rc)
 }
 
 // Snapshot captures the counters of the pipeline's most recent Serve run
