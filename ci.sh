@@ -24,8 +24,9 @@ echo "== go vet ./..."
 go vet ./...
 
 echo "== doc gate: go run ./internal/doccheck"
-# Every exported symbol must carry a doc comment and every package-level
-# Go snippet in README.md must compile against the current API.
+# Every exported symbol must carry a doc comment, every package a
+# package-level doc comment, and every package-level Go snippet in
+# README.md must compile against the current API.
 go run ./internal/doccheck
 
 echo "== go test -race ./internal/runtime/..."
@@ -41,6 +42,14 @@ echo "== fuzz smoke: 10s of FuzzServeVsOracle"
 # oracle; the checked-in corpus under internal/runtime/testdata/fuzz seeds
 # the mutator.
 go test ./internal/runtime -run '^$' -fuzz=FuzzServeVsOracle -fuzztime=10s
+
+echo "== ingest gate: loopback UDP serve + pcap replay byte-identity"
+# The network-facing front end, end to end: a race-enabled serve over a
+# real loopback UDP socket (TestServeUDPLoopback) plus the checked-in
+# capture's fixture pin (TestFlowsCaptureFixture). Both compare the served
+# trace or decoded stream byte-for-byte against the deterministic
+# reference.
+go test -race -count=1 -run 'TestServeUDPLoopback|TestFlowsCaptureFixture' .
 
 echo "== go test -race ./... $*"
 go test -race "$@" ./...
@@ -77,5 +86,13 @@ echo "== pipebench adapt gate vs BENCH_serve.json"
 # the baseline just written above (trace-equivalence to the sequential
 # oracle is verified inside the experiment before anything is timed).
 retry go run ./cmd/pipebench -experiment adapt -serve-packets 50000 -baseline BENCH_serve.json
+
+echo "== pipebench replay gate: testdata/flows.pcap through the full pipeline"
+# The capture replay demo as a gate: the experiment refuses to time
+# anything until the replayed trace is byte-identical to the sequential
+# oracle over the decoded capture (D=4, P=4, fused). Retried only because
+# the timing half shares the machine; the byte-identity half is
+# deterministic.
+retry go run ./cmd/pipebench -experiment replay -pcap testdata/flows.pcap -pcap-loops 4
 
 echo "ci.sh: all checks passed"

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim|serve|adapt|chaos|profile] [-j N] [-json FILE]
-//	          [-backend compiled|interp] [-shards LIST] [-baseline FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	pipebench [-experiment all|fig19|fig20|fig21|fig22|headline|ablations|sim|serve|adapt|chaos|profile|replay|burst]
+//	          [-j N] [-json FILE] [-backend compiled|interp] [-shards LIST] [-baseline FILE]
+//	          [-pcap FILE] [-pcap-loops N] [-burst-packets N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Every PPS is analyzed once and the independent (PPS × degree) and
 // ablation configurations are measured on -j worker goroutines (0, the
@@ -25,6 +26,14 @@
 // configuration must reach 90% of the best checked-in serve point.
 // -experiment chaos sweeps the runtime's fault-injection layer, reporting
 // delivery accounting and surviving throughput versus injected fault rate.
+// -experiment replay streams the capture named by -pcap through the full
+// sharded+fused pipeline, proves the served trace byte-identical to the
+// sequential oracle over the decoded packets, then times -pcap-loops
+// unpaced passes beside a matched-size synthetic generator run.
+// -experiment burst sweeps the bursty paced generator's peak rate against
+// the shed and degrade overload policies with a deliberately stalled
+// stage, reporting the loss accounting per point (see EXPERIMENTS.md for
+// the honest reading of the source-drop column).
 // -experiment profile serves with the observability layer fully attached
 // and prints a per-stage attribution table: measured host time (execute /
 // ring-wait / transmit) beside the cost model's predicted balance, the
@@ -81,6 +90,9 @@ func realMain() int {
 	backendName := flag.String("backend", "compiled", "serve stage-execution backend: compiled|interp")
 	shardsList := flag.String("shards", "1,2,4", "comma-separated shard widths the serve experiment sweeps")
 	baseline := flag.String("baseline", "", "fail the serve experiment if a guarded point's pkt/s regresses >10% below this JSON baseline")
+	pcapPath := flag.String("pcap", "testdata/flows.pcap", "capture file the replay experiment streams")
+	pcapLoops := flag.Int("pcap-loops", 8, "passes over the capture for the replay experiment's timed run")
+	burstPkts := flag.Int("burst-packets", 20000, "packets per burst-resilience point")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile of the run to this file")
 	flag.Parse()
@@ -331,6 +343,53 @@ func realMain() int {
 		}
 		if *jsonOut != "" {
 			data, err := json.MarshalIndent(results, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+	runTimed("replay", func() error {
+		rep, err := experiments.Replay("IPv4", *pcapPath, *pcapLoops, backend)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Pcap replay through the full pipeline (IPv4 PPS, D=%d, P=%d, fused, %s backend)\n",
+			rep.Degree, rep.Shards, backend)
+		fmt.Printf("  capture %s: %d packets / %d bytes per pass, trace verified against the oracle\n",
+			rep.Pcap, rep.Packets, rep.Bytes)
+		fmt.Printf("  replay  x%d passes: %12.0f pkt/s\n", rep.Loops, rep.ReplayPktPerS)
+		fmt.Printf("  synthetic twin     : %12.0f pkt/s  (generator, same packet count)\n", rep.SynthPktPerS)
+		fmt.Println()
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+	runTimed("burst", func() error {
+		fmt.Println("Burst resilience (IPv4 PPS, D=4, stage 2 stalled to ~60k pkt/s, paced bursty source)")
+		pts, err := experiments.BurstResilience("IPv4", []float64{20_000, 100_000, 400_000}, *burstPkts)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			fmt.Printf("  peak %7.0f pkt/s  %-8s delivered %6d/%6d  shed %6d  degraded %6d  source drops %d\n",
+				p.PeakRate, p.Policy, p.Delivered, p.Packets, p.Shed, p.Degraded, p.SourceDrops)
+		}
+		fmt.Println()
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(pts, "", "  ")
 			if err != nil {
 				return err
 			}

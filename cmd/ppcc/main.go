@@ -20,8 +20,19 @@
 //	-verify N    run N iterations of zero-filled 48-byte packets through
 //	             both the sequential program and the pipeline and compare
 //	             traces
-//	-serve N     stream N zero-filled 48-byte packets through the
-//	             goroutine-per-stage host runtime and print its metrics
+//	-serve[=N]   stream packets through the goroutine-per-stage host
+//	             runtime and print its metrics: -serve=N serves N
+//	             zero-filled 48-byte synthetic packets; plain -serve with
+//	             -source serves the network-facing source until it is
+//	             exhausted (or Ctrl-C); -serve=N with -source bounds the
+//	             source at N packets (the int form needs `=` — a boolean
+//	             flag never consumes the next argument)
+//	-source SPEC network-facing source for -serve: udp://host:port,
+//	             tcp://host:port, pcap://file[?pace=N&loop=N], or
+//	             gen://ipv4[?seed=N&packets=N&flows=N&alpha=F&peak=N].
+//	             On a clean end the captured stream is replayed through
+//	             the degree-1 sequential oracle and the served trace must
+//	             be byte-identical
 //	-backend B   stage-execution backend for -serve: compiled (default,
 //	             IR lowered once to slot-indexed closure programs) or
 //	             interp (the reference interpreter)
@@ -43,16 +54,53 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 
 	"repro"
+	"repro/internal/ingest"
 	"repro/internal/ppc"
 )
+
+// serveFlag is the bool-or-int -serve value: plain `-serve` (the boolean
+// form, for use with -source) streams until the source is exhausted;
+// `-serve=N` bounds the stream at N packets — synthetic ones without
+// -source, a Limit on the source with it. The int form requires `=`
+// because boolean flags never consume the next argument.
+type serveFlag struct {
+	set bool
+	n   int
+}
+
+func (s *serveFlag) String() string {
+	if !s.set {
+		return "0"
+	}
+	return strconv.Itoa(s.n)
+}
+
+func (s *serveFlag) Set(v string) error {
+	if b, err := strconv.ParseBool(v); err == nil {
+		s.set = b
+		s.n = 0
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return fmt.Errorf("want a packet count or nothing, got %q", v)
+	}
+	s.set, s.n = true, n
+	return nil
+}
+
+func (s *serveFlag) IsBoolFlag() bool { return true }
 
 func main() {
 	degree := flag.Int("d", 2, "pipelining degree")
@@ -64,7 +112,9 @@ func main() {
 	dump := flag.Bool("dump", false, "dump realized stage IR")
 	ast := flag.Bool("ast", false, "print the canonically formatted source and exit")
 	verify := flag.Int("verify", 0, "verify behaviour over N iterations")
-	serve := flag.Int("serve", 0, "stream N packets through the host runtime")
+	var serve serveFlag
+	flag.Var(&serve, "serve", "stream packets through the host runtime: -serve=N for N synthetic packets, plain -serve with -source to serve until the source is exhausted")
+	source := flag.String("source", "", "network-facing packet source for -serve: udp://host:port, tcp://host:port, pcap://file[?pace=N&loop=N], gen://ipv4[?seed=N&packets=N...]")
 	backendName := flag.String("backend", "compiled", "-serve stage-execution backend: compiled|interp")
 	shards := flag.Int("shards", 1, "-serve pipeline replica width (flow-hash sharding)")
 	traceOut := flag.String("trace", "", "write the -serve span timeline to this file as Chrome trace_event JSON")
@@ -170,7 +220,7 @@ func main() {
 		}
 		fmt.Printf("verification passed: %d iterations, %d events\n", *verify, len(seq))
 	}
-	if *serve > 0 {
+	if serve.set {
 		var backend repro.Backend
 		switch *backendName {
 		case "compiled":
@@ -213,11 +263,63 @@ func main() {
 			serveOpts = append(serveOpts,
 				repro.WithShards(*shards), repro.WithShardKey(repro.FlowKey))
 		}
-		m, err := pipe.Serve(context.Background(), repro.PacketSource(testPackets(*serve)), serveOpts...)
-		if err != nil {
-			fatal(err)
+		var m *repro.Metrics
+		if *source != "" {
+			// Network-facing serve: open the spec, bound it with the packet
+			// budget if one was given, and tee off everything the pipeline
+			// sees so the run can be checked against the sequential oracle
+			// afterwards. Ctrl-C cancels the serve cleanly.
+			base, err := repro.OpenSource(*source)
+			if err != nil {
+				fatal(err)
+			}
+			defer base.Close()
+			var bs repro.BatchSource = base
+			if serve.n > 0 {
+				bs = ingest.Limit(bs, int64(serve.n))
+			}
+			tee := ingest.Tee(bs)
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+			defer stop()
+			fmt.Printf("serving %s (Ctrl-C to stop)\n", *source)
+			m, err = pipe.Serve(ctx, nil, append(serveOpts, repro.WithSource(tee))...)
+			interrupted := errors.Is(err, context.Canceled)
+			if err != nil && !interrupted {
+				fatal(err)
+			}
+			if m != nil {
+				fmt.Print(m)
+			}
+			if interrupted {
+				fmt.Println("interrupted: skipping the oracle check (partial stream)")
+			} else {
+				// The oracle check: replay exactly what arrived through the
+				// degree-1 sequential program and demand a byte-identical
+				// trace.
+				got := tee.Captured()
+				oracle, err := repro.Partition(prog, repro.WithStages(1))
+				if err != nil {
+					fatal(err)
+				}
+				seq, err := oracle.Run(context.Background(), repro.NewWorld(got), repro.WithIterations(len(got)))
+				if err != nil {
+					fatal(err)
+				}
+				if diff := repro.TraceEqual(seq, m.Trace); diff != "" {
+					fatal(fmt.Errorf("served trace diverged from the sequential oracle: %s", diff))
+				}
+				fmt.Printf("oracle check passed: %d packets, %d events byte-identical\n", len(got), len(seq))
+			}
+		} else {
+			if serve.n <= 0 {
+				fatal(fmt.Errorf("plain -serve needs -source (or give a synthetic packet count: -serve=N)"))
+			}
+			m, err = pipe.Serve(context.Background(), repro.PacketSource(testPackets(serve.n)), serveOpts...)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(m)
 		}
-		fmt.Print(m)
 		if tr != nil {
 			spans := tr.Spans()
 			f, err := os.Create(*traceOut)

@@ -1,9 +1,10 @@
-// Host-native streaming: partition the NPF IPv4 forwarding PPS and serve a
-// live packet stream through the goroutine-per-stage runtime — one
-// goroutine per pipeline stage, bounded rings between neighbors, the packed
-// live set of each cut travelling through the ring exactly as the compiler
-// realized it. The served trace is byte-identical to the sequential
-// program's, and the metrics show where the stream spent its time.
+// Host-native streaming from an ingest source: partition the NPF IPv4
+// forwarding PPS and serve packet streams through the goroutine-per-stage
+// runtime — fed not from an in-memory slice but through the network-facing
+// Source interface (the same front end that serves live sockets and pcap
+// replay). A tee at the source boundary captures exactly what the pipeline
+// saw, so every act ends the same way: the served trace is byte-identical
+// to the sequential program run over the captured stream.
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/ingest"
 	"repro/internal/netbench"
 )
 
@@ -29,70 +31,89 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// A saturated source: minimum-size POS traffic, recycled until the
-	// packet budget is spent. A context bounds the run defensively.
-	traffic := pps.Traffic(256)
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-
-	world := netbench.NewWorld(nil)
-	m, err := pipe.Serve(ctx, repro.RepeatSource(traffic, packets),
-		repro.WithWorld(world), repro.WithRing(repro.NNRing, 8))
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// The oracle check: replay the same stream sequentially.
-	verify := pps.Traffic(256)
-	seqWorld := netbench.NewWorld(nil)
-	seqWorld.Packets = repeatTo(verify, packets)
 	oracle, err := repro.Partition(prog, repro.WithStages(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq, err := oracle.Run(context.Background(), seqWorld, repro.WithIterations(packets))
+	// verify replays a captured stream through the degree-1 sequential
+	// program and demands a byte-identical trace — the contract every
+	// serve below is held to.
+	verify := func(captured [][]byte, trace []repro.Event) {
+		seq, err := oracle.Run(context.Background(), netbench.NewWorld(captured),
+			repro.WithIterations(len(captured)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if diff := repro.TraceEqual(seq, trace); diff != "" {
+			log.Fatalf("served trace diverged from the sequential oracle: %s", diff)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// First act: the seeded bursty traffic generator — heavy-tailed flow
+	// sizes, on/off arrival bursts — through the ingest front end. The
+	// spec string is exactly what ppcc's -source flag takes; Tee captures
+	// the stream for the oracle check, and the ingest boundary counters
+	// surface in the returned metrics.
+	src, err := repro.OpenSource(fmt.Sprintf("gen://ipv4?seed=7&packets=%d", packets))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if diff := repro.TraceEqual(seq, m.Trace); diff != "" {
-		log.Fatalf("served trace diverged from the sequential oracle: %s", diff)
-	}
-
-	fmt.Printf("served %d packets through %d stages in %v (%.0f pkt/s), trace verified\n\n",
-		m.Packets, degree, m.Elapsed.Round(time.Millisecond), m.PacketsPerSecond())
-	for _, s := range m.Stages {
-		fmt.Printf("  stage %d: in %6d  out %6d  ring-full stalls %6d  mean occupancy %.2f  %5.0f ns/iter\n",
-			s.Stage, s.In, s.Out, s.Stalls, s.MeanOccupancy(), s.NsPerIteration())
-	}
-
-	// Second act: the same pipeline sharded. WithShards(4) runs the
-	// stateless stages as four parallel replicas behind a flow-hash
-	// dispatcher — the 5-tuple flow key keeps each flow on one lane — and
-	// the deterministic merge keeps the served trace byte-identical to the
-	// sequential order, so the oracle comparison still holds verbatim.
-	sm, err := pipe.Serve(ctx, repro.RepeatSource(traffic, packets),
+	tee := ingest.Tee(src)
+	m, err := pipe.Serve(ctx, nil, repro.WithSource(tee),
 		repro.WithWorld(netbench.NewWorld(nil)),
+		repro.WithBatch(32), repro.WithRing(repro.NNRing, 8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	verify(tee.Captured(), m.Trace)
+
+	fmt.Printf("served %d generated packets through %d stages in %v (%.0f pkt/s), trace verified\n",
+		m.Packets, degree, m.Elapsed.Round(time.Millisecond), m.PacketsPerSecond())
+	fmt.Printf("  ingest: rx %d packets / %d bytes, %d drops, %d decode errors\n",
+		m.Ingest.RxPackets, m.Ingest.RxBytes, m.Ingest.Drops, m.Ingest.DecodeErrors)
+	for _, s := range m.Stages {
+		fmt.Printf("  stage %d: in %6d  out %6d  ring-full stalls %6d  %5.0f ns/iter\n",
+			s.Stage, s.In, s.Out, s.Stalls, s.NsPerIteration())
+	}
+
+	// Second act: pcap replay, sharded. The checked-in capture streams
+	// through the same pipeline with the stateless stages replicated four
+	// ways behind the flow-hash dispatcher — the 5-tuple key keeps each
+	// flow on one lane, the deterministic merge keeps the served trace in
+	// exact sequential order, so the oracle comparison holds verbatim.
+	replay, err := repro.OpenSource("pcap://testdata/flows.pcap?loop=4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rtee := ingest.Tee(replay)
+	sm, err := pipe.Serve(ctx, nil, repro.WithSource(rtee),
+		repro.WithWorld(netbench.NewWorld(nil)),
+		repro.WithBatch(32),
 		repro.WithShards(4), repro.WithShardKey(repro.FlowKey))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if diff := repro.TraceEqual(seq, sm.Trace); diff != "" {
-		log.Fatalf("sharded trace diverged from the sequential oracle: %s", diff)
-	}
-	fmt.Printf("sharded x%d: served %d packets in %v (%.0f pkt/s), trace still byte-identical\n",
-		sm.Shards, sm.Packets, sm.Elapsed.Round(time.Millisecond), sm.PacketsPerSecond())
+	verify(rtee.Captured(), sm.Trace)
+	fmt.Printf("\nreplayed %d captured packets sharded x%d in %v (%.0f pkt/s), trace still byte-identical\n",
+		sm.Packets, sm.Shards, sm.Elapsed.Round(time.Millisecond), sm.PacketsPerSecond())
 	for _, s := range sm.Stages {
 		fmt.Printf("  stage %d: x%d replicas  in %6d  out %6d\n", s.Stage, s.Replicas, s.In, s.Out)
 	}
 
-	// Third act: the same pipeline under fire. A deterministic fault plan
+	// Third act: the same generator under fire. A deterministic fault plan
 	// poisons every 500th source packet, panics inside stage 2 every 777th
 	// iteration, and injects a transient fault the retry budget absorbs;
 	// the degrade overload policy keeps delivery lossless if a ring ever
-	// saturates. The run succeeds — faulted packets are quarantined, the
-	// rest are delivered, and the FaultReport accounts for every packet.
-	fm, err := pipe.Serve(ctx, repro.RepeatSource(traffic, packets),
+	// saturates. Faulted packets are quarantined, the rest are delivered,
+	// and the FaultReport accounts for every packet pulled.
+	chaos, err := repro.OpenSource(fmt.Sprintf("gen://ipv4?seed=7&packets=%d", packets))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fm, err := pipe.Serve(ctx, nil, repro.WithSource(chaos),
 		repro.WithWorld(netbench.NewWorld(nil)),
 		repro.WithOverload(repro.OverloadDegrade),
 		repro.WithRetry(2, 10*time.Microsecond),
@@ -118,13 +139,4 @@ func main() {
 		}
 		fmt.Printf("  iter %-6d stage %d  %-11s %s\n", rec.Iter, rec.Stage, rec.Disposition, rec.Reason)
 	}
-}
-
-// repeatTo cycles pkts into a stream of exactly n packets.
-func repeatTo(pkts [][]byte, n int) [][]byte {
-	out := make([][]byte, n)
-	for i := range out {
-		out[i] = pkts[i%len(pkts)]
-	}
-	return out
 }

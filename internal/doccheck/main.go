@@ -2,7 +2,7 @@
 //
 //	go run ./internal/doccheck
 //
-// It enforces two invariants that ordinary builds do not:
+// It enforces four invariants that ordinary builds do not:
 //
 //  1. Every exported symbol — functions, methods, types, consts, vars —
 //     in every non-test file carries a doc comment. The public facade is
@@ -15,6 +15,10 @@
 //     trigger in the standard form: the doc comment must contain
 //     "is returned when", so a reader scanning the grouped sentinels in
 //     options.go learns when each fires, not just that it exists.
+//  4. Every package carries a package-level doc comment on at least one
+//     non-test file (the doc.go convention, though any file counts): a
+//     package whose purpose must be reverse-engineered from its exports
+//     is undocumented no matter how well each export reads.
 //
 // Exit status is non-zero with one line per finding.
 package main
@@ -50,10 +54,14 @@ func main() {
 }
 
 // checkDocComments parses every non-test .go file under root and reports
-// exported declarations without doc comments.
+// exported declarations without doc comments, and packages where no file
+// carries a package-level doc comment.
 func checkDocComments(root string) []string {
 	var findings []string
 	fset := token.NewFileSet()
+	var pkgDirs []string           // package directories in walk order
+	pkgDoc := map[string]bool{}    // dir -> some file documents the package
+	pkgName := map[string]string{} // dir -> package name
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -73,11 +81,27 @@ func checkDocComments(root string) []string {
 			return err
 		}
 		rel, _ := filepath.Rel(root, path)
+		dir := filepath.Dir(rel)
+		if _, seen := pkgDoc[dir]; !seen {
+			pkgDirs = append(pkgDirs, dir)
+			pkgDoc[dir] = false
+			pkgName[dir] = file.Name.Name
+		}
+		if file.Doc != nil {
+			pkgDoc[dir] = true
+		}
 		findings = append(findings, checkFile(fset, rel, file)...)
 		return nil
 	})
 	if err != nil {
 		fatal(err)
+	}
+	for _, dir := range pkgDirs {
+		if !pkgDoc[dir] {
+			findings = append(findings, fmt.Sprintf(
+				"%s: package %s has no package-level doc comment on any file",
+				dir, pkgName[dir]))
+		}
 	}
 	return findings
 }

@@ -137,4 +137,9 @@ var (
 	// ErrBadFusion is returned when a stage-fusion mode selector is
 	// unknown.
 	ErrBadFusion = errors.New("bad fusion mode")
+
+	// ErrBadSource is returned when an ingest source spec is malformed
+	// (unknown scheme, bad address or parameter) or a pcap file cannot be
+	// parsed (bad magic, truncated global header).
+	ErrBadSource = errors.New("bad ingest source")
 )

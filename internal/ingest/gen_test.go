@@ -1,0 +1,218 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// drain pulls src dry with the given batch width and returns every
+// packet in order.
+func drain(t *testing.T, src Source, batch int) [][]byte {
+	t.Helper()
+	var got [][]byte
+	dst := make([][]byte, batch)
+	for {
+		n, err := src.Pull(context.Background(), dst)
+		got = append(got, dst[:n]...)
+		if err == io.EOF {
+			return got
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGeneratorDeterminism: the packet sequence is a pure function of
+// the config — same seed, same stream, regardless of how it is pulled.
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Packets = 5000
+	a, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := drain(t, a, 64), drain(t, b, 7) // different pull widths
+	if len(pa) != cfg.Packets || len(pb) != cfg.Packets {
+		t.Fatalf("lengths %d, %d; want %d", len(pa), len(pb), cfg.Packets)
+	}
+	for i := range pa {
+		if !bytes.Equal(pa[i], pb[i]) {
+			t.Fatalf("streams diverge at packet %d", i)
+		}
+	}
+	cfg.Seed = 2
+	c, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := drain(t, c, 64)
+	same := 0
+	for i := range pa {
+		if bytes.Equal(pa[i], pc[i]) {
+			same++
+		}
+	}
+	if same == len(pa) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestGeneratorTailIndex: the Hill estimator over the largest drawn flow
+// lengths must recover the configured Pareto tail index. Discretization
+// (ceil to whole packets) biases the estimate slightly, so the assertion
+// brackets rather than pins.
+func TestGeneratorTailIndex(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Alpha = 1.3
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 20000
+	sizes := make([]float64, draws)
+	for i := range sizes {
+		sizes[i] = float64(g.paretoLen())
+	}
+	sort.Float64s(sizes)
+	// Hill estimator over the top k order statistics:
+	// 1/alpha ≈ (1/k) Σ ln(X_(n-i) / X_(n-k)).
+	const k = 1000
+	ref := sizes[draws-k-1]
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += math.Log(sizes[draws-1-i] / ref)
+	}
+	alphaHat := float64(k) / sum
+	if alphaHat < cfg.Alpha-0.3 || alphaHat > cfg.Alpha+0.45 {
+		t.Errorf("Hill tail index %.3f, want within [%.2f, %.2f] of alpha=%.2f",
+			alphaHat, cfg.Alpha-0.3, cfg.Alpha+0.45, cfg.Alpha)
+	}
+	// The tail must actually be heavy: the max draw should dwarf the
+	// scale parameter by orders of magnitude.
+	if max := sizes[draws-1]; max < float64(cfg.MinFlow)*100 {
+		t.Errorf("max flow length %v is not heavy-tailed over scale %d", max, cfg.MinFlow)
+	}
+	if min := sizes[0]; min < float64(cfg.MinFlow) {
+		t.Errorf("flow length %v below the Pareto scale %d", min, cfg.MinFlow)
+	}
+}
+
+// TestGeneratorBurstBatches: unpaced pulls must cut batches at burst
+// boundaries — with bursts of mean 2ms at 200k pkt/s (~400 packets) and
+// a 64-wide dst, most pulls fill completely but a run of pulls must
+// also end short where bursts end.
+func TestGeneratorBurstBatches(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Packets = 20000
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, full, total := 0, 0, 0
+	dst := make([][]byte, 64)
+	for {
+		n, err := g.Pull(context.Background(), dst)
+		if n == len(dst) {
+			full++
+		} else if n > 0 {
+			short++
+		}
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != cfg.Packets {
+		t.Fatalf("delivered %d packets, want %d", total, cfg.Packets)
+	}
+	if short == 0 {
+		t.Error("no short batches: burst boundaries are not cutting pulls")
+	}
+	if full == 0 {
+		t.Error("no full batches: bursts never span a batch")
+	}
+}
+
+// TestGeneratorFlowAffinity: all packets of one flow must carry the same
+// addresses (the shard dispatcher's assumption), and multiple flows must
+// actually interleave.
+func TestGeneratorFlowAffinity(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Packets = 2000
+	seen := map[int][]int{} // flow -> positions
+	cfg.Build = func(flow, seq int) []byte {
+		seen[flow] = append(seen[flow], seq)
+		return []byte{byte(flow), byte(flow >> 8), byte(seq), byte(seq >> 8)}
+	}
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, g, 32)
+	if len(seen) < cfg.Flows {
+		t.Fatalf("only %d flows seen, want at least %d", len(seen), cfg.Flows)
+	}
+	for flow, seqs := range seen {
+		for i, s := range seqs {
+			if s != i {
+				t.Fatalf("flow %d: seq %d at position %d (per-flow sequence must be dense)", flow, s, i)
+			}
+		}
+	}
+}
+
+// TestGeneratorPacedStretch: a paced generator must take at least as
+// long as the modeled arrival span.
+func TestGeneratorPacedStretch(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Packets = 400
+	cfg.Paced = true
+	cfg.PeakRate = 100_000 // ~10µs between packets while ON
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model span: regenerate timestamps via Records with the same config.
+	recs, err := Records(GenConfig{Seed: cfg.Seed, Packets: cfg.Packets, Flows: cfg.Flows,
+		Alpha: cfg.Alpha, MinFlow: cfg.MinFlow, PeakRate: cfg.PeakRate,
+		OnMean: cfg.OnMean, OffMean: cfg.OffMean}, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := recs[len(recs)-1].Time.Sub(recs[0].Time)
+	start := time.Now()
+	drain(t, g, 32)
+	if took := time.Since(start); took < span/2 {
+		t.Errorf("paced generator finished in %v, modeled span %v", took, span)
+	}
+}
+
+func TestGeneratorBadConfig(t *testing.T) {
+	for name, mut := range map[string]func(*GenConfig){
+		"alpha":   func(c *GenConfig) { c.Alpha = 0 },
+		"flows":   func(c *GenConfig) { c.Flows = 0 },
+		"minflow": func(c *GenConfig) { c.MinFlow = 0 },
+		"peak":    func(c *GenConfig) { c.PeakRate = 0 },
+		"packets": func(c *GenConfig) { c.Packets = -1 },
+		"onmean":  func(c *GenConfig) { c.OnMean = 0 },
+	} {
+		cfg := DefaultGenConfig()
+		mut(&cfg)
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}

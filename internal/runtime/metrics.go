@@ -134,6 +134,10 @@ type Metrics struct {
 	// shed, quarantined, degraded and retried packets, with per-packet
 	// records. On a clean run every counter except Delivered is zero.
 	Faults *FaultReport
+	// Ingest is the feeding source's boundary counters, frozen after the
+	// final join, when the run was fed through the ingest front end
+	// (Config.Ingest non-nil); nil for in-process sources.
+	Ingest *IngestStats
 }
 
 // PacketsPerSecond is the end-to-end throughput of the run.
@@ -163,6 +167,10 @@ func (m *Metrics) String() string {
 	}
 	if f := m.Faults; f != nil && f.Shed+f.Quarantined+f.Degraded+f.Retries > 0 {
 		fmt.Fprintf(&b, "  faults: %s", f.String())
+	}
+	if in := m.Ingest; in != nil {
+		fmt.Fprintf(&b, "  ingest: rx %d packets / %d bytes  drops %d  decode errors %d\n",
+			in.RxPackets, in.RxBytes, in.Drops, in.DecodeErrors)
 	}
 	return b.String()
 }

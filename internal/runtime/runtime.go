@@ -176,6 +176,13 @@ type Config struct {
 	// nil keeps the classic semantics: fresh state per Serve call.
 	Store *interp.Store
 
+	// Ingest, when non-nil, snapshots the boundary counters of the
+	// network-facing source feeding this run (rx packets/bytes, drops,
+	// decode errors). The runtime never calls it on the hot path: only
+	// when a Snapshot is taken, when registry gauges are read, and once
+	// to freeze Metrics.Ingest after the final join.
+	Ingest func() IngestStats
+
 	// Obs attaches the observability layer — span tracing, registry
 	// mirroring, periodic progress lines. nil disables all of it at the
 	// cost of one pointer check per batch.
@@ -1357,6 +1364,12 @@ func (e *engine) wireObservability(d int) {
 	reg.Func("pipeline.shards", func() int64 { return int64(l.shards) })
 	reg.Func("pipeline.packets", l.packets.Load)
 	reg.Func("pipeline.elapsed_ns", func() int64 { return int64(l.Snapshot().Elapsed) })
+	if ing := e.cfg.Ingest; ing != nil {
+		reg.Func("ingest.rx_packets", func() int64 { return ing().RxPackets })
+		reg.Func("ingest.rx_bytes", func() int64 { return ing().RxBytes })
+		reg.Func("ingest.drops", func() int64 { return ing().Drops })
+		reg.Func("ingest.decode_errors", func() int64 { return ing().DecodeErrors })
+	}
 	for k := 0; k < d; k++ {
 		k := k
 		prefix := "pipeline.stage" + strconv.Itoa(k+1) + "."
@@ -1450,6 +1463,12 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if b, ok := src.(ContextBinder); ok {
+		// I/O-backed sources block in reads; binding the run's internal
+		// context lets cancelation (external or error teardown) unblock
+		// them instead of stranding the head goroutine in a syscall.
+		b.BindContext(ictx)
+	}
 	start := time.Now()
 	hasDisp := plan.reps[0] > 1
 	key := cfg.ShardKey
@@ -1470,6 +1489,7 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 		shardKey: key,
 		live:     newLive(plan.reps, hasDisp, plan.width(), start),
 	}
+	e.live.ingest = cfg.Ingest
 	e.recs = make([][]FaultRecord, len(e.live.probes)+1)
 	e.injs = make([]*fault.Injector, plan.width())
 	e.injs[0] = e.inj
@@ -1581,6 +1601,10 @@ func Serve(ctx context.Context, stages []*ir.Program, world *interp.World, src S
 		e.m.Stages[k] = e.live.stageStats(k)
 	}
 	e.m.Faults = e.faultReport()
+	if cfg.Ingest != nil {
+		v := cfg.Ingest()
+		e.m.Ingest = &v
+	}
 
 	if e.firstErr != nil {
 		return nil, e.firstErr

@@ -57,6 +57,9 @@ type Live struct {
 	packets   atomic.Int64
 	done      atomic.Bool
 	elapsedNs atomic.Int64
+	// ingest snapshots the feeding source's boundary counters (nil when
+	// the run is fed by an in-process source with nothing to report).
+	ingest func() IngestStats
 }
 
 // newLive builds the probe set for a run with the given per-stage replica
@@ -136,6 +139,10 @@ func (l *Live) Snapshot() *Snapshot {
 	for k := range l.reps {
 		s.Stages[k] = l.stageStats(k)
 	}
+	if l.ingest != nil {
+		v := l.ingest()
+		s.Ingest = &v
+	}
 	return s
 }
 
@@ -157,6 +164,9 @@ type Snapshot struct {
 	// Stages holds the per-stage counters at snapshot time, aggregated
 	// across each stage's replicas.
 	Stages []StageStats
+	// Ingest holds the feeding source's boundary counters when the run
+	// is fed through the ingest front end; nil otherwise.
+	Ingest *IngestStats
 }
 
 // PacketsPerSecond is the mean throughput up to the snapshot instant.
@@ -183,6 +193,12 @@ func (s *Snapshot) Line() string {
 	if s.Shards > 1 {
 		fmt.Fprintf(&b, " P=%d", s.Shards)
 	}
+	if s.Ingest != nil {
+		fmt.Fprintf(&b, " | rx=%d", s.Ingest.RxPackets)
+		if e := s.Ingest.Drops + s.Ingest.DecodeErrors; e > 0 {
+			fmt.Fprintf(&b, " rxerr=%d", e)
+		}
+	}
 	for _, st := range s.Stages {
 		fmt.Fprintf(&b, " | s%d in=%d out=%d stall=%d occ=%.1f", st.Stage, st.In, st.Out, st.Stalls, st.MeanOccupancy())
 		if lost := st.Shed + st.Quarantined; lost > 0 {
@@ -208,6 +224,10 @@ func (s *Snapshot) String() string {
 		fmt.Fprintf(&b, " across %d shards", s.Shards)
 	}
 	b.WriteString("\n")
+	if s.Ingest != nil {
+		fmt.Fprintf(&b, "  ingest: rx %d packets / %d bytes  drops %d  decode errors %d\n",
+			s.Ingest.RxPackets, s.Ingest.RxBytes, s.Ingest.Drops, s.Ingest.DecodeErrors)
+	}
 	for _, st := range s.Stages {
 		fmt.Fprintf(&b, "  stage %d: in %d out %d  stalls %d  busy %v  occ %.2f",
 			st.Stage, st.In, st.Out, st.Stalls, st.Busy.Round(time.Microsecond), st.MeanOccupancy())

@@ -1,17 +1,3 @@
-// Package tuner is the decision core of the adaptive serve loop: given a
-// candidate configuration space scored by the calibrated cost model (the
-// prior) and a way to measure a candidate for real (a short serve probe),
-// it picks which candidates to spend probes on and which winner to commit
-// to under the declared objective.
-//
-// The search is deliberately boring: rank by prior, measure the top K plus
-// one seeded exploration pick, decide on measurements alone. The
-// calibrated model is trusted to order candidates, never to choose between
-// them — on a host, goroutine scheduling and cache behaviour move real
-// throughput in ways no static model predicts, which is exactly why the
-// loop probes. Everything is deterministic for a fixed seed and a fixed
-// measure function: candidate order is total (prior desc, then key), and
-// the only randomness is the exploration index drawn from the seeded PRNG.
 package tuner
 
 import (

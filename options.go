@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/errs"
+	"repro/internal/ingest"
 	"repro/internal/npsim"
 	"repro/internal/runtime"
 	"repro/internal/runtime/fault"
@@ -87,6 +88,10 @@ var (
 	// ErrBadFusion is returned when WithFusion names an unknown fusion
 	// mode.
 	ErrBadFusion = errs.ErrBadFusion
+	// ErrBadSource is returned when OpenSource is given a malformed spec
+	// (unknown scheme, bad address or parameter) or a pcap file that
+	// cannot be parsed.
+	ErrBadSource = errs.ErrBadSource
 	// ErrConflictingOptions is returned when individually valid options
 	// contradict each other (a watermark under the blocking policy, a
 	// retry backoff with retries disabled, a batch larger than the ring
@@ -178,6 +183,12 @@ type config struct {
 	objective *Objective
 	autotune  *Autotune
 	fusion    FusionMode
+	// ingestion (serve)
+	source ingest.Source
+	// ingestStats is not set by an option: Pipeline.Serve installs it
+	// after wrapping c.source in a feeder, so the runtime can snapshot
+	// the source's boundary counters.
+	ingestStats func() runtime.IngestStats
 }
 
 // optID identifies one option for scope checking; optName must stay in
@@ -210,6 +221,7 @@ const (
 	optObjective
 	optAutotune
 	optFusion
+	optSource
 	numOpts
 )
 
@@ -220,6 +232,7 @@ var optName = [numOpts]string{
 	"WithOverload", "WithWatermark", "WithDeadline", "WithRetry",
 	"WithFaults", "WithObserver", "WithBackend", "WithShards",
 	"WithShardKey", "WithObjective", "WithAutotune", "WithFusion",
+	"WithSource",
 }
 
 // scope is the set of options one entry point accepts.
@@ -245,7 +258,8 @@ var (
 	scopeSim = scopeOf(optArch, optRing, optThreads, optArrival, optIterations)
 	scopeSrv = scopeOf(optRing, optBatch, optWorld, optOverload, optWatermark,
 		optDeadline, optRetry, optFaults, optObserver, optBackend,
-		optShards, optShardKey, optObjective, optAutotune, optFusion)
+		optShards, optShardKey, optObjective, optAutotune, optFusion,
+		optSource)
 )
 
 // scopeName labels a scope in option-misuse errors.
@@ -285,6 +299,7 @@ var scopeName = map[scope]string{
 //	WithObjective                     yes                -       -        yes
 //	WithAutotune                      yes                -       -        yes
 //	WithFusion                        yes                -       -        yes
+//	WithSource                        yes                -       -        yes
 //
 // The first column is the defaults-inheritance path: an execution option
 // given at Partition time is recorded on the Pipeline and applies to every
@@ -460,6 +475,18 @@ const (
 // two sides run at the same replica width.
 func WithFusion(m FusionMode) Option { return opt(optFusion, func(c *config) { c.fusion = m }) }
 
+// WithSource feeds a served pipeline from a network-facing batch source
+// (BatchSource — a UDP or TCP listener, a pcap replay, or the synthetic
+// traffic generator; see OpenSource). The pipeline pulls batches from it
+// at the head stage, first-ring backpressure propagates into the source
+// (and, for sockets, to the kernel receive buffer), and the source's
+// boundary counters surface through Pipeline.Snapshot().Ingest,
+// Metrics.Ingest, and the ingest.* registry gauges. Pass nil as Serve's
+// positional src when using this option — supplying both is rejected as
+// ErrConflictingOptions. Serve does not close the source; the caller
+// owns its lifecycle.
+func WithSource(s BatchSource) Option { return opt(optSource, func(c *config) { c.source = s }) }
+
 // validate is the central gate: every entry point funnels its assembled
 // config through here, so each invalid value maps to one typed error
 // regardless of which option delivered it.
@@ -622,6 +649,7 @@ func (c *config) serveConfig() runtime.Config {
 		Backend:       c.backend,
 		Shards:        c.shards,
 		ShardKey:      c.shardKey,
+		Ingest:        c.ingestStats,
 	}
 }
 

@@ -50,6 +50,11 @@ var sentinelTable = []struct {
 	{"ErrBadObserver", repro.ErrBadObserver, errs.ErrBadObserver},
 	{"ErrBadBackend", repro.ErrBadBackend, errs.ErrBadBackend},
 	{"ErrBadShards", repro.ErrBadShards, errs.ErrBadShards},
+	{"ErrBadCalibration", repro.ErrBadCalibration, errs.ErrBadCalibration},
+	{"ErrBadObjective", repro.ErrBadObjective, errs.ErrBadObjective},
+	{"ErrBadAutotune", repro.ErrBadAutotune, errs.ErrBadAutotune},
+	{"ErrBadFusion", repro.ErrBadFusion, errs.ErrBadFusion},
+	{"ErrBadSource", repro.ErrBadSource, errs.ErrBadSource},
 }
 
 func TestSentinelsComplete(t *testing.T) {
@@ -61,9 +66,9 @@ func TestSentinelsComplete(t *testing.T) {
 			t.Errorf("%s: empty message", s.name)
 		}
 	}
-	// internal/errs currently declares 29 sentinels; bump this alongside the
+	// internal/errs currently declares 34 sentinels; bump this alongside the
 	// table when adding one.
-	if len(sentinelTable) != 29 {
+	if len(sentinelTable) != 34 {
 		t.Errorf("sentinel table covers %d errors", len(sentinelTable))
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/interp"
 	"repro/internal/npsim"
 	"repro/internal/runtime"
@@ -142,6 +143,11 @@ func (p *Pipeline) simRun(ctx context.Context, world *World, opts []Option) (con
 // goroutine per stage, bounded rings (WithRing) between neighbors, batched
 // transmissions (WithBatch), serving src until it is exhausted or ctx is
 // canceled. The environment (route tables, queues) comes from WithWorld.
+// To serve real traffic, pass nil for src and attach a network-facing
+// source with WithSource (see OpenSource): the head stage then pulls
+// batches off the socket / capture, backpressure propagates into the
+// source, and the boundary counters appear in Snapshot().Ingest and the
+// returned Metrics.Ingest.
 // With WithShards(P), stages free of cross-flow state run as P parallel
 // replicas behind a flow-hash dispatcher (WithShardKey selects the key)
 // and the output is deterministically re-merged. With WithAutotune, Serve
@@ -158,7 +164,51 @@ func (p *Pipeline) Serve(ctx context.Context, src Source, opts ...Option) (*Metr
 	if err != nil {
 		return nil, err
 	}
+	// WithSource: wrap the batch source in the head-of-pipe feeder. The
+	// feeder pulls socket-friendly batches, carries the serve context
+	// into blocking reads, and exposes the source's boundary counters to
+	// the runtime (Snapshot.Ingest, Metrics.Ingest, registry gauges).
+	var feeder *ingest.Feeder
+	if cfg.source != nil {
+		if src != nil {
+			return nil, fmt.Errorf("repro: %w: both the positional source and WithSource supply the packet stream; pass nil for one of them",
+				ErrConflictingOptions)
+		}
+		pull := cfg.batch
+		if pull < ingestPullMin {
+			pull = ingestPullMin
+		}
+		feeder = ingest.NewFeeder(cfg.source, pull)
+		feeder.BindContext(ctx)
+		stats := feeder.Stats()
+		cfg.ingestStats = func() runtime.IngestStats {
+			v := stats.View()
+			return runtime.IngestStats{RxPackets: v.RxPackets, RxBytes: v.RxBytes,
+				Drops: v.Drops, DecodeErrors: v.DecodeErrors}
+		}
+		src = feeder
+	}
 	cfg.onLive = func(l *runtime.Live) { p.live.Store(l) }
+	m, err := p.serveWith(ctx, src, cfg)
+	if feeder != nil && err == nil {
+		// The runtime treats a dead source as clean end-of-stream (it
+		// cannot tell a drained pcap from a failed socket); the feeder
+		// remembers which it was.
+		if ferr := feeder.Err(); ferr != nil {
+			return m, fmt.Errorf("repro: ingest: %w", ferr)
+		}
+	}
+	return m, err
+}
+
+// ingestPullMin is the smallest batch the feeder requests per Pull: even
+// an unbatched pipeline pulls a few packets per source round-trip so a
+// socket read syscall is never amortized over a single packet.
+const ingestPullMin = 32
+
+// serveWith dispatches an assembled serve configuration to the static or
+// adaptive path.
+func (p *Pipeline) serveWith(ctx context.Context, src Source, cfg config) (*Metrics, error) {
 	if cfg.autotune != nil {
 		if src == nil {
 			return nil, ErrNilSource

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/ingest"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/netbench"
@@ -174,6 +175,30 @@ func RepeatSource(pkts [][]byte, total int) Source { return runtime.Repeat(pkts,
 
 // SourceFunc adapts a closure to the Source interface.
 func SourceFunc(f func() ([]byte, bool)) Source { return runtime.SourceFunc(f) }
+
+// BatchSource is a network-facing packet supplier: a pull-batch,
+// context-cancelable source whose buffers transfer ownership at Pull
+// (see internal/ingest). Feed one to a served pipeline with WithSource;
+// build one from an operator spec with OpenSource, or directly with the
+// internal/ingest constructors.
+type BatchSource = ingest.Source
+
+// IngestStats are the boundary counters of a network-facing source (rx
+// packets/bytes, drops, decode errors), surfaced through
+// Snapshot.Ingest, Metrics.Ingest, and the ingest.* registry gauges.
+type IngestStats = runtime.IngestStats
+
+// OpenSource builds a BatchSource from an operator-facing spec:
+//
+//	udp://:9000                         UDP listener, one datagram = one packet
+//	tcp://:9001                         TCP listener, 2-byte big-endian length framing
+//	pcap://testdata/flows.pcap?pace=1   capture replay (pace 0: unpaced, 1: recorded, N: ×faster; loop=K repeats)
+//	gen://ipv4?seed=1&packets=50000     seeded generator (flows, alpha, peak, paced parameters)
+//
+// Socket sources are listening when OpenSource returns. Malformed specs
+// are rejected with ErrBadSource; the caller closes the source when the
+// serve is done.
+func OpenSource(spec string) (BatchSource, error) { return ingest.Open(spec) }
 
 // FlowKey derives a flow-affine shard key from a raw packet in the POS
 // framing the toolkit's benchmarks use: it hashes the IPv4/IPv6 5-tuple
