@@ -5,18 +5,24 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/spsc"
 )
 
 // stageProbe is the live form of one stage replica's counters: each field
 // is an atomic written by the owning goroutine and readable at any moment
 // by Live.Snapshot, the registry's computed gauges, and the periodic
-// logger. The padding keeps neighboring replicas' probes off one cache
-// line, so the single-writer updates never false-share.
+// logger. txWait accumulates ring-full (transmit-side) blocked time,
+// rxWait ring-empty (receive-side) blocked time, each split into the
+// spin/park phases by the ring's wait machinery. The padding keeps
+// neighboring replicas' probes off one cache line, so the single-writer
+// updates never false-share.
 type stageProbe struct {
 	in, out, stalls             atomic.Int64
 	shed, degraded, quarantined atomic.Int64
 	retries, busyNs             atomic.Int64
 	occSum, occSamples          atomic.Int64
+	txWait, rxWait              spsc.WaitCounters
 	_                           [48]byte
 }
 
@@ -34,6 +40,12 @@ func (p *stageProbe) stats(stage int) StageStats {
 		Quarantined: p.quarantined.Load(),
 		Retries:     p.retries.Load(),
 		Busy:        time.Duration(p.busyNs.Load()),
+		Spins:       p.txWait.Spins.Load() + p.rxWait.Spins.Load(),
+		Parks:       p.txWait.Parks.Load() + p.rxWait.Parks.Load(),
+		SpinWait:    time.Duration(p.txWait.SpinNs.Load() + p.rxWait.SpinNs.Load()),
+		ParkWait:    time.Duration(p.txWait.ParkNs.Load() + p.rxWait.ParkNs.Load()),
+		TxWait:      time.Duration(p.txWait.SpinNs.Load() + p.txWait.ParkNs.Load()),
+		RxWait:      time.Duration(p.rxWait.SpinNs.Load() + p.rxWait.ParkNs.Load()),
 		occSum:      p.occSum.Load(),
 		occSamples:  p.occSamples.Load(),
 	}
@@ -99,14 +111,29 @@ func (l *Live) stageStats(s int) StageStats {
 		agg.Quarantined += st.Quarantined
 		agg.Retries += st.Retries
 		agg.Busy += st.Busy
+		agg.Spins += st.Spins
+		agg.Parks += st.Parks
+		agg.SpinWait += st.SpinWait
+		agg.ParkWait += st.ParkWait
+		agg.TxWait += st.TxWait
+		agg.RxWait += st.RxWait
 		agg.occSum += st.occSum
 		agg.occSamples += st.occSamples
 	}
 	agg.Replicas = l.reps[s]
 	if s == 0 && l.disp != nil {
-		agg.In = l.disp.in.Load()
-		agg.Stalls += l.disp.stalls.Load()
-		agg.Quarantined += l.disp.quarantined.Load()
+		// The dispatcher's pulls and head-ring waits fold into stage 1,
+		// preserving the ledger invariant (see the doc comment above).
+		dst := l.disp.stats(1)
+		agg.In = dst.In
+		agg.Stalls += dst.Stalls
+		agg.Quarantined += dst.Quarantined
+		agg.Spins += dst.Spins
+		agg.Parks += dst.Parks
+		agg.SpinWait += dst.SpinWait
+		agg.ParkWait += dst.ParkWait
+		agg.TxWait += dst.TxWait
+		agg.RxWait += dst.RxWait
 	}
 	return agg
 }
